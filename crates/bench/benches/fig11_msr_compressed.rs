@@ -1,0 +1,50 @@
+//! Figure 11 bench: MSR runtimes on randomly-compressed graphs (the regime
+//! where storage and retrieval costs decouple).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dsv_bench::sweep::msr_budgets;
+use dsv_core::heuristics::{lmg, lmg_all};
+use dsv_core::tree::{dp_msr_sweep, DpMsrConfig};
+use dsv_delta::corpus::{corpus, CorpusName};
+use dsv_delta::transforms::random_compression;
+use dsv_vgraph::NodeId;
+use std::hint::black_box;
+
+fn bench_fig11(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig11_msr_compressed");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for (name, scale) in [
+        (CorpusName::Datasharing, 1.0),
+        (CorpusName::Styleguide, 0.4),
+    ] {
+        let g = random_compression(&corpus(name, scale, 2024).graph, 7);
+        let budgets = msr_budgets(&g, 4);
+        let mid = budgets[budgets.len() / 2];
+        group.bench_with_input(BenchmarkId::new("LMG", name.as_str()), &g, |b, g| {
+            b.iter(|| black_box(lmg(g, mid)))
+        });
+        group.bench_with_input(BenchmarkId::new("LMG-All", name.as_str()), &g, |b, g| {
+            b.iter(|| black_box(lmg_all(g, mid)))
+        });
+        group.bench_with_input(
+            BenchmarkId::new("DP-MSR-sweep", name.as_str()),
+            &g,
+            |b, g| {
+                b.iter(|| {
+                    black_box(dp_msr_sweep(
+                        g,
+                        NodeId(0),
+                        &budgets,
+                        &DpMsrConfig::default(),
+                    ))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig11);
+criterion_main!(benches);

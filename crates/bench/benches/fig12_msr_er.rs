@@ -1,0 +1,50 @@
+//! Figure 12 bench: MSR runtimes on compressed Erdős–Rényi graphs.
+//!
+//! The paper's headline runtime observation here: LMG-All pays for its
+//! enlarged move set on dense graphs, while DP-MSR's single-run sweep
+//! stays flat.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dsv_bench::sweep::msr_budgets;
+use dsv_core::heuristics::{lmg, lmg_all};
+use dsv_core::tree::{dp_msr_sweep, DpMsrConfig};
+use dsv_delta::corpus::{corpus_with_sketches, CorpusName};
+use dsv_delta::transforms::{erdos_renyi_from_sketches, random_compression};
+use dsv_vgraph::NodeId;
+use std::hint::black_box;
+
+fn bench_fig12(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig12_msr_er");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    let lc = corpus_with_sketches(CorpusName::LeetCodeAnimation, 0.35, 2024, true);
+    let sketches = lc.sketches.expect("sketch corpus");
+    for p in [0.05f64, 0.2, 1.0] {
+        let er = erdos_renyi_from_sketches(&sketches, p, 3);
+        let g = random_compression(&er, 11);
+        let budgets = msr_budgets(&g, 4);
+        let mid = budgets[budgets.len() / 2];
+        let label = format!("p{p}");
+        group.bench_with_input(BenchmarkId::new("LMG", &label), &g, |b, g| {
+            b.iter(|| black_box(lmg(g, mid)))
+        });
+        group.bench_with_input(BenchmarkId::new("LMG-All", &label), &g, |b, g| {
+            b.iter(|| black_box(lmg_all(g, mid)))
+        });
+        group.bench_with_input(BenchmarkId::new("DP-MSR-sweep", &label), &g, |b, g| {
+            b.iter(|| {
+                black_box(dp_msr_sweep(
+                    g,
+                    NodeId(0),
+                    &budgets,
+                    &DpMsrConfig::default(),
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig12);
+criterion_main!(benches);

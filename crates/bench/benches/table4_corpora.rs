@@ -1,0 +1,29 @@
+//! Table 4 bench: corpus generation throughput (the substrate that feeds
+//! every other experiment), across content models.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dsv_delta::corpus::{corpus, CorpusName};
+use std::hint::black_box;
+
+fn bench_table4(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table4_corpora");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for (name, scale) in [
+        (CorpusName::Datasharing, 1.0),  // text mode, real Myers diffs
+        (CorpusName::Styleguide, 0.15),  // text mode, larger documents
+        (CorpusName::Icu996, 0.05),      // sketch mode, large chunks
+        (CorpusName::FreeCodeCamp, 0.01), // sketch mode, many small chunks
+    ] {
+        group.bench_with_input(
+            BenchmarkId::new("generate", name.as_str()),
+            &(name, scale),
+            |b, &(name, scale)| b.iter(|| black_box(corpus(name, scale, 42))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table4);
+criterion_main!(benches);

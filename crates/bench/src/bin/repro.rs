@@ -1,0 +1,139 @@
+//! `repro` — regenerate the paper's tables and figures.
+//!
+//! ```text
+//! repro --experiment all --scale 0.1 --out results/
+//! repro --experiment fig10 --points 12
+//! ```
+//!
+//! Experiments: `table4`, `fig10`, `fig11`, `fig12`, `fig13`, `thm1`,
+//! `btw`, `treewidth`, `all`. Output: Markdown to stdout plus one CSV per
+//! report under `--out` (default `results/`).
+
+use dsv_bench::experiments::{self, ExperimentOptions};
+use dsv_bench::Report;
+use std::path::PathBuf;
+
+struct Args {
+    experiment: String,
+    out: PathBuf,
+    opts: ExperimentOptions,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut experiment = "all".to_string();
+    let mut out = PathBuf::from("results");
+    let mut opts = ExperimentOptions::default();
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .ok_or_else(|| format!("missing value for {name}"))
+        };
+        match arg.as_str() {
+            "--experiment" | "-e" => experiment = value("--experiment")?,
+            "--out" | "-o" => out = PathBuf::from(value("--out")?),
+            "--scale" | "-s" => {
+                opts.scale = value("--scale")?
+                    .parse()
+                    .map_err(|e| format!("bad --scale: {e}"))?
+            }
+            "--seed" => {
+                opts.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("bad --seed: {e}"))?
+            }
+            "--points" | "-p" => {
+                opts.points = value("--points")?
+                    .parse()
+                    .map_err(|e| format!("bad --points: {e}"))?
+            }
+            "--max-nodes" => {
+                opts.max_nodes = value("--max-nodes")?
+                    .parse()
+                    .map_err(|e| format!("bad --max-nodes: {e}"))?
+            }
+            "--opt-limit" => {
+                opts.opt_node_limit = value("--opt-limit")?
+                    .parse()
+                    .map_err(|e| format!("bad --opt-limit: {e}"))?
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: repro [--experiment all|table4|fig10|fig11|fig12|fig13|thm1|btw|treewidth]\n\
+                     \x20            [--scale F] [--max-nodes N] [--seed N] [--points N]\n\
+                     \x20            [--opt-limit N] [--out DIR]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument: {other}")),
+        }
+    }
+    Ok(Args {
+        experiment,
+        out,
+        opts,
+    })
+}
+
+fn run(experiment: &str, opts: &ExperimentOptions) -> Result<Vec<Report>, String> {
+    Ok(match experiment {
+        "table4" => vec![experiments::table4(opts)],
+        "fig10" => experiments::fig10(opts),
+        "fig11" => experiments::fig11(opts),
+        "fig12" => experiments::fig12(opts),
+        "fig13" => experiments::fig13(opts),
+        "thm1" => vec![experiments::thm1()],
+        "treewidth" => vec![experiments::treewidth_report(opts)],
+        "btw" => vec![experiments::btw_report(opts)],
+        "all" => {
+            let mut all = vec![experiments::table4(opts)];
+            all.extend(experiments::fig10(opts));
+            all.extend(experiments::fig11(opts));
+            all.extend(experiments::fig12(opts));
+            all.extend(experiments::fig13(opts));
+            all.push(experiments::thm1());
+            all.push(experiments::btw_report(opts));
+            all.push(experiments::treewidth_report(opts));
+            all
+        }
+        other => return Err(format!("unknown experiment: {other}")),
+    })
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    eprintln!(
+        "# experiment={} scale={} seed={} points={}",
+        args.experiment, args.opts.scale, args.opts.seed, args.opts.points
+    );
+    let reports = match run(&args.experiment, &args.opts) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    if let Err(e) = std::fs::create_dir_all(&args.out) {
+        eprintln!("error creating {}: {e}", args.out.display());
+        std::process::exit(1);
+    }
+    for report in &reports {
+        println!("{}", report.to_markdown());
+        let path = args.out.join(format!("{}.csv", report.name));
+        if let Err(e) = std::fs::write(&path, report.to_csv()) {
+            eprintln!("error writing {}: {e}", path.display());
+            std::process::exit(1);
+        }
+    }
+    eprintln!(
+        "# wrote {} CSV file(s) to {}",
+        reports.len(),
+        args.out.display()
+    );
+}

@@ -1,0 +1,373 @@
+//! Experiment runners, one per paper artifact.
+
+use crate::report::{fmt_f, Report};
+use crate::sweep::{bmr_budgets, bmr_sweep, msr_budgets, msr_sweep, opt_sweep, SweepPoint};
+use dsv_delta::corpus::{corpus, corpus_with_sketches, stats, CorpusName};
+use dsv_delta::transforms::{erdos_renyi_from_sketches, random_compression};
+use dsv_vgraph::VersionGraph;
+
+/// Global experiment options.
+#[derive(Clone, Debug)]
+pub struct ExperimentOptions {
+    /// Scale factor on corpus node counts (1.0 = paper-sized).
+    pub scale: f64,
+    /// Hard ceiling on nodes per corpus: large corpora are clamped so a
+    /// full `repro` run finishes in minutes. Paper-sized runs pass
+    /// `--max-nodes 40000`. Shapes are scale-stable (verified across
+    /// scales in the test suite).
+    pub max_nodes: usize,
+    /// RNG seed for corpus generation and transforms.
+    pub seed: u64,
+    /// Number of sweep points per figure.
+    pub points: usize,
+    /// Node-count ceiling for ILP OPT curves (paper: only `datasharing`).
+    pub opt_node_limit: usize,
+}
+
+impl Default for ExperimentOptions {
+    fn default() -> Self {
+        ExperimentOptions {
+            scale: 1.0,
+            max_nodes: 1_500,
+            seed: 2024,
+            points: 10,
+            opt_node_limit: 40,
+        }
+    }
+}
+
+impl ExperimentOptions {
+    /// Scale for one corpus after applying the node ceiling.
+    pub fn scale_for(&self, name: CorpusName) -> f64 {
+        self.scale
+            .min(self.max_nodes as f64 / name.paper_nodes() as f64)
+    }
+}
+
+fn sweep_report(name: &str, points: &[SweepPoint]) -> Report {
+    let mut r = Report::new(
+        name,
+        &["algorithm", "budget", "objective", "time_ms"],
+    );
+    for p in points {
+        r.push_row(vec![
+            p.algorithm.to_string(),
+            p.budget.to_string(),
+            p.objective.map(|o| o.to_string()).unwrap_or_else(|| "inf".into()),
+            fmt_f(p.time_ms),
+        ]);
+    }
+    r
+}
+
+/// Table 4: dataset overview (nodes, edges, average costs).
+pub fn table4(opts: &ExperimentOptions) -> Report {
+    let mut r = Report::new(
+        "table4-dataset-overview",
+        &["dataset", "nodes", "edges", "avg_sv", "avg_se", "merges"],
+    );
+    for name in CorpusName::ALL {
+        let c = corpus(name, opts.scale_for(name), opts.seed);
+        let s = stats(name.as_str(), &c.graph);
+        r.push_row(vec![
+            s.name,
+            s.nodes.to_string(),
+            s.edges.to_string(),
+            fmt_f(s.avg_node_storage),
+            fmt_f(s.avg_edge_storage),
+            c.merge_count.to_string(),
+        ]);
+    }
+    // The ER variants of LeetCode (paper rows 6-8).
+    let lc = corpus_with_sketches(
+        CorpusName::LeetCodeAnimation,
+        opts.scale_for(CorpusName::LeetCodeAnimation),
+        opts.seed,
+        true,
+    );
+    if let Some(sk) = &lc.sketches {
+        for p in [0.05, 0.2, 1.0] {
+            let g = erdos_renyi_from_sketches(sk, p, opts.seed + 1);
+            let s = stats(&format!("LeetCode ({p})"), &g);
+            r.push_row(vec![
+                s.name,
+                s.nodes.to_string(),
+                s.edges.to_string(),
+                fmt_f(s.avg_node_storage),
+                fmt_f(s.avg_edge_storage),
+                "-".into(),
+            ]);
+        }
+    }
+    r.note("Expected shape (paper Table 4): tree-like bidirectional graphs; avg delta cost 1-3 orders of magnitude below avg version size; ER deltas ~10x natural deltas.");
+    r
+}
+
+/// Figure 10: MSR on natural graphs (LMG / LMG-All / DP-MSR, OPT on the
+/// smallest corpus).
+pub fn fig10(opts: &ExperimentOptions) -> Vec<Report> {
+    let mut reports = Vec::new();
+    for name in [
+        CorpusName::Datasharing,
+        CorpusName::Styleguide,
+        CorpusName::Icu996,
+        CorpusName::FreeCodeCamp,
+    ] {
+        let c = corpus(name, opts.scale_for(name), opts.seed);
+        let budgets = msr_budgets(&c.graph, opts.points);
+        let mut points = msr_sweep(&c.graph, &budgets);
+        if c.graph.n() <= opts.opt_node_limit {
+            points.extend(opt_sweep(&c.graph, &budgets, 8_000));
+        }
+        let mut r = sweep_report(&format!("fig10-msr-natural-{}", name.as_str()), &points);
+        r.note("Expected shape (paper Fig. 10): DP-MSR <= LMG-All <= LMG across the sweep; DP-MSR ~matches OPT on datasharing.");
+        reports.push(r);
+    }
+    reports
+}
+
+/// Figure 11: MSR on randomly-compressed natural graphs.
+pub fn fig11(opts: &ExperimentOptions) -> Vec<Report> {
+    let mut reports = Vec::new();
+    for name in [
+        CorpusName::Datasharing,
+        CorpusName::Styleguide,
+        CorpusName::Icu996,
+    ] {
+        let c = corpus(name, opts.scale_for(name), opts.seed);
+        let g = random_compression(&c.graph, opts.seed + 7);
+        let budgets = msr_budgets(&g, opts.points);
+        let mut points = msr_sweep(&g, &budgets);
+        if g.n() <= opts.opt_node_limit {
+            points.extend(opt_sweep(&g, &budgets, 8_000));
+        }
+        let mut r = sweep_report(&format!("fig11-msr-compressed-{}", name.as_str()), &points);
+        r.note("Expected shape (paper Fig. 11): DP-MSR still ahead but the margin over LMG-All shrinks (the extracted tree loses information once storage and retrieval decouple).");
+        reports.push(r);
+    }
+    reports
+}
+
+/// Figure 12: MSR on compressed Erdős–Rényi graphs (LeetCode).
+pub fn fig12(opts: &ExperimentOptions) -> Vec<Report> {
+    let lc = corpus_with_sketches(
+        CorpusName::LeetCodeAnimation,
+        opts.scale_for(CorpusName::LeetCodeAnimation),
+        opts.seed,
+        true,
+    );
+    let sketches = lc.sketches.as_ref().expect("sketch-mode corpus");
+    let mut cases: Vec<(String, VersionGraph)> =
+        vec![("original".into(), lc.graph.clone())];
+    for p in [0.05, 0.2, 1.0] {
+        cases.push((
+            format!("p{p}"),
+            erdos_renyi_from_sketches(sketches, p, opts.seed + 3),
+        ));
+    }
+    let mut reports = Vec::new();
+    for (label, g) in cases {
+        let g = random_compression(&g, opts.seed + 11);
+        let budgets = msr_budgets(&g, opts.points);
+        let points = msr_sweep(&g, &budgets);
+        let mut r = sweep_report(&format!("fig12-msr-er-leetcode-{label}"), &points);
+        r.note("Expected shape (paper Fig. 12): LMG degrades badly on dense ER graphs; LMG-All pays heavy runtime on dense graphs; DP-MSR stays competitive.");
+        reports.push(r);
+    }
+    reports
+}
+
+/// Figure 13: BMR on natural graphs (MP vs DP-BMR).
+pub fn fig13(opts: &ExperimentOptions) -> Vec<Report> {
+    let mut reports = Vec::new();
+    for name in [CorpusName::Styleguide, CorpusName::FreeCodeCamp] {
+        let c = corpus(name, opts.scale_for(name), opts.seed);
+        let budgets = bmr_budgets(&c.graph, opts.points);
+        let points = bmr_sweep(&c.graph, &budgets);
+        let mut r = sweep_report(&format!("fig13-bmr-natural-{}", name.as_str()), &points);
+        r.note("Expected shape (paper Fig. 13): DP-BMR <= MP except near R=0; DP-BMR monotone in R; runtimes within a constant factor.");
+        reports.push(r);
+    }
+    reports
+}
+
+/// Theorem 1: the adversarial chain where LMG (and greedy in general) is
+/// arbitrarily bad.
+pub fn thm1() -> Report {
+    use dsv_core::exact::brute::msr_optimum;
+    use dsv_core::heuristics::{lmg, lmg_all};
+    use dsv_vgraph::NodeId;
+
+    let mut r = Report::new(
+        "thm1-lmg-worst-case",
+        &["c/b", "LMG", "LMG-All", "OPT", "LMG/OPT"],
+    );
+    for ratio in [10u64, 100, 1_000, 10_000] {
+        // b must stay >= ratio so that eps = b/c survives integer rounding.
+        let b = 100u64.max(ratio);
+        let c = b * ratio;
+        let eb = b - b * b / c;
+        let ec = c - b;
+        let a = 10 * c;
+        let mut g = VersionGraph::new();
+        let va = g.add_node(a);
+        let vb = g.add_node(b);
+        let vc = g.add_node(c);
+        g.add_edge(va, vb, eb, eb);
+        g.add_edge(vb, vc, ec, ec);
+        let _ = (va, vc);
+        let budget = a + eb + c;
+        let lmg_obj = lmg(&g, budget)
+            .expect("feasible")
+            .costs(&g)
+            .total_retrieval;
+        let all_obj = lmg_all(&g, budget)
+            .expect("feasible")
+            .costs(&g)
+            .total_retrieval;
+        let opt = msr_optimum(&g, budget).expect("feasible");
+        let _ = NodeId(0);
+        r.push_row(vec![
+            ratio.to_string(),
+            lmg_obj.to_string(),
+            all_obj.to_string(),
+            opt.to_string(),
+            fmt_f(lmg_obj as f64 / opt.max(1) as f64),
+        ]);
+    }
+    r.note("Expected shape (paper Thm. 1): LMG/OPT grows linearly with c/b — the greedy ratio is unbounded.");
+    r
+}
+
+/// Section 5.3 extension experiment: DP-BTW (exact on bounded-width
+/// graphs) against the tree-restricted DP and LMG-All on series-parallel
+/// graphs — the class the paper singles out as "highly resembl[ing] the
+/// version graphs we derive from real-world repositories". Not a paper
+/// figure; it demonstrates the bounded-treewidth contribution end to end.
+pub fn btw_report(opts: &ExperimentOptions) -> Report {
+    use dsv_core::btw::{btw_msr, BtwConfig};
+    use dsv_core::heuristics::lmg_all;
+    use dsv_core::tree::{extract_tree, msr_tree_exact};
+    use dsv_vgraph::generators::{series_parallel, CostModel};
+    use dsv_vgraph::NodeId;
+
+    let mut r = Report::new(
+        "btw-series-parallel",
+        &["nodes", "width", "budget", "DP-BTW", "tree-DP", "LMG-All"],
+    );
+    for ops in [6usize, 10, 14] {
+        let g = series_parallel(ops, &CostModel::default(), opts.seed);
+        let smin = dsv_core::baselines::min_storage_value(&g);
+        let budget = smin * 2;
+        let cfg = BtwConfig {
+            storage_prune: Some(budget),
+            ..Default::default()
+        };
+        let Some(btw) = btw_msr(&g, &cfg) else {
+            continue;
+        };
+        let btw_val = btw.best_under(budget);
+        let tree_val = extract_tree(&g, NodeId(0))
+            .map(|t| msr_tree_exact(&g, &t).best_under(budget).map(|(_, v)| v));
+        let greedy = lmg_all(&g, budget).map(|p| p.costs(&g).total_retrieval);
+        r.push_row(vec![
+            g.n().to_string(),
+            btw.width.to_string(),
+            budget.to_string(),
+            btw_val.map(|v| v.to_string()).unwrap_or_else(|| "inf".into()),
+            tree_val
+                .flatten()
+                .map(|v| v.to_string())
+                .unwrap_or_else(|| "inf".into()),
+            greedy.map(|v| v.to_string()).unwrap_or_else(|| "inf".into()),
+        ]);
+    }
+    r.note("Extension (Table 3, DP-BTW row): the bounded-width DP is exact, so DP-BTW <= tree-DP <= / ~ LMG-All; the tree DP loses whenever a series-parallel shortcut edge matters.");
+    r
+}
+
+/// Footnote 7: treewidth upper bounds of the corpora. The five estimations
+/// are independent `O(n²)`-ish computations, so they run on crossbeam
+/// scoped threads.
+pub fn treewidth_report(opts: &ExperimentOptions) -> Report {
+    let mut r = Report::new("treewidth-of-corpora", &["dataset", "nodes", "treewidth_ub"]);
+    let rows: Vec<(CorpusName, usize, usize)> = crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = CorpusName::ALL
+            .into_iter()
+            .map(|name| {
+                scope.spawn(move |_| {
+                    // Treewidth estimation is O(n^2)-ish; cap sizes.
+                    let scale = opts.scale_for(name).min(800.0 / name.paper_nodes() as f64);
+                    let c = corpus(name, scale, opts.seed);
+                    let tw = dsv_treewidth::treewidth_upper_bound(&c.graph);
+                    (name, c.graph.n(), tw)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("treewidth worker"))
+            .collect()
+    })
+    .expect("crossbeam scope");
+    for (name, n, tw) in rows {
+        r.push_row(vec![name.as_str().into(), n.to_string(), tw.to_string()]);
+    }
+    r.note("Expected shape (paper footnote 7): natural version graphs have small treewidth (2-6) despite thousands of nodes.");
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_opts() -> ExperimentOptions {
+        ExperimentOptions {
+            scale: 0.02,
+            seed: 7,
+            points: 3,
+            opt_node_limit: 0, // skip ILP in smoke tests
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn table4_smoke() {
+        let r = table4(&ExperimentOptions {
+            scale: 0.05,
+            ..tiny_opts()
+        });
+        assert_eq!(r.rows.len(), 5 + 3);
+    }
+
+    #[test]
+    fn thm1_shows_unbounded_gap() {
+        let r = thm1();
+        assert_eq!(r.rows.len(), 4);
+        // The LMG/OPT ratio grows with c/b.
+        let ratios: Vec<f64> = r
+            .rows
+            .iter()
+            .map(|row| row[4].replace("e", "E").parse::<f64>().unwrap_or_else(|_| {
+                // fmt_f may emit scientific notation like 1.234e4.
+                row[4].parse::<f64>().expect("ratio parses")
+            }))
+            .collect();
+        assert!(ratios.windows(2).all(|w| w[1] > w[0]));
+        assert!(*ratios.last().expect("non-empty") > 100.0);
+    }
+
+    #[test]
+    fn fig13_smoke() {
+        let opts = ExperimentOptions {
+            scale: 0.01,
+            points: 3,
+            ..tiny_opts()
+        };
+        let reports = fig13(&opts);
+        assert_eq!(reports.len(), 2);
+        for r in reports {
+            assert_eq!(r.rows.len(), 2 * 3);
+        }
+    }
+}

@@ -1,0 +1,123 @@
+//! Tabular experiment reports with Markdown and CSV rendering.
+
+use std::fmt::Write as _;
+
+/// One experiment's output table.
+#[derive(Clone, Debug)]
+pub struct Report {
+    /// Experiment id (e.g. `fig10-datasharing`).
+    pub name: String,
+    /// Column headers.
+    pub header: Vec<String>,
+    /// Rows of cells (already formatted).
+    pub rows: Vec<Vec<String>>,
+    /// Free-form notes (expected shape vs. observations).
+    pub notes: Vec<String>,
+}
+
+impl Report {
+    /// Start an empty report.
+    pub fn new(name: impl Into<String>, header: &[&str]) -> Self {
+        Report {
+            name: name.into(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Append a row (must match the header width).
+    pub fn push_row(&mut self, cells: Vec<String>) {
+        debug_assert_eq!(cells.len(), self.header.len());
+        self.rows.push(cells);
+    }
+
+    /// Append a note line.
+    pub fn note(&mut self, s: impl Into<String>) {
+        self.notes.push(s.into());
+    }
+
+    /// Render as a Markdown table.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "### {}\n", self.name);
+        let _ = writeln!(out, "| {} |", self.header.join(" | "));
+        let _ = writeln!(
+            out,
+            "|{}|",
+            self.header.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+        );
+        for row in &self.rows {
+            let _ = writeln!(out, "| {} |", row.join(" | "));
+        }
+        for n in &self.notes {
+            let _ = writeln!(out, "\n> {n}");
+        }
+        out
+    }
+
+    /// Render as CSV.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let esc = |s: &str| {
+            if s.contains(',') || s.contains('"') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        };
+        let _ = writeln!(
+            out,
+            "{}",
+            self.header.iter().map(|h| esc(h)).collect::<Vec<_>>().join(",")
+        );
+        for row in &self.rows {
+            let _ = writeln!(
+                out,
+                "{}",
+                row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(",")
+            );
+        }
+        out
+    }
+}
+
+/// Format a float compactly (3 significant-ish digits).
+pub fn fmt_f(x: f64) -> String {
+    if x == 0.0 {
+        "0".into()
+    } else if x.abs() >= 1000.0 {
+        format!("{:.3e}", x)
+    } else if x.abs() >= 1.0 {
+        format!("{:.1}", x)
+    } else {
+        format!("{:.4}", x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn markdown_and_csv_render() {
+        let mut r = Report::new("demo", &["a", "b"]);
+        r.push_row(vec!["1".into(), "x,y".into()]);
+        r.note("hello");
+        let md = r.to_markdown();
+        assert!(md.contains("### demo"));
+        assert!(md.contains("| 1 | x,y |"));
+        assert!(md.contains("> hello"));
+        let csv = r.to_csv();
+        assert!(csv.contains("a,b"));
+        assert!(csv.contains("1,\"x,y\""));
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(fmt_f(0.0), "0");
+        assert_eq!(fmt_f(12345.0), "1.234e4");
+        assert_eq!(fmt_f(3.25), "3.2");
+        assert_eq!(fmt_f(0.12), "0.1200");
+    }
+}

@@ -1,0 +1,216 @@
+//! Constraint sweeps: run a set of algorithms over a range of budgets,
+//! recording objective values and wall-clock times — the data behind every
+//! performance/runtime figure pair in Section 7.
+
+use dsv_core::baselines::min_storage_value;
+use dsv_core::heuristics::{lmg, lmg_all, modified_prims};
+use dsv_core::tree::{dp_bmr_on_graph, dp_msr_sweep, DpMsrConfig};
+use dsv_vgraph::{Cost, NodeId, VersionGraph};
+use std::time::Instant;
+
+/// One measured point of a sweep.
+#[derive(Clone, Debug)]
+pub struct SweepPoint {
+    /// Algorithm label ("LMG", "LMG-All", "DP-MSR", "MP", "DP-BMR", "OPT").
+    pub algorithm: &'static str,
+    /// The constraint value (storage budget for MSR, retrieval for BMR).
+    pub budget: Cost,
+    /// Objective achieved (total retrieval for MSR, storage for BMR);
+    /// `None` when infeasible for this algorithm.
+    pub objective: Option<Cost>,
+    /// Wall-clock milliseconds for this point (for DP-MSR the single DP run
+    /// is amortized over the sweep, matching how the paper reports it).
+    pub time_ms: f64,
+}
+
+/// Budgets `S = factor × S_min` over the paper's sweep range.
+pub fn msr_budgets(g: &VersionGraph, points: usize) -> Vec<Cost> {
+    let smin = min_storage_value(g);
+    let lo = 1.05_f64;
+    let hi = 2.5_f64;
+    (0..points)
+        .map(|i| {
+            let f = lo + (hi - lo) * i as f64 / (points.max(2) - 1) as f64;
+            (smin as f64 * f) as Cost
+        })
+        .collect()
+}
+
+/// Retrieval budgets for BMR sweeps: `0 .. 1.5 × avg r_e`.
+pub fn bmr_budgets(g: &VersionGraph, points: usize) -> Vec<Cost> {
+    let avg_r = g
+        .edges()
+        .iter()
+        .map(|e| e.retrieval)
+        .sum::<u64>()
+        .checked_div(g.m() as u64)
+        .unwrap_or(0);
+    let hi = (avg_r as f64 * 1.5) as Cost;
+    (0..points)
+        .map(|i| hi * i as u64 / (points.max(2) - 1) as u64)
+        .collect()
+}
+
+/// Run the three MSR algorithms (and DP-MSR as a single amortized run)
+/// across `budgets`.
+pub fn msr_sweep(g: &VersionGraph, budgets: &[Cost]) -> Vec<SweepPoint> {
+    let mut out = Vec::new();
+    for &b in budgets {
+        let t0 = Instant::now();
+        let obj = lmg(g, b).map(|p| p.costs(g).total_retrieval);
+        out.push(SweepPoint {
+            algorithm: "LMG",
+            budget: b,
+            objective: obj,
+            time_ms: t0.elapsed().as_secs_f64() * 1e3,
+        });
+        let t0 = Instant::now();
+        let obj = lmg_all(g, b).map(|p| p.costs(g).total_retrieval);
+        out.push(SweepPoint {
+            algorithm: "LMG-All",
+            budget: b,
+            objective: obj,
+            time_ms: t0.elapsed().as_secs_f64() * 1e3,
+        });
+    }
+    // DP-MSR: one run for the whole sweep.
+    let t0 = Instant::now();
+    let dp = dp_msr_sweep(g, NodeId(0), budgets, &DpMsrConfig::default());
+    let dp_ms = t0.elapsed().as_secs_f64() * 1e3;
+    match dp {
+        Some(results) => {
+            for (&b, c) in budgets.iter().zip(results) {
+                out.push(SweepPoint {
+                    algorithm: "DP-MSR",
+                    budget: b,
+                    objective: c.map(|c| c.total_retrieval),
+                    time_ms: dp_ms,
+                });
+            }
+        }
+        None => {
+            for &b in budgets {
+                out.push(SweepPoint {
+                    algorithm: "DP-MSR",
+                    budget: b,
+                    objective: None,
+                    time_ms: dp_ms,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Run the two BMR algorithms across `budgets`.
+pub fn bmr_sweep(g: &VersionGraph, budgets: &[Cost]) -> Vec<SweepPoint> {
+    let mut out = Vec::new();
+    for &b in budgets {
+        let t0 = Instant::now();
+        let plan = modified_prims(g, b);
+        let storage = plan.storage_cost(g);
+        out.push(SweepPoint {
+            algorithm: "MP",
+            budget: b,
+            objective: Some(storage),
+            time_ms: t0.elapsed().as_secs_f64() * 1e3,
+        });
+        let t0 = Instant::now();
+        let obj = dp_bmr_on_graph(g, NodeId(0), b).map(|r| r.storage);
+        out.push(SweepPoint {
+            algorithm: "DP-BMR",
+            budget: b,
+            objective: obj,
+            time_ms: t0.elapsed().as_secs_f64() * 1e3,
+        });
+    }
+    out
+}
+
+/// Add ILP OPT points (only call on small graphs, as in the paper).
+///
+/// The DP-MSR frontier primes branch & bound; points where B&B hits its
+/// node limit without improving the incumbent report the incumbent value
+/// (still a valid upper bound witness, flagged by the caller's notes).
+pub fn opt_sweep(g: &VersionGraph, budgets: &[Cost], max_nodes: usize) -> Vec<SweepPoint> {
+    let mut out = Vec::new();
+    for &b in budgets {
+        let t0 = Instant::now();
+        let incumbent = lmg_all(g, b).map(|p| p.costs(g).total_retrieval);
+        let dp_inc = dp_msr_sweep(g, NodeId(0), &[b], &DpMsrConfig::default())
+            .and_then(|v| v.into_iter().next().flatten())
+            .map(|c| c.total_retrieval);
+        let primed = match (incumbent, dp_inc) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+        let obj = dsv_core::exact::msr_opt(g, b, max_nodes, primed);
+        out.push(SweepPoint {
+            algorithm: "OPT",
+            budget: b,
+            objective: obj.map(|o| o.total_retrieval).or(primed),
+            time_ms: t0.elapsed().as_secs_f64() * 1e3,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsv_vgraph::generators::{bidirectional_path, CostModel};
+
+    #[test]
+    fn budget_generators_are_monotone() {
+        let g = bidirectional_path(20, &CostModel::default(), 1);
+        let b = msr_budgets(&g, 8);
+        assert_eq!(b.len(), 8);
+        assert!(b.windows(2).all(|w| w[0] < w[1]));
+        let r = bmr_budgets(&g, 6);
+        assert_eq!(r.len(), 6);
+        assert_eq!(r[0], 0);
+        assert!(r.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn msr_sweep_produces_all_algorithms() {
+        let g = bidirectional_path(15, &CostModel::default(), 2);
+        let budgets = msr_budgets(&g, 4);
+        let points = msr_sweep(&g, &budgets);
+        assert_eq!(points.len(), 3 * 4);
+        for p in &points {
+            assert!(p.objective.is_some(), "{} at {}", p.algorithm, p.budget);
+        }
+        // DP-MSR never worse than LMG on a tree-shaped graph.
+        for &b in &budgets {
+            let get = |alg: &str| {
+                points
+                    .iter()
+                    .find(|p| p.algorithm == alg && p.budget == b)
+                    .and_then(|p| p.objective)
+                    .expect("feasible")
+            };
+            assert!(get("DP-MSR") <= get("LMG"));
+        }
+    }
+
+    #[test]
+    fn bmr_sweep_dp_never_loses_on_trees() {
+        let g = bidirectional_path(15, &CostModel::default(), 3);
+        let budgets = bmr_budgets(&g, 5);
+        let points = bmr_sweep(&g, &budgets);
+        for &b in &budgets {
+            let mp = points
+                .iter()
+                .find(|p| p.algorithm == "MP" && p.budget == b)
+                .and_then(|p| p.objective)
+                .expect("always feasible");
+            let dp = points
+                .iter()
+                .find(|p| p.algorithm == "DP-BMR" && p.budget == b)
+                .and_then(|p| p.objective)
+                .expect("always feasible");
+            assert!(dp <= mp, "budget {b}: dp {dp} vs mp {mp}");
+        }
+    }
+}

@@ -1,0 +1,8 @@
+//! DP-BTW: bounded-width dynamic programming for MinSum Retrieval
+//! (Section 5.3 of the paper).
+
+pub mod dp;
+pub mod order;
+
+pub use dp::{btw_msr, btw_msr_value, BtwConfig, BtwResult};
+pub use order::{separation_order, SeparationOrder};

@@ -1,0 +1,217 @@
+//! The Appendix-D integer linear program for MinSum Retrieval.
+//!
+//! Variables per extended-graph edge `e`: a flow `x_e` (how many versions
+//! retrieve through `e`) and an indicator `I_e` (whether `e` is stored).
+//!
+//! ```text
+//! min  Σ r_e · x_e
+//! s.t. x_e ≤ (|V|) · I_e           (indicator)
+//!      Σ s_e · I_e ≤ S             (storage budget)
+//!      Σ_in(u) x − Σ_out(u) x = 1  for every real version u (sink)
+//! ```
+//!
+//! Materializing `v` is modelled by the auxiliary edge `(v_aux, v)` with
+//! storage `s_v` and retrieval 0, exactly as in the paper. Only the `I_e`
+//! are branched on: with them fixed, the remaining polytope is a network
+//! flow, whose optimal basic solutions are integral.
+//!
+//! The paper solves this model with Gurobi; here it runs on the
+//! [`dsv_solver`] branch & bound. As in the paper, this is only tractable
+//! for the smallest graphs (the OPT curve of Figure 10 exists only for
+//! `datasharing`).
+
+use crate::baselines::extended_edges;
+use crate::plan::{Parent, StoragePlan};
+use dsv_solver::{solve_milp, ConstraintOp, LinearProgram, MilpOptions, MilpStatus};
+use dsv_vgraph::arborescence::ArbEdge;
+use dsv_vgraph::dijkstra::EdgeWeight;
+use dsv_vgraph::{Cost, EdgeId, VersionGraph};
+
+/// Outcome of an ILP solve.
+#[derive(Clone, Debug)]
+pub struct MsrIlpOutcome {
+    /// Reconstructed optimal plan (exact integer costs re-evaluated).
+    pub plan: StoragePlan,
+    /// Total retrieval cost of the plan.
+    pub total_retrieval: Cost,
+    /// Whether branch & bound proved optimality or hit its node limit.
+    pub proven_optimal: bool,
+    /// LP relaxations solved.
+    pub nodes: usize,
+}
+
+/// Build the Appendix-D model. Returns the LP, the integer-variable ids,
+/// and the extended edge list (for reconstruction).
+pub fn msr_ilp(g: &VersionGraph, storage_budget: Cost) -> (LinearProgram, Vec<usize>, Vec<ArbEdge>) {
+    let n = g.n();
+    let ext = extended_edges(g, EdgeWeight::Storage);
+    let m = ext.len();
+    // Retrieval weight per extended edge (0 on auxiliary edges).
+    let retr: Vec<f64> = (0..m)
+        .map(|i| {
+            if i < g.m() {
+                g.edges()[i].retrieval as f64
+            } else {
+                0.0
+            }
+        })
+        .collect();
+    let stor: Vec<f64> = ext.iter().map(|e| e.weight as f64).collect();
+    // Scale costs for numerical stability.
+    let r_scale = retr.iter().cloned().fold(1.0_f64, f64::max);
+    let s_scale = stor.iter().cloned().fold(1.0_f64, f64::max);
+
+    // Variables: x_e at [0, m), I_e at [m, 2m).
+    let mut lp = LinearProgram::new(2 * m);
+    for i in 0..m {
+        lp.set_objective(i, retr[i] / r_scale);
+        lp.set_upper(i, n as f64);
+        lp.set_upper(m + i, 1.0);
+        // Indicator: x_e - n * I_e <= 0.
+        lp.add_constraint(
+            vec![(i, 1.0), (m + i, -(n as f64))],
+            ConstraintOp::Le,
+            0.0,
+        );
+    }
+    // Storage budget.
+    lp.add_constraint(
+        (0..m).map(|i| (m + i, stor[i] / s_scale)).collect(),
+        ConstraintOp::Le,
+        storage_budget as f64 / s_scale,
+    );
+    // Sink constraints for every real version, plus the valid inequality
+    // Σ_in(v) I_e ≥ 1 (each version needs at least one stored incoming
+    // delta, the auxiliary edge included). The inequality is implied by the
+    // integral optimum but dramatically tightens the big-M relaxation, so
+    // branch & bound closes orders of magnitude faster.
+    let mut in_terms: Vec<Vec<(usize, f64)>> = vec![Vec::new(); n];
+    let mut in_indicators: Vec<Vec<(usize, f64)>> = vec![Vec::new(); n];
+    for (i, e) in ext.iter().enumerate() {
+        if (e.dst as usize) < n {
+            in_terms[e.dst as usize].push((i, 1.0));
+            in_indicators[e.dst as usize].push((m + i, 1.0));
+        }
+        if (e.src as usize) < n {
+            in_terms[e.src as usize].push((i, -1.0));
+        }
+    }
+    for terms in in_terms {
+        lp.add_constraint(terms, ConstraintOp::Eq, 1.0);
+    }
+    for terms in in_indicators {
+        lp.add_constraint(terms, ConstraintOp::Ge, 1.0);
+    }
+    let ints: Vec<usize> = (m..2 * m).collect();
+    (lp, ints, ext)
+}
+
+/// Solve MSR exactly via the Appendix-D ILP. `incumbent` (e.g. an LMG-All
+/// objective) primes branch & bound pruning. Returns `None` when the budget
+/// is below the minimum storage (infeasible).
+pub fn msr_opt(
+    g: &VersionGraph,
+    storage_budget: Cost,
+    max_nodes: usize,
+    incumbent: Option<Cost>,
+) -> Option<MsrIlpOutcome> {
+    if crate::baselines::min_storage_value(g) > storage_budget {
+        return None;
+    }
+    let (lp, ints, ext) = msr_ilp(g, storage_budget);
+    let r_scale = g
+        .edges()
+        .iter()
+        .map(|e| e.retrieval as f64)
+        .fold(1.0_f64, f64::max);
+    let opts = MilpOptions {
+        max_nodes,
+        // A known-feasible objective prunes; add a whisker for scaling slop.
+        incumbent: incumbent.map(|c| c as f64 / r_scale * 1.0 + 1e-6),
+        ..Default::default()
+    };
+    let result = solve_milp(&lp, &ints, &opts);
+    let solution = result.solution?;
+
+    // Reconstruct: each version keeps its largest-flow incoming edge.
+    let mut parent: Vec<Parent> = vec![Parent::Materialized; g.n()];
+    let mut best_flow: Vec<f64> = vec![-1.0; g.n()];
+    for (i, e) in ext.iter().enumerate() {
+        let v = e.dst as usize;
+        if v >= g.n() {
+            continue;
+        }
+        let flow = solution[i];
+        if flow > 0.5 && flow > best_flow[v] {
+            best_flow[v] = flow;
+            parent[v] = if i < g.m() {
+                Parent::Delta(EdgeId::new(i))
+            } else {
+                Parent::Materialized
+            };
+        }
+    }
+    let plan = StoragePlan { parent };
+    plan.validate(g).ok()?;
+    let costs = plan.costs(g);
+    if costs.storage > storage_budget {
+        return None;
+    }
+    Some(MsrIlpOutcome {
+        total_retrieval: costs.total_retrieval,
+        plan,
+        proven_optimal: result.status == MilpStatus::Optimal,
+        nodes: result.nodes,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::brute::msr_optimum;
+    use dsv_vgraph::generators::{bidirectional_path, random_tree, CostModel};
+
+    #[test]
+    fn matches_brute_force_on_paths() {
+        let g = bidirectional_path(5, &CostModel::default(), 1);
+        let smin = crate::baselines::min_storage_value(&g);
+        for budget in [smin, smin * 3 / 2, smin * 2, smin * 4] {
+            let want = msr_optimum(&g, budget).expect("feasible");
+            let got = msr_opt(&g, budget, 100_000, None).expect("feasible");
+            assert!(got.proven_optimal, "should close at this size");
+            assert_eq!(got.total_retrieval, want, "budget {budget}");
+        }
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_trees() {
+        for seed in 0..4 {
+            let g = random_tree(6, &CostModel::single_weight(), seed);
+            let smin = crate::baselines::min_storage_value(&g);
+            let budget = smin * 2;
+            let want = msr_optimum(&g, budget).expect("feasible");
+            let got = msr_opt(&g, budget, 100_000, None).expect("feasible");
+            assert_eq!(got.total_retrieval, want, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn incumbent_does_not_change_answer() {
+        let g = bidirectional_path(6, &CostModel::default(), 2);
+        let smin = crate::baselines::min_storage_value(&g);
+        let budget = smin * 2;
+        let free = msr_opt(&g, budget, 100_000, None).expect("feasible");
+        let heuristic = crate::heuristics::lmg_all(&g, budget)
+            .expect("feasible")
+            .costs(&g)
+            .total_retrieval;
+        let primed = msr_opt(&g, budget, 100_000, Some(heuristic)).expect("feasible");
+        assert_eq!(free.total_retrieval, primed.total_retrieval);
+    }
+
+    #[test]
+    fn infeasible_budget() {
+        let g = bidirectional_path(4, &CostModel::default(), 3);
+        assert!(msr_opt(&g, 1, 10_000, None).is_none());
+    }
+}

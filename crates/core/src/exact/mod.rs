@@ -1,0 +1,8 @@
+//! Exact solvers: exhaustive enumeration for tiny instances (ground truth
+//! in tests) and the Appendix-D integer linear program (the paper's OPT).
+
+pub mod brute;
+pub mod ilp;
+
+pub use brute::{brute_force, BruteForceResult};
+pub use ilp::{msr_ilp, msr_opt, MsrIlpOutcome};

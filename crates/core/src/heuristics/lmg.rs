@@ -1,0 +1,147 @@
+//! Local Move Greedy (LMG), Algorithm 1 of the paper.
+//!
+//! The prior state-of-the-art heuristic for MinSum Retrieval from
+//! Bhattacherjee et al. [VLDB'15]: start from the minimum-storage
+//! arborescence and repeatedly *materialize* the version with the best
+//! ratio of retrieval-cost reduction to storage increase, while the budget
+//! allows. Theorem 1 of the paper shows this can be arbitrarily bad (see
+//! `examples/lmg_worst_case.rs`); LMG-All closes much of that gap.
+//!
+//! Materializing `v` sets `R(v) = 0` and shortens the retrieval of all
+//! versions below `v` in the stored-delta forest by exactly `R(v)`, so the
+//! reduction `Δ` of Algorithm 1 line 16 equals `R(v) · |subtree(v)|` — this
+//! implementation computes it that way instead of re-walking the tree,
+//! which keeps one greedy pass at `O(n)` after the `O(n)` view rebuild.
+
+use super::{PlanView, Ratio};
+use crate::baselines::min_storage_plan;
+use crate::plan::{Parent, StoragePlan};
+use dsv_vgraph::{Cost, NodeId, VersionGraph};
+
+/// Diagnostics of an LMG run.
+#[derive(Clone, Debug, Default)]
+pub struct LmgStats {
+    /// Number of materialization moves applied.
+    pub moves: usize,
+}
+
+/// Run LMG under a storage budget. Returns `None` when even the
+/// minimum-storage plan exceeds the budget (the instance is infeasible).
+pub fn lmg(g: &VersionGraph, storage_budget: Cost) -> Option<StoragePlan> {
+    lmg_with_stats(g, storage_budget).map(|(p, _)| p)
+}
+
+/// [`lmg`] plus run diagnostics.
+pub fn lmg_with_stats(g: &VersionGraph, storage_budget: Cost) -> Option<(StoragePlan, LmgStats)> {
+    let mut plan = min_storage_plan(g);
+    if plan.storage_cost(g) > storage_budget {
+        return None;
+    }
+    let mut stats = LmgStats::default();
+    // U of Algorithm 1: versions still eligible for materialization.
+    let mut eligible: Vec<bool> = plan
+        .parent
+        .iter()
+        .map(|p| matches!(p, Parent::Delta(_)))
+        .collect();
+
+    loop {
+        let view = PlanView::new(g, &plan);
+        let mut best: Option<(Ratio, usize)> = None;
+        for v in 0..g.n() {
+            if !eligible[v] {
+                continue;
+            }
+            let sv = g.node_storage(NodeId::new(v));
+            let paid = view.paid[v];
+            // Storage delta of replacing the stored delta by materialization.
+            let new_storage = view.storage - paid + sv;
+            if new_storage > storage_budget {
+                continue;
+            }
+            let dr = view.r[v] as u128 * view.size[v] as u128;
+            if dr == 0 {
+                continue; // no retrieval benefit; ρ would be 0
+            }
+            let ratio = if sv <= paid {
+                Ratio::Infinite {
+                    dr,
+                    ds: (paid - sv) as u128,
+                }
+            } else {
+                Ratio::Finite {
+                    dr,
+                    ds: (sv - paid) as u128,
+                }
+            };
+            if best.is_none_or(|(b, _)| ratio > b) {
+                best = Some((ratio, v));
+            }
+        }
+        let Some((_, v)) = best else {
+            return Some((plan, stats));
+        };
+        plan.parent[v] = Parent::Materialized;
+        eligible[v] = false;
+        stats.moves += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baselines::min_storage_value;
+    use dsv_vgraph::generators::{bidirectional_path, random_tree, CostModel};
+
+    #[test]
+    fn infeasible_budget_returns_none() {
+        let g = random_tree(10, &CostModel::default(), 1);
+        assert!(lmg(&g, 0).is_none());
+        let min = min_storage_value(&g);
+        assert!(lmg(&g, min).is_some());
+    }
+
+    #[test]
+    fn respects_budget_and_improves_retrieval() {
+        let g = bidirectional_path(40, &CostModel::default(), 2);
+        let smin = min_storage_value(&g);
+        let base_retrieval = crate::baselines::min_storage_plan(&g).costs(&g).total_retrieval;
+        for budget in [smin, smin * 3 / 2, smin * 3, smin * 10] {
+            let plan = lmg(&g, budget).expect("feasible");
+            plan.validate(&g).expect("valid");
+            let c = plan.costs(&g);
+            assert!(c.storage <= budget, "storage {} > budget {budget}", c.storage);
+            assert!(c.total_retrieval <= base_retrieval);
+        }
+    }
+
+    #[test]
+    fn retrieval_is_monotone_in_budget() {
+        let g = bidirectional_path(30, &CostModel::default(), 3);
+        let smin = min_storage_value(&g);
+        let mut last = u64::MAX;
+        for mult in [10, 15, 20, 30, 50] {
+            let plan = lmg(&g, smin * mult / 10).expect("feasible");
+            let c = plan.costs(&g);
+            assert!(c.total_retrieval <= last);
+            last = c.total_retrieval;
+        }
+    }
+
+    #[test]
+    fn unlimited_budget_materializes_everything_useful() {
+        let g = bidirectional_path(10, &CostModel::default(), 4);
+        let plan = lmg(&g, u64::MAX / 8).expect("feasible");
+        // With unlimited storage every version is materialized: retrieval 0.
+        assert_eq!(plan.costs(&g).total_retrieval, 0);
+        assert_eq!(plan.materialized_count(), g.n());
+    }
+
+    #[test]
+    fn stats_count_moves() {
+        let g = bidirectional_path(10, &CostModel::default(), 5);
+        let smin = min_storage_value(&g);
+        let (_, stats) = lmg_with_stats(&g, smin * 2).expect("feasible");
+        assert!(stats.moves >= 1);
+    }
+}

@@ -1,0 +1,265 @@
+//! LMG-All, Algorithm 7 of the paper (Section 6.1).
+//!
+//! LMG only ever *materializes* versions; LMG-All enlarges the greedy move
+//! set to every single-edge modification: replace a version's stored delta
+//! by any other incoming delta `(u, v)` (as long as `u` is not a descendant
+//! of `v` — that would create a cycle), or by materialization. Moves that
+//! do not increase storage get ratio `∞` as in the paper; otherwise the
+//! ratio is retrieval-reduction per storage-increase.
+//!
+//! The candidate scan is the hot loop (`O(E)` per move). It is data-parallel
+//! and runs on rayon when the graph is large enough to amortize the fork —
+//! this is the "parallelizable heuristics" point the paper makes when
+//! comparing against the inherently sequential LMG.
+
+use super::{PlanView, Ratio};
+use crate::baselines::min_storage_plan;
+use crate::plan::{Parent, StoragePlan};
+use dsv_vgraph::{Cost, EdgeId, NodeId, VersionGraph};
+use rayon::prelude::*;
+
+/// Candidate move: change `node`'s parent.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Move {
+    Materialize { node: u32 },
+    Reparent { edge: u32 },
+}
+
+/// Diagnostics of an LMG-All run.
+#[derive(Clone, Debug, Default)]
+pub struct LmgAllStats {
+    /// Number of moves applied.
+    pub moves: usize,
+    /// Of which, materializations.
+    pub materializations: usize,
+}
+
+/// Threshold (edge count) above which the candidate scan uses rayon.
+const PAR_THRESHOLD: usize = 8_192;
+
+/// Run LMG-All under a storage budget. Returns `None` when the
+/// minimum-storage plan already exceeds the budget.
+pub fn lmg_all(g: &VersionGraph, storage_budget: Cost) -> Option<StoragePlan> {
+    lmg_all_with_stats(g, storage_budget).map(|(p, _)| p)
+}
+
+/// [`lmg_all`] plus run diagnostics.
+pub fn lmg_all_with_stats(
+    g: &VersionGraph,
+    storage_budget: Cost,
+) -> Option<(StoragePlan, LmgAllStats)> {
+    let mut plan = min_storage_plan(g);
+    if plan.storage_cost(g) > storage_budget {
+        return None;
+    }
+    let mut stats = LmgAllStats::default();
+
+    loop {
+        let view = PlanView::new(g, &plan);
+
+        // Evaluate one edge-replacement candidate.
+        let eval_edge = |ei: usize| -> Option<(Ratio, Move)> {
+            let e = &g.edges()[ei];
+            let (u, v) = (e.src.index(), e.dst.index());
+            if let Parent::Delta(cur) = plan.parent[v] {
+                if cur.index() == ei {
+                    return None; // already stored
+                }
+            }
+            // Cycle guard (Algorithm 7 line 7): u must not be in subtree(v).
+            if view.is_ancestor(v, u) {
+                return None;
+            }
+            let new_r = view.r[u].checked_add(e.retrieval)?;
+            // ΔR over all dependants of v: (new - old) * size(v).
+            let old_r = view.r[v];
+            if new_r > old_r {
+                return None; // Algorithm 7 line 9: retrieval must not grow
+            }
+            let dr = (old_r - new_r) as u128 * view.size[v] as u128;
+            let paid = view.paid[v];
+            if e.storage <= paid {
+                let ds = (paid - e.storage) as u128;
+                if dr == 0 && ds == 0 {
+                    return None; // no progress
+                }
+                Some((Ratio::Infinite { dr, ds }, Move::Reparent { edge: ei as u32 }))
+            } else {
+                let ds = e.storage - paid;
+                if view.storage + ds > storage_budget || dr == 0 {
+                    return None;
+                }
+                Some((
+                    Ratio::Finite {
+                        dr,
+                        ds: ds as u128,
+                    },
+                    Move::Reparent { edge: ei as u32 },
+                ))
+            }
+        };
+
+        // Evaluate one materialization candidate (the auxiliary edges of
+        // the extended graph).
+        let eval_mat = |v: usize| -> Option<(Ratio, Move)> {
+            if matches!(plan.parent[v], Parent::Materialized) {
+                return None;
+            }
+            let sv = g.node_storage(NodeId::new(v));
+            let dr = view.r[v] as u128 * view.size[v] as u128;
+            let paid = view.paid[v];
+            if sv <= paid {
+                let ds = (paid - sv) as u128;
+                if dr == 0 && ds == 0 {
+                    return None;
+                }
+                Some((Ratio::Infinite { dr, ds }, Move::Materialize { node: v as u32 }))
+            } else {
+                let ds = sv - paid;
+                if view.storage + ds > storage_budget || dr == 0 {
+                    return None;
+                }
+                Some((
+                    Ratio::Finite {
+                        dr,
+                        ds: ds as u128,
+                    },
+                    Move::Materialize { node: v as u32 },
+                ))
+            }
+        };
+
+        let best_edge = if g.m() >= PAR_THRESHOLD {
+            (0..g.m())
+                .into_par_iter()
+                .filter_map(eval_edge)
+                .max_by(|a, b| a.0.cmp(&b.0))
+        } else {
+            (0..g.m()).filter_map(eval_edge).max_by_key(|c| c.0)
+        };
+        let best_mat = (0..g.n()).filter_map(eval_mat).max_by_key(|c| c.0);
+        let best = match (best_edge, best_mat) {
+            (Some(a), Some(b)) => Some(if a.0 >= b.0 { a } else { b }),
+            (a, b) => a.or(b),
+        };
+
+        let Some((_, mv)) = best else {
+            return Some((plan, stats));
+        };
+        match mv {
+            Move::Materialize { node } => {
+                plan.parent[node as usize] = Parent::Materialized;
+                stats.materializations += 1;
+            }
+            Move::Reparent { edge } => {
+                let v = g.edge(EdgeId(edge)).dst;
+                plan.parent[v.index()] = Parent::Delta(EdgeId(edge));
+            }
+        }
+        stats.moves += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baselines::min_storage_value;
+    use crate::heuristics::lmg::lmg;
+    use dsv_vgraph::generators::{
+        bidirectional_path, erdos_renyi_bidirectional, random_tree, CostModel,
+    };
+
+    #[test]
+    fn feasibility_mirror_of_lmg() {
+        let g = random_tree(12, &CostModel::default(), 1);
+        assert!(lmg_all(&g, 0).is_none());
+        let smin = min_storage_value(&g);
+        let plan = lmg_all(&g, smin).expect("feasible at the minimum");
+        plan.validate(&g).expect("valid");
+        assert!(plan.storage_cost(&g) <= smin);
+    }
+
+    #[test]
+    fn never_worse_than_starting_plan_and_within_budget() {
+        let g = erdos_renyi_bidirectional(24, 0.3, &CostModel::default(), 2);
+        let smin = min_storage_value(&g);
+        let base = crate::baselines::min_storage_plan(&g).costs(&g);
+        for budget in [smin, smin * 2, smin * 4] {
+            let plan = lmg_all(&g, budget).expect("feasible");
+            plan.validate(&g).expect("valid");
+            let c = plan.costs(&g);
+            assert!(c.storage <= budget);
+            assert!(c.total_retrieval <= base.total_retrieval);
+        }
+    }
+
+    #[test]
+    fn theorem1_chain_traps_greedy_but_not_the_optimum() {
+        // The adversarial chain of Figure 2 (Theorem 1): nodes A, B, C with
+        // storages a, b, c; edges (A,B) and (B,C) with costs (1-eps)b and
+        // (1-eps)c, eps = b/c. With budget in [a + (1-eps)b + c, a + b + c)
+        // the greedy ratio prefers materializing B (rho = 2/eps - 1) over C
+        // (rho = 1/eps - eps), after which C no longer fits: both LMG and
+        // LMG-All end at (1-eps)c although (1-eps)b is achievable — the gap
+        // c/b is unbounded.
+        let (b, c) = (100u64, 10_000u64); // eps = 0.01
+        let eb = b - b * b / c; // (1 - b/c) * b = 99
+        let ec = c - b; // (1 - b/c) * c = 9900
+        let a = 1_000_000u64;
+        let mut g = VersionGraph::new();
+        let va = g.add_node(a);
+        let vb = g.add_node(b);
+        let vc = g.add_node(c);
+        let e_ab = g.add_edge(va, vb, eb, eb);
+        g.add_edge(vb, vc, ec, ec);
+        let budget = a + eb + c; // within the adversarial window
+        let lmg_cost = lmg(&g, budget)
+            .expect("feasible")
+            .costs(&g)
+            .total_retrieval;
+        let all_plan = lmg_all(&g, budget).expect("feasible");
+        let all_cost = all_plan.costs(&g).total_retrieval;
+        assert!(all_cost <= lmg_cost);
+        // Both greedies fall into the Theorem-1 trap...
+        assert_eq!(lmg_cost, ec);
+        assert_eq!(all_cost, ec);
+        // ...while the optimum materializes C instead and fits the budget.
+        let opt = StoragePlan {
+            parent: vec![
+                Parent::Materialized,
+                Parent::Delta(e_ab),
+                Parent::Materialized,
+            ],
+        };
+        opt.validate(&g).expect("valid");
+        let oc = opt.costs(&g);
+        assert!(oc.storage <= budget);
+        assert_eq!(oc.total_retrieval, eb);
+        assert_eq!(lmg_cost / oc.total_retrieval, 100, "gap is 1/eps");
+    }
+
+    #[test]
+    fn typically_at_least_as_good_as_lmg_on_random_graphs() {
+        let mut lmg_wins = 0;
+        for seed in 0..12 {
+            let g = erdos_renyi_bidirectional(18, 0.25, &CostModel::default(), seed);
+            let smin = min_storage_value(&g);
+            let budget = smin * 2;
+            let a = lmg(&g, budget).expect("feasible").costs(&g).total_retrieval;
+            let b = lmg_all(&g, budget).expect("feasible").costs(&g).total_retrieval;
+            if a < b {
+                lmg_wins += 1;
+            }
+        }
+        // Greedy means no dominance guarantee, but LMG should essentially
+        // never beat LMG-All (paper: "LMG-All consistently outperforms").
+        assert!(lmg_wins <= 2, "LMG won {lmg_wins}/12 times");
+    }
+
+    #[test]
+    fn unlimited_budget_drives_retrieval_to_zero() {
+        let g = bidirectional_path(12, &CostModel::default(), 7);
+        let plan = lmg_all(&g, u64::MAX / 8).expect("feasible");
+        assert_eq!(plan.costs(&g).total_retrieval, 0);
+    }
+}

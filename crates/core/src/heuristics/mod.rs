@@ -1,0 +1,155 @@
+//! Greedy heuristics: LMG (prior work), LMG-All, and Modified Prim's.
+
+pub mod lmg;
+pub mod lmg_all;
+pub mod mp;
+
+pub use lmg::lmg;
+pub use lmg_all::lmg_all;
+pub use mp::modified_prims;
+
+use crate::plan::StoragePlan;
+use dsv_vgraph::{cost_add, Cost, VersionGraph};
+
+/// Per-iteration view of a plan: retrieval costs, dependency-subtree sizes,
+/// Euler timestamps (for ancestor tests), and currently-paid storage.
+pub(crate) struct PlanView {
+    /// Retrieval cost per node.
+    pub r: Vec<Cost>,
+    /// Size of each node's subtree in the stored-delta forest (including
+    /// itself) — the number of versions whose retrieval path uses the node.
+    pub size: Vec<u32>,
+    /// Storage currently paid to store each node (`s_v` or the delta cost).
+    pub paid: Vec<Cost>,
+    /// Entry timestamps of the Euler tour of the delta forest.
+    pub tin: Vec<u32>,
+    /// Exit timestamps of the Euler tour.
+    pub tout: Vec<u32>,
+    /// Total storage.
+    pub storage: Cost,
+    /// Total retrieval (read by diagnostics and tests).
+    #[allow(dead_code)]
+    pub total_retrieval: Cost,
+}
+
+impl PlanView {
+    pub(crate) fn new(g: &VersionGraph, plan: &StoragePlan) -> Self {
+        let n = g.n();
+        let pf = plan.parent_fn(g);
+        let (tin, tout) = dsv_vgraph::traversal::euler_tour(&pf);
+        let post = dsv_vgraph::topo::forest_post_order(&pf);
+        let mut size = vec![1u32; n];
+        for &v in &post {
+            if let Some(p) = pf[v.index()] {
+                size[p.index()] += size[v.index()];
+            }
+        }
+        let r = plan.retrievals(g);
+        let paid: Vec<Cost> = plan
+            .parent
+            .iter()
+            .enumerate()
+            .map(|(v, p)| match p {
+                crate::plan::Parent::Materialized => g.node_storage(dsv_vgraph::NodeId::new(v)),
+                crate::plan::Parent::Delta(e) => g.edge(*e).storage,
+            })
+            .collect();
+        let storage = paid.iter().copied().fold(0, cost_add);
+        let total_retrieval = r.iter().copied().fold(0, cost_add);
+        PlanView {
+            r,
+            size,
+            paid,
+            tin,
+            tout,
+            storage,
+            total_retrieval,
+        }
+    }
+
+    /// Whether `anc` lies on the retrieval path of `v` (or is `v`).
+    #[inline]
+    pub(crate) fn is_ancestor(&self, anc: usize, v: usize) -> bool {
+        self.tin[anc] <= self.tin[v] && self.tout[v] <= self.tout[anc]
+    }
+}
+
+/// Greedy benefit/cost ratio with exact integer comparison.
+///
+/// `Infinite` encodes moves that do not increase storage (the paper assigns
+/// them `ρ = ∞`); ties are broken by larger retrieval benefit.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum Ratio {
+    /// Storage does not increase; ordered by (retrieval gain, storage gain).
+    Infinite {
+        /// Retrieval reduction.
+        dr: u128,
+        /// Storage reduction (≥ 0).
+        ds: u128,
+    },
+    /// Storage increases by `ds > 0`; value is `dr / ds`.
+    Finite {
+        /// Retrieval reduction (> 0).
+        dr: u128,
+        /// Storage increase (> 0).
+        ds: u128,
+    },
+}
+
+impl PartialOrd for Ratio {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Ratio {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        use Ratio::*;
+        match (self, other) {
+            (Infinite { dr: a, ds: b }, Infinite { dr: c, ds: d }) => (a, b).cmp(&(c, d)),
+            (Infinite { .. }, Finite { .. }) => std::cmp::Ordering::Greater,
+            (Finite { .. }, Infinite { .. }) => std::cmp::Ordering::Less,
+            (Finite { dr: a, ds: b }, Finite { dr: c, ds: d }) => {
+                // a/b vs c/d  <=>  a*d vs c*b (b, d > 0); tie-break on dr.
+                (a * d).cmp(&(c * b)).then(a.cmp(c))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baselines::min_storage_plan;
+    use dsv_vgraph::generators::{random_tree, CostModel};
+
+    #[test]
+    fn plan_view_consistency() {
+        let g = random_tree(15, &CostModel::default(), 3);
+        let plan = min_storage_plan(&g);
+        let view = PlanView::new(&g, &plan);
+        let costs = plan.costs(&g);
+        assert_eq!(view.storage, costs.storage);
+        assert_eq!(view.total_retrieval, costs.total_retrieval);
+        // Subtree sizes sum over roots to n.
+        let root_sum: u32 = (0..g.n())
+            .filter(|&v| matches!(plan.parent[v], crate::plan::Parent::Materialized))
+            .map(|v| view.size[v])
+            .sum();
+        assert_eq!(root_sum as usize, g.n());
+    }
+
+    #[test]
+    fn ratio_ordering() {
+        use Ratio::*;
+        let inf_small = Infinite { dr: 0, ds: 1 };
+        let inf_big = Infinite { dr: 10, ds: 0 };
+        let fin_2 = Finite { dr: 4, ds: 2 }; // 2.0
+        let fin_3 = Finite { dr: 9, ds: 3 }; // 3.0
+        assert!(inf_small > fin_3);
+        assert!(inf_big > inf_small);
+        assert!(fin_3 > fin_2);
+        // Equal value, larger numerator wins.
+        assert!(Finite { dr: 6, ds: 3 } > Finite { dr: 4, ds: 2 });
+    }
+}

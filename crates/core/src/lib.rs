@@ -1,0 +1,38 @@
+//! # dsv-core — cost-efficient dataset versioning algorithms
+//!
+//! Implementation of Guo, Li, Sukprasert, Khuller, Deshpande & Mukherjee,
+//! *"To Store or Not to Store: a graph theoretical approach for Dataset
+//! Versioning"* (IPPS 2024).
+//!
+//! Given a version graph (versions with materialization costs, deltas with
+//! storage/retrieval costs), a [`plan::StoragePlan`] decides which versions
+//! to materialize and which deltas to store. The four optimization problems
+//! of the paper are declared in [`problem`]; the algorithms:
+//!
+//! | module | algorithm | paper |
+//! |--------|-----------|-------|
+//! | [`baselines`] | min-storage arborescence, SPT, checkpointing | Problems 1–2 |
+//! | [`heuristics::lmg`] | Local Move Greedy | Algorithm 1 (prior work) |
+//! | [`heuristics::lmg_all`] | LMG-All | Algorithm 7, Section 6.1 |
+//! | [`heuristics::mp`] | Modified Prim's | BMR baseline of Section 7 |
+//! | [`tree::dp_bmr`] | exact BMR / MMR on bidirectional trees | Algorithm 2, Section 4 |
+//! | [`tree::fptas`] | MSR FPTAS on bidirectional trees | Section 5.1 |
+//! | [`tree::dp_msr`] | scalable DP-MSR heuristic | Section 6.2 |
+//! | [`tree::extract`] | arborescence → bidirectional-tree extraction | Section 6.2 |
+//! | [`btw`] | DP over nice tree decompositions | Section 5.3 |
+//! | [`reductions`] | MSR↔BSR and MMR↔BMR binary searches | Lemma 7 |
+//! | [`exact`] | brute force + Appendix-D ILP | Appendix D |
+
+#![warn(missing_docs)]
+
+pub mod baselines;
+pub mod btw;
+pub mod exact;
+pub mod heuristics;
+pub mod plan;
+pub mod problem;
+pub mod reductions;
+pub mod tree;
+
+pub use plan::{Parent, StoragePlan};
+pub use problem::{Objective, ProblemKind};

@@ -1,0 +1,88 @@
+//! Problem definitions (Table 1 of the paper).
+
+use dsv_vgraph::Cost;
+
+/// Which cost is the objective.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Objective {
+    /// Minimize total (sum of) retrieval costs.
+    SumRetrieval,
+    /// Minimize maximum retrieval cost.
+    MaxRetrieval,
+    /// Minimize total storage cost.
+    Storage,
+}
+
+/// The four constrained problems of the paper (Problems 3–6 in Table 1).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum ProblemKind {
+    /// MinSum Retrieval: minimize `Σ R(v)` subject to storage `≤ S`.
+    Msr {
+        /// Storage budget `S`.
+        storage_budget: Cost,
+    },
+    /// MinMax Retrieval: minimize `max R(v)` subject to storage `≤ S`.
+    Mmr {
+        /// Storage budget `S`.
+        storage_budget: Cost,
+    },
+    /// BoundedSum Retrieval: minimize storage subject to `Σ R(v) ≤ R`.
+    Bsr {
+        /// Total-retrieval budget `R`.
+        retrieval_budget: Cost,
+    },
+    /// BoundedMax Retrieval: minimize storage subject to `max R(v) ≤ R`.
+    Bmr {
+        /// Max-retrieval budget `R`.
+        retrieval_budget: Cost,
+    },
+}
+
+impl ProblemKind {
+    /// The quantity being minimized.
+    pub fn objective(self) -> Objective {
+        match self {
+            ProblemKind::Msr { .. } => Objective::SumRetrieval,
+            ProblemKind::Mmr { .. } => Objective::MaxRetrieval,
+            ProblemKind::Bsr { .. } | ProblemKind::Bmr { .. } => Objective::Storage,
+        }
+    }
+
+    /// The budget value of the constraint side.
+    pub fn budget(self) -> Cost {
+        match self {
+            ProblemKind::Msr { storage_budget } | ProblemKind::Mmr { storage_budget } => {
+                storage_budget
+            }
+            ProblemKind::Bsr { retrieval_budget } | ProblemKind::Bmr { retrieval_budget } => {
+                retrieval_budget
+            }
+        }
+    }
+
+    /// Short display name matching the paper.
+    pub fn name(self) -> &'static str {
+        match self {
+            ProblemKind::Msr { .. } => "MSR",
+            ProblemKind::Mmr { .. } => "MMR",
+            ProblemKind::Bsr { .. } => "BSR",
+            ProblemKind::Bmr { .. } => "BMR",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn objectives_and_budgets() {
+        let msr = ProblemKind::Msr { storage_budget: 10 };
+        assert_eq!(msr.objective(), Objective::SumRetrieval);
+        assert_eq!(msr.budget(), 10);
+        assert_eq!(msr.name(), "MSR");
+        let bmr = ProblemKind::Bmr { retrieval_budget: 3 };
+        assert_eq!(bmr.objective(), Objective::Storage);
+        assert_eq!(bmr.budget(), 3);
+    }
+}

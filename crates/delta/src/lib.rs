@@ -1,0 +1,42 @@
+//! # dsv-delta — delta engine and synthetic version-graph corpora
+//!
+//! The paper's experiments (Section 7) build version graphs from real GitHub
+//! repositories: each commit is a node whose storage cost is its size in
+//! bytes, and between each parent/child commit pair bidirectional delta
+//! edges are created, with costs computed by `diff`.
+//!
+//! This crate rebuilds that pipeline from scratch:
+//!
+//! * [`myers`] — a Myers `O(ND)` line diff, the delta engine;
+//! * [`script`] — edit scripts with a byte-accurate cost model, apply and
+//!   invert operations;
+//! * [`dataset`] — versioned datasets as interned line sequences over
+//!   multiple files;
+//! * [`chunks`] — a chunk-sketch content model used for corpora too large to
+//!   hold as text, and for deltas between *arbitrary* version pairs (the
+//!   Erdős–Rényi construction);
+//! * [`evolve`] — a commit-DAG evolution simulator (branches and merges);
+//! * [`corpus`] — the six named corpora of Table 4, regenerated
+//!   synthetically at calibrated sizes;
+//! * [`transforms`] — the "random compression" and "ER construction" graph
+//!   transforms of Section 7.1.
+//!
+//! Substitution note (also recorded in `DESIGN.md`): we cannot crawl GitHub,
+//! so the corpora are synthesized. Small corpora carry real text and are
+//! diffed with the real Myers engine; large corpora use the chunk-sketch
+//! model. Both preserve what the algorithms actually consume — graph shape,
+//! cost magnitudes, and the natural/unnatural delta cost ratio.
+
+#![warn(missing_docs)]
+
+pub mod chunks;
+pub mod corpus;
+pub mod dataset;
+pub mod evolve;
+pub mod myers;
+pub mod script;
+pub mod transforms;
+
+pub use chunks::ChunkSketch;
+pub use corpus::{corpus, CorpusName, CorpusResult};
+pub use script::EditScript;

@@ -1,0 +1,280 @@
+//! Branch & bound for mixed-integer linear programs.
+//!
+//! Depth-first branch & bound on the declared integer variables, using the
+//! simplex LP relaxation for bounds. For the Appendix-D ILP only the edge
+//! indicator variables `I_e` are binary: once they are fixed, the remaining
+//! constraint matrix is a network matrix, so the relaxation solves integrally
+//! and the `x_e` flow variables never need branching.
+
+use crate::lp::{ConstraintOp, LinearProgram};
+use crate::simplex::{solve_lp, LpOutcome};
+
+/// Options controlling the search.
+#[derive(Clone, Debug)]
+pub struct MilpOptions {
+    /// Give up after this many LP relaxations.
+    pub max_nodes: usize,
+    /// Integrality tolerance.
+    pub int_eps: f64,
+    /// Optional initial incumbent objective (e.g. from a heuristic); nodes
+    /// whose relaxation cannot beat it are pruned.
+    pub incumbent: Option<f64>,
+}
+
+impl Default for MilpOptions {
+    fn default() -> Self {
+        MilpOptions {
+            max_nodes: 200_000,
+            int_eps: 1e-6,
+            incumbent: None,
+        }
+    }
+}
+
+/// Search status.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MilpStatus {
+    /// Search completed; the result is exact.
+    Optimal,
+    /// Node limit hit; the result is the best incumbent found (if any).
+    NodeLimit,
+    /// No feasible integer point exists.
+    Infeasible,
+}
+
+/// Result of a MILP solve.
+#[derive(Clone, Debug)]
+pub struct MilpResult {
+    /// Final status.
+    pub status: MilpStatus,
+    /// Best objective found (None when infeasible / nothing found).
+    pub objective: Option<f64>,
+    /// Best integer-feasible point found.
+    pub solution: Option<Vec<f64>>,
+    /// Number of LP relaxations solved.
+    pub nodes: usize,
+}
+
+/// Solve `min cᵀx` over `lp` with `integer_vars` restricted to integers.
+pub fn solve_milp(lp: &LinearProgram, integer_vars: &[usize], opts: &MilpOptions) -> MilpResult {
+    #[derive(Clone)]
+    struct Node {
+        /// Additional bounds: (var, is_upper, value).
+        fixes: Vec<(usize, bool, f64)>,
+    }
+
+    let mut stack = vec![Node { fixes: Vec::new() }];
+    let mut best_obj: Option<f64> = opts.incumbent;
+    let mut best_sol: Option<Vec<f64>> = None;
+    let mut nodes = 0usize;
+    let mut exhausted = true;
+
+    while let Some(node) = stack.pop() {
+        if nodes >= opts.max_nodes {
+            exhausted = false;
+            break;
+        }
+        nodes += 1;
+
+        // Materialize the node LP.
+        let mut sub = lp.clone();
+        for &(var, is_upper, value) in &node.fixes {
+            if is_upper {
+                sub.upper[var] = sub.upper[var].min(value);
+            } else {
+                sub.add_constraint(vec![(var, 1.0)], ConstraintOp::Ge, value);
+            }
+        }
+
+        let (objective, solution) = match solve_lp(&sub) {
+            LpOutcome::Optimal {
+                objective,
+                solution,
+            } => (objective, solution),
+            LpOutcome::Infeasible => continue,
+            LpOutcome::Unbounded => {
+                // An unbounded relaxation of a node either means the MILP is
+                // unbounded or will be cut by branching; for the problems in
+                // this system (non-negative costs) it cannot happen.
+                continue;
+            }
+        };
+
+        // Bound.
+        if let Some(inc) = best_obj {
+            if objective >= inc - 1e-9 {
+                continue;
+            }
+        }
+
+        // Find the most fractional integer variable.
+        let mut branch: Option<(usize, f64, f64)> = None; // (var, frac dist, value)
+        for &j in integer_vars {
+            let v = solution[j];
+            let frac = (v - v.round()).abs();
+            if frac > opts.int_eps {
+                let dist = (0.5 - (v - v.floor() - 0.5).abs()).abs();
+                let score = 0.5 - dist; // closer to .5 => smaller score
+                match branch {
+                    None => branch = Some((j, score, v)),
+                    Some((_, s, _)) if score < s => branch = Some((j, score, v)),
+                    _ => {}
+                }
+            }
+        }
+
+        match branch {
+            None => {
+                // Integer feasible: new incumbent.
+                best_obj = Some(objective);
+                best_sol = Some(solution);
+            }
+            Some((j, _, v)) => {
+                // Branch x_j <= floor(v) and x_j >= ceil(v); DFS explores
+                // the "floor" child first (LIFO), which tends to close
+                // indicator variables early.
+                let mut hi = node.clone();
+                hi.fixes.push((j, false, v.ceil()));
+                stack.push(hi);
+                let mut lo = node;
+                lo.fixes.push((j, true, v.floor()));
+                stack.push(lo);
+            }
+        }
+    }
+
+    let status = if best_sol.is_none() && best_obj.is_none() && exhausted {
+        MilpStatus::Infeasible
+    } else if exhausted {
+        MilpStatus::Optimal
+    } else {
+        MilpStatus::NodeLimit
+    };
+    MilpResult {
+        status,
+        objective: best_obj.filter(|_| best_sol.is_some() || opts.incumbent.is_none()),
+        solution: best_sol,
+        nodes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lp::ConstraintOp::*;
+
+    #[test]
+    fn knapsack_small() {
+        // max 10a + 6b + 4c s.t. a+b+c<=2, binaries => 16 (a,b).
+        let mut lp = LinearProgram::new(3);
+        lp.set_objective(0, -10.0);
+        lp.set_objective(1, -6.0);
+        lp.set_objective(2, -4.0);
+        for j in 0..3 {
+            lp.set_upper(j, 1.0);
+        }
+        lp.add_constraint(vec![(0, 1.0), (1, 1.0), (2, 1.0)], Le, 2.0);
+        let r = solve_milp(&lp, &[0, 1, 2], &MilpOptions::default());
+        assert_eq!(r.status, MilpStatus::Optimal);
+        assert!((r.objective.expect("found") + 16.0).abs() < 1e-6);
+        let x = r.solution.expect("found");
+        assert!(x[0] > 0.5 && x[1] > 0.5 && x[2] < 0.5);
+    }
+
+    #[test]
+    fn fractional_lp_integral_milp_gap() {
+        // max x + y s.t. 2x + 2y <= 3, binaries: LP gives 1.5, MILP 1.
+        let mut lp = LinearProgram::new(2);
+        lp.set_objective(0, -1.0);
+        lp.set_objective(1, -1.0);
+        lp.set_upper(0, 1.0);
+        lp.set_upper(1, 1.0);
+        lp.add_constraint(vec![(0, 2.0), (1, 2.0)], Le, 3.0);
+        let r = solve_milp(&lp, &[0, 1], &MilpOptions::default());
+        assert_eq!(r.status, MilpStatus::Optimal);
+        assert!((r.objective.expect("found") + 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn infeasible_milp() {
+        let mut lp = LinearProgram::new(1);
+        lp.set_upper(0, 1.0);
+        // 0.4 <= x <= 0.6 has no integer point.
+        lp.add_constraint(vec![(0, 1.0)], Ge, 0.4);
+        lp.add_constraint(vec![(0, 1.0)], Le, 0.6);
+        let r = solve_milp(&lp, &[0], &MilpOptions::default());
+        assert_eq!(r.status, MilpStatus::Infeasible);
+        assert!(r.solution.is_none());
+    }
+
+    #[test]
+    fn incumbent_pruning_preserves_optimum() {
+        let mut lp = LinearProgram::new(3);
+        lp.set_objective(0, -5.0);
+        lp.set_objective(1, -4.0);
+        lp.set_objective(2, -3.0);
+        for j in 0..3 {
+            lp.set_upper(j, 1.0);
+        }
+        lp.add_constraint(vec![(0, 2.0), (1, 3.0), (2, 1.0)], Le, 4.0);
+        let loose = solve_milp(&lp, &[0, 1, 2], &MilpOptions::default());
+        let primed = solve_milp(
+            &lp,
+            &[0, 1, 2],
+            &MilpOptions {
+                incumbent: Some(-7.9), // true optimum is -8 (a + c)
+                ..Default::default()
+            },
+        );
+        assert_eq!(loose.status, MilpStatus::Optimal);
+        assert_eq!(primed.status, MilpStatus::Optimal);
+        assert!(
+            (loose.objective.expect("opt") - primed.objective.expect("opt")).abs() < 1e-6
+        );
+        assert!(primed.nodes <= loose.nodes);
+    }
+
+    #[test]
+    fn randomized_binary_milp_vs_bruteforce() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(31);
+        for _ in 0..40 {
+            let n = rng.gen_range(1..7);
+            let m = rng.gen_range(1..4);
+            let mut lp = LinearProgram::new(n);
+            for j in 0..n {
+                lp.set_objective(j, rng.gen_range(-5.0..5.0_f64).round());
+                lp.set_upper(j, 1.0);
+            }
+            for _ in 0..m {
+                let terms: Vec<(usize, f64)> = (0..n)
+                    .map(|j| (j, rng.gen_range(-3.0..3.0_f64).round()))
+                    .collect();
+                lp.add_constraint(terms, Le, rng.gen_range(0.0..5.0_f64).round());
+            }
+            let ints: Vec<usize> = (0..n).collect();
+            let r = solve_milp(&lp, &ints, &MilpOptions::default());
+            // Brute force over all binary points.
+            let mut best: Option<f64> = None;
+            for mask in 0..(1u32 << n) {
+                let x: Vec<f64> = (0..n)
+                    .map(|j| if mask >> j & 1 == 1 { 1.0 } else { 0.0 })
+                    .collect();
+                if lp.is_feasible(&x, 1e-9) {
+                    let obj = lp.objective_value(&x);
+                    if best.is_none_or(|b| obj < b) {
+                        best = Some(obj);
+                    }
+                }
+            }
+            match best {
+                Some(want) => {
+                    assert_eq!(r.status, MilpStatus::Optimal);
+                    let got = r.objective.expect("feasible");
+                    assert!((got - want).abs() < 1e-5, "got {got}, want {want}");
+                }
+                None => assert_eq!(r.status, MilpStatus::Infeasible),
+            }
+        }
+    }
+}

@@ -1,0 +1,26 @@
+//! # dsv-solver — a small exact MILP solver
+//!
+//! The paper computes `OPT` for MinSum Retrieval by solving the integer
+//! linear program of Appendix D with Gurobi. Gurobi is unavailable here, so
+//! this crate implements the required machinery from scratch:
+//!
+//! * [`lp`] — a model builder for linear programs in inequality form;
+//! * [`simplex`] — a dense two-phase primal simplex with Bland's rule
+//!   (guaranteed termination, no cycling);
+//! * [`branch_bound`] — best-effort branch & bound over declared integer
+//!   variables, with incumbent warm starts and node limits.
+//!
+//! The solver is deliberately simple and dense: the OPT curves in the paper
+//! are only computed on the smallest corpus (29 nodes, ~200 variables),
+//! exactly the regime where a dense tableau is both fast and numerically
+//! well behaved.
+
+#![warn(missing_docs)]
+
+pub mod branch_bound;
+pub mod lp;
+pub mod simplex;
+
+pub use branch_bound::{solve_milp, MilpOptions, MilpResult, MilpStatus};
+pub use lp::{Constraint, ConstraintOp, LinearProgram};
+pub use simplex::{solve_lp, LpOutcome};

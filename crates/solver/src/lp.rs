@@ -1,0 +1,118 @@
+//! Linear-program model builder.
+//!
+//! Variables are indexed `0..num_vars` and implicitly constrained to
+//! `x_j ≥ 0`; finite upper bounds are stored separately and lowered to
+//! constraints by the simplex layer. The objective is always *minimized*
+//! (negate coefficients to maximize).
+
+/// Direction of a linear constraint.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ConstraintOp {
+    /// `≤ rhs`
+    Le,
+    /// `≥ rhs`
+    Ge,
+    /// `= rhs`
+    Eq,
+}
+
+/// A sparse linear constraint `Σ coeff_j · x_j (op) rhs`.
+#[derive(Clone, Debug)]
+pub struct Constraint {
+    /// Sparse `(variable, coefficient)` terms.
+    pub terms: Vec<(usize, f64)>,
+    /// Relation.
+    pub op: ConstraintOp,
+    /// Right-hand side.
+    pub rhs: f64,
+}
+
+/// A linear program `min cᵀx  s.t.  constraints, 0 ≤ x ≤ upper`.
+#[derive(Clone, Debug, Default)]
+pub struct LinearProgram {
+    /// Number of variables.
+    pub num_vars: usize,
+    /// Objective coefficients (dense, length `num_vars`).
+    pub objective: Vec<f64>,
+    /// Constraints.
+    pub constraints: Vec<Constraint>,
+    /// Per-variable upper bounds (`f64::INFINITY` when unbounded).
+    pub upper: Vec<f64>,
+}
+
+impl LinearProgram {
+    /// Create a program with `num_vars` variables, zero objective, and no
+    /// upper bounds.
+    pub fn new(num_vars: usize) -> Self {
+        LinearProgram {
+            num_vars,
+            objective: vec![0.0; num_vars],
+            constraints: Vec::new(),
+            upper: vec![f64::INFINITY; num_vars],
+        }
+    }
+
+    /// Set the objective coefficient of a variable.
+    pub fn set_objective(&mut self, var: usize, coeff: f64) {
+        self.objective[var] = coeff;
+    }
+
+    /// Set a finite upper bound on a variable.
+    pub fn set_upper(&mut self, var: usize, bound: f64) {
+        self.upper[var] = bound;
+    }
+
+    /// Add a constraint; terms with duplicate variables are summed.
+    pub fn add_constraint(&mut self, terms: Vec<(usize, f64)>, op: ConstraintOp, rhs: f64) {
+        debug_assert!(terms.iter().all(|&(v, _)| v < self.num_vars));
+        self.constraints.push(Constraint { terms, op, rhs });
+    }
+
+    /// Evaluate the objective at a point.
+    pub fn objective_value(&self, x: &[f64]) -> f64 {
+        self.objective.iter().zip(x).map(|(c, v)| c * v).sum()
+    }
+
+    /// Check feasibility of a point within tolerance `eps`.
+    pub fn is_feasible(&self, x: &[f64], eps: f64) -> bool {
+        if x.len() != self.num_vars {
+            return false;
+        }
+        for (j, &v) in x.iter().enumerate() {
+            if v < -eps || v > self.upper[j] + eps {
+                return false;
+            }
+        }
+        for c in &self.constraints {
+            let lhs: f64 = c.terms.iter().map(|&(j, a)| a * x[j]).sum();
+            let ok = match c.op {
+                ConstraintOp::Le => lhs <= c.rhs + eps,
+                ConstraintOp::Ge => lhs >= c.rhs - eps,
+                ConstraintOp::Eq => (lhs - c.rhs).abs() <= eps,
+            };
+            if !ok {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_and_feasibility() {
+        let mut lp = LinearProgram::new(2);
+        lp.set_objective(0, 1.0);
+        lp.set_objective(1, 2.0);
+        lp.add_constraint(vec![(0, 1.0), (1, 1.0)], ConstraintOp::Ge, 1.0);
+        lp.set_upper(0, 5.0);
+        assert!(lp.is_feasible(&[0.5, 0.5], 1e-9));
+        assert!(!lp.is_feasible(&[0.2, 0.2], 1e-9)); // violates Ge
+        assert!(!lp.is_feasible(&[6.0, 0.0], 1e-9)); // violates upper bound
+        assert!(!lp.is_feasible(&[-0.1, 1.2], 1e-9)); // violates x >= 0
+        assert_eq!(lp.objective_value(&[1.0, 2.0]), 5.0);
+    }
+}

@@ -1,0 +1,452 @@
+//! Dense two-phase primal simplex.
+//!
+//! Standard-form conversion: every constraint gets a slack/surplus variable,
+//! rows are sign-normalized so `b ≥ 0`, and artificial variables seed the
+//! initial basis where no slack can. Phase 1 minimizes the artificial sum;
+//! phase 2 the real objective. Bland's rule (smallest-index entering and
+//! leaving candidates) guarantees termination even under degeneracy — the
+//! right trade-off at the few-hundred-variable scale the OPT experiments
+//! need.
+
+use crate::lp::{ConstraintOp, LinearProgram};
+
+/// Result of an LP solve.
+#[derive(Clone, Debug, PartialEq)]
+pub enum LpOutcome {
+    /// Optimal solution found.
+    Optimal {
+        /// Minimum objective value.
+        objective: f64,
+        /// Optimal point (length = `num_vars` of the input program).
+        solution: Vec<f64>,
+    },
+    /// No feasible point exists.
+    Infeasible,
+    /// Objective unbounded below.
+    Unbounded,
+}
+
+const EPS: f64 = 1e-9;
+
+struct Tableau {
+    /// m rows × (cols + 1); last column is the RHS.
+    rows: Vec<Vec<f64>>,
+    /// Basic variable of each row.
+    basis: Vec<usize>,
+    /// Total number of columns (excluding RHS).
+    cols: usize,
+    /// First artificial column index (artificials occupy `art_start..cols`).
+    art_start: usize,
+}
+
+impl Tableau {
+    fn pivot(&mut self, r: usize, c: usize, cost_rows: &mut [Vec<f64>]) {
+        let piv = self.rows[r][c];
+        debug_assert!(piv.abs() > EPS);
+        let inv = 1.0 / piv;
+        for x in self.rows[r].iter_mut() {
+            *x *= inv;
+        }
+        let pivot_row = self.rows[r].clone();
+        for (i, row) in self.rows.iter_mut().enumerate() {
+            if i == r {
+                continue;
+            }
+            let factor = row[c];
+            if factor.abs() > EPS {
+                for (x, p) in row.iter_mut().zip(&pivot_row) {
+                    *x -= factor * p;
+                }
+            }
+        }
+        for cost in cost_rows.iter_mut() {
+            let factor = cost[c];
+            if factor.abs() > EPS {
+                for (x, p) in cost.iter_mut().zip(&pivot_row) {
+                    *x -= factor * p;
+                }
+            }
+        }
+        self.basis[r] = c;
+    }
+
+    /// Run simplex iterations on `cost` (reduced-cost row, maintained by
+    /// pivots). `allowed` restricts entering columns. Returns false on
+    /// unboundedness.
+    ///
+    /// Pricing: Dantzig (most negative reduced cost) for speed, switching
+    /// to Bland's smallest-index rule after a run of degenerate pivots so
+    /// termination stays guaranteed.
+    fn iterate(
+        &mut self,
+        cost_idx: usize,
+        cost_rows: &mut [Vec<f64>],
+        allowed: impl Fn(usize) -> bool,
+    ) -> bool {
+        let mut stalled = 0u32;
+        const STALL_LIMIT: u32 = 64;
+        loop {
+            let entering = if stalled < STALL_LIMIT {
+                // Dantzig: most negative reduced cost.
+                let mut best: Option<(usize, f64)> = None;
+                for j in 0..self.cols {
+                    let c = cost_rows[cost_idx][j];
+                    if c < -1e-7 && allowed(j) {
+                        if best.is_none_or(|(_, bc)| c < bc) {
+                            best = Some((j, c));
+                        }
+                    }
+                }
+                best.map(|(j, _)| j)
+            } else {
+                // Bland: smallest index (anti-cycling).
+                (0..self.cols).find(|&j| allowed(j) && cost_rows[cost_idx][j] < -1e-7)
+            };
+            let Some(c) = entering else {
+                return true; // optimal
+            };
+            let before = cost_rows[cost_idx][self.cols];
+            // Ratio test; Bland tie-break on smallest basis index.
+            let mut best: Option<(usize, f64)> = None;
+            for r in 0..self.rows.len() {
+                let a = self.rows[r][c];
+                if a > EPS {
+                    let ratio = self.rows[r][self.cols] / a;
+                    match best {
+                        None => best = Some((r, ratio)),
+                        Some((br, bratio)) => {
+                            if ratio < bratio - EPS
+                                || ((ratio - bratio).abs() <= EPS
+                                    && self.basis[r] < self.basis[br])
+                            {
+                                best = Some((r, ratio));
+                            }
+                        }
+                    }
+                }
+            }
+            let Some((r, _)) = best else {
+                return false; // unbounded in this column
+            };
+            self.pivot(r, c, cost_rows);
+            // Track degeneracy: objective unchanged => possible cycling.
+            if (cost_rows[cost_idx][self.cols] - before).abs() <= 1e-12 {
+                stalled += 1;
+            } else {
+                stalled = 0;
+            }
+        }
+    }
+}
+
+/// Solve a [`LinearProgram`] to optimality.
+pub fn solve_lp(lp: &LinearProgram) -> LpOutcome {
+    // Assemble constraints: originals plus upper bounds.
+    struct Row {
+        terms: Vec<(usize, f64)>,
+        op: ConstraintOp,
+        rhs: f64,
+    }
+    let mut raw: Vec<Row> = lp
+        .constraints
+        .iter()
+        .map(|c| Row {
+            terms: c.terms.clone(),
+            op: c.op,
+            rhs: c.rhs,
+        })
+        .collect();
+    for (j, &u) in lp.upper.iter().enumerate() {
+        if u.is_finite() {
+            raw.push(Row {
+                terms: vec![(j, 1.0)],
+                op: ConstraintOp::Le,
+                rhs: u,
+            });
+        }
+    }
+
+    let m = raw.len();
+    let n = lp.num_vars;
+    // Columns: structural | slack/surplus (one per row) | artificials.
+    let slack_start = n;
+    let art_start = n + m;
+    // Which rows need artificials (after sign normalization):
+    //   Le with b >= 0: slack is basic.
+    //   otherwise: artificial basic.
+    let mut need_art = vec![false; m];
+    let mut art_count = 0usize;
+    for (i, row) in raw.iter().enumerate() {
+        let flip = row.rhs < 0.0;
+        let op = if !flip {
+            row.op
+        } else {
+            match row.op {
+                ConstraintOp::Le => ConstraintOp::Ge,
+                ConstraintOp::Ge => ConstraintOp::Le,
+                ConstraintOp::Eq => ConstraintOp::Eq,
+            }
+        };
+        if !matches!(op, ConstraintOp::Le) {
+            need_art[i] = true;
+            art_count += 1;
+        }
+    }
+    let cols = n + m + art_count;
+
+    let mut tab = Tableau {
+        rows: vec![vec![0.0; cols + 1]; m],
+        basis: vec![0; m],
+        cols,
+        art_start,
+    };
+    let mut next_art = art_start;
+    for (i, row) in raw.iter().enumerate() {
+        let sign = if row.rhs < 0.0 { -1.0 } else { 1.0 };
+        for &(j, a) in &row.terms {
+            tab.rows[i][j] += sign * a;
+        }
+        tab.rows[i][cols] = sign * row.rhs;
+        let op = if sign > 0.0 {
+            row.op
+        } else {
+            match row.op {
+                ConstraintOp::Le => ConstraintOp::Ge,
+                ConstraintOp::Ge => ConstraintOp::Le,
+                ConstraintOp::Eq => ConstraintOp::Eq,
+            }
+        };
+        match op {
+            ConstraintOp::Le => {
+                tab.rows[i][slack_start + i] = 1.0;
+                tab.basis[i] = slack_start + i;
+            }
+            ConstraintOp::Ge => {
+                tab.rows[i][slack_start + i] = -1.0; // surplus
+                tab.rows[i][next_art] = 1.0;
+                tab.basis[i] = next_art;
+                next_art += 1;
+            }
+            ConstraintOp::Eq => {
+                tab.rows[i][next_art] = 1.0;
+                tab.basis[i] = next_art;
+                next_art += 1;
+            }
+        }
+    }
+
+    // Cost rows: index 0 = phase 2 (real objective), 1 = phase 1.
+    let mut cost_rows = vec![vec![0.0; cols + 1]; 2];
+    for j in 0..n {
+        cost_rows[0][j] = lp.objective[j];
+    }
+    for j in art_start..cols {
+        cost_rows[1][j] = 1.0;
+    }
+    // Price out the initial basis from both cost rows.
+    for r in 0..m {
+        let b = tab.basis[r];
+        for ci in 0..2 {
+            let factor = cost_rows[ci][b];
+            if factor.abs() > EPS {
+                let row = tab.rows[r].clone();
+                for (x, p) in cost_rows[ci].iter_mut().zip(&row) {
+                    *x -= factor * p;
+                }
+            }
+        }
+    }
+
+    // Phase 1.
+    if art_count > 0 {
+        let ok = tab.iterate(1, &mut cost_rows, |_| true);
+        debug_assert!(ok, "phase 1 is never unbounded");
+        let phase1_obj = -cost_rows[1][cols];
+        if phase1_obj > 1e-6 {
+            return LpOutcome::Infeasible;
+        }
+        // Drive artificials out of the basis or drop redundant rows.
+        let mut r = 0;
+        while r < tab.rows.len() {
+            if tab.basis[r] >= tab.art_start {
+                let col = (0..tab.art_start).find(|&j| tab.rows[r][j].abs() > 1e-7);
+                match col {
+                    Some(c) => tab.pivot(r, c, &mut cost_rows),
+                    None => {
+                        // Redundant row: remove it.
+                        tab.rows.swap_remove(r);
+                        tab.basis.swap_remove(r);
+                        continue;
+                    }
+                }
+            }
+            r += 1;
+        }
+    }
+
+    // Phase 2: artificial columns are locked out.
+    let art_lock = tab.art_start;
+    if !tab.iterate(0, &mut cost_rows, |j| j < art_lock) {
+        return LpOutcome::Unbounded;
+    }
+
+    // Extract the solution.
+    let mut x = vec![0.0; n];
+    for (r, &b) in tab.basis.iter().enumerate() {
+        if b < n {
+            x[b] = tab.rows[r][tab.cols];
+        }
+    }
+    let objective = lp.objective_value(&x);
+    LpOutcome::Optimal {
+        objective,
+        solution: x,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lp::{ConstraintOp::*, LinearProgram};
+
+    fn assert_optimal(out: LpOutcome, want_obj: f64) -> Vec<f64> {
+        match out {
+            LpOutcome::Optimal {
+                objective,
+                solution,
+            } => {
+                assert!(
+                    (objective - want_obj).abs() < 1e-6,
+                    "objective {objective}, want {want_obj}"
+                );
+                solution
+            }
+            other => panic!("expected optimal, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn textbook_maximization() {
+        // max 3x + 5y s.t. x<=4, 2y<=12, 3x+2y<=18  => opt 36 at (2,6).
+        let mut lp = LinearProgram::new(2);
+        lp.set_objective(0, -3.0);
+        lp.set_objective(1, -5.0);
+        lp.add_constraint(vec![(0, 1.0)], Le, 4.0);
+        lp.add_constraint(vec![(1, 2.0)], Le, 12.0);
+        lp.add_constraint(vec![(0, 3.0), (1, 2.0)], Le, 18.0);
+        let x = assert_optimal(solve_lp(&lp), -36.0);
+        assert!((x[0] - 2.0).abs() < 1e-6 && (x[1] - 6.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn ge_and_eq_constraints() {
+        // min x + y s.t. x + y >= 2, x - y = 0 => (1,1), obj 2.
+        let mut lp = LinearProgram::new(2);
+        lp.set_objective(0, 1.0);
+        lp.set_objective(1, 1.0);
+        lp.add_constraint(vec![(0, 1.0), (1, 1.0)], Ge, 2.0);
+        lp.add_constraint(vec![(0, 1.0), (1, -1.0)], Eq, 0.0);
+        let x = assert_optimal(solve_lp(&lp), 2.0);
+        assert!((x[0] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn detects_infeasibility() {
+        let mut lp = LinearProgram::new(1);
+        lp.add_constraint(vec![(0, 1.0)], Ge, 5.0);
+        lp.add_constraint(vec![(0, 1.0)], Le, 1.0);
+        assert_eq!(solve_lp(&lp), LpOutcome::Infeasible);
+    }
+
+    #[test]
+    fn detects_unboundedness() {
+        let mut lp = LinearProgram::new(1);
+        lp.set_objective(0, -1.0); // maximize x with no bound
+        lp.add_constraint(vec![(0, 1.0)], Ge, 0.0);
+        assert_eq!(solve_lp(&lp), LpOutcome::Unbounded);
+    }
+
+    #[test]
+    fn upper_bounds_are_respected() {
+        let mut lp = LinearProgram::new(1);
+        lp.set_objective(0, -1.0);
+        lp.set_upper(0, 7.5);
+        let x = assert_optimal(solve_lp(&lp), -7.5);
+        assert!((x[0] - 7.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn negative_rhs_normalization() {
+        // min x s.t. -x <= -3  (i.e. x >= 3).
+        let mut lp = LinearProgram::new(1);
+        lp.set_objective(0, 1.0);
+        lp.add_constraint(vec![(0, -1.0)], Le, -3.0);
+        assert_optimal(solve_lp(&lp), 3.0);
+    }
+
+    #[test]
+    fn degenerate_problem_terminates() {
+        // Multiple redundant constraints through the same vertex.
+        let mut lp = LinearProgram::new(2);
+        lp.set_objective(0, -1.0);
+        lp.set_objective(1, -1.0);
+        lp.add_constraint(vec![(0, 1.0), (1, 1.0)], Le, 1.0);
+        lp.add_constraint(vec![(0, 2.0), (1, 2.0)], Le, 2.0);
+        lp.add_constraint(vec![(0, 1.0)], Le, 1.0);
+        lp.add_constraint(vec![(1, 1.0)], Le, 1.0);
+        assert_optimal(solve_lp(&lp), -1.0);
+    }
+
+    #[test]
+    fn redundant_equalities() {
+        // x + y = 1 twice; min x => (0,1).
+        let mut lp = LinearProgram::new(2);
+        lp.set_objective(0, 1.0);
+        lp.add_constraint(vec![(0, 1.0), (1, 1.0)], Eq, 1.0);
+        lp.add_constraint(vec![(0, 1.0), (1, 1.0)], Eq, 1.0);
+        let x = assert_optimal(solve_lp(&lp), 0.0);
+        assert!(x[0].abs() < 1e-6 && (x[1] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn randomized_feasible_solutions_are_feasible_and_not_beaten() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(21);
+        for _ in 0..60 {
+            let n = rng.gen_range(1..5);
+            let m = rng.gen_range(1..6);
+            let mut lp = LinearProgram::new(n);
+            for j in 0..n {
+                lp.set_objective(j, rng.gen_range(-3.0..3.0));
+                lp.set_upper(j, rng.gen_range(0.5..4.0));
+            }
+            for _ in 0..m {
+                let terms: Vec<(usize, f64)> =
+                    (0..n).map(|j| (j, rng.gen_range(-2.0..2.0))).collect();
+                lp.add_constraint(terms, Le, rng.gen_range(-1.0..4.0));
+            }
+            match solve_lp(&lp) {
+                LpOutcome::Optimal {
+                    objective,
+                    solution,
+                } => {
+                    assert!(lp.is_feasible(&solution, 1e-5), "solution infeasible");
+                    // Optimality sanity: random sample points cannot beat it.
+                    for _ in 0..50 {
+                        let cand: Vec<f64> =
+                            (0..n).map(|j| rng.gen_range(0.0..lp.upper[j])).collect();
+                        if lp.is_feasible(&cand, 1e-9) {
+                            assert!(lp.objective_value(&cand) >= objective - 1e-5);
+                        }
+                    }
+                }
+                LpOutcome::Infeasible => {
+                    // Upper bounds are finite so unboundedness is impossible;
+                    // infeasibility must mean 0 is infeasible too.
+                    assert!(!lp.is_feasible(&vec![0.0; n], 1e-9));
+                }
+                LpOutcome::Unbounded => panic!("bounded box cannot be unbounded"),
+            }
+        }
+    }
+}

@@ -1,0 +1,279 @@
+//! Tree decompositions (Definition 11) and their validation.
+
+use std::collections::BTreeSet;
+
+/// A tree decomposition: bags of vertices connected in a tree.
+#[derive(Clone, Debug)]
+pub struct TreeDecomposition {
+    /// Vertex bags, each sorted ascending.
+    pub bags: Vec<Vec<u32>>,
+    /// Undirected tree edges between bag indices.
+    pub edges: Vec<(usize, usize)>,
+}
+
+impl TreeDecomposition {
+    /// Width = (largest bag size) − 1 (saturating at 0 for empty bags).
+    pub fn width(&self) -> usize {
+        self.bags
+            .iter()
+            .map(|b| b.len())
+            .max()
+            .unwrap_or(0)
+            .saturating_sub(1)
+    }
+
+    /// Verify the three conditions of Definition 11 plus tree-ness.
+    pub fn validate(&self, n: usize, graph_edges: &[(u32, u32)]) -> Result<(), String> {
+        let b = self.bags.len();
+        if b == 0 {
+            if n == 0 {
+                return Ok(());
+            }
+            return Err("no bags but graph has vertices".into());
+        }
+        // Tree-ness: b-1 edges and connected.
+        if self.edges.len() != b - 1 {
+            return Err(format!(
+                "decomposition tree has {} edges for {b} bags",
+                self.edges.len()
+            ));
+        }
+        let mut adj = vec![Vec::new(); b];
+        for &(x, y) in &self.edges {
+            if x >= b || y >= b {
+                return Err("tree edge out of range".into());
+            }
+            adj[x].push(y);
+            adj[y].push(x);
+        }
+        let mut seen = vec![false; b];
+        let mut stack = vec![0usize];
+        seen[0] = true;
+        let mut cnt = 1;
+        while let Some(x) = stack.pop() {
+            for &y in &adj[x] {
+                if !seen[y] {
+                    seen[y] = true;
+                    cnt += 1;
+                    stack.push(y);
+                }
+            }
+        }
+        if cnt != b {
+            return Err("decomposition tree is disconnected".into());
+        }
+        // (i) coverage of vertices.
+        let mut covered = vec![false; n];
+        for bag in &self.bags {
+            for &v in bag {
+                if v as usize >= n {
+                    return Err(format!("bag contains out-of-range vertex {v}"));
+                }
+                covered[v as usize] = true;
+            }
+        }
+        if let Some(v) = covered.iter().position(|&c| !c) {
+            return Err(format!("vertex {v} not covered by any bag"));
+        }
+        // (iii) coverage of edges.
+        let bag_sets: Vec<BTreeSet<u32>> =
+            self.bags.iter().map(|b| b.iter().copied().collect()).collect();
+        for &(u, v) in graph_edges {
+            if u == v {
+                continue;
+            }
+            if !bag_sets
+                .iter()
+                .any(|bag| bag.contains(&u) && bag.contains(&v))
+            {
+                return Err(format!("edge ({u},{v}) not covered by any bag"));
+            }
+        }
+        // (ii) connected subtree per vertex: count, for each vertex, the
+        // bags containing it and the induced tree edges; the induced
+        // subgraph is a connected subtree iff #edges == #bags - 1 and all
+        // reachable (for trees, edge count equality suffices given global
+        // acyclicity, but we check reachability anyway).
+        for v in 0..n as u32 {
+            let holders: Vec<usize> = (0..b).filter(|&i| bag_sets[i].contains(&v)).collect();
+            if holders.is_empty() {
+                continue;
+            }
+            let holder_set: BTreeSet<usize> = holders.iter().copied().collect();
+            let mut stack = vec![holders[0]];
+            let mut seen: BTreeSet<usize> = [holders[0]].into();
+            while let Some(x) = stack.pop() {
+                for &y in &adj[x] {
+                    if holder_set.contains(&y) && seen.insert(y) {
+                        stack.push(y);
+                    }
+                }
+            }
+            if seen.len() != holders.len() {
+                return Err(format!("bags containing vertex {v} are not connected"));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Build a tree decomposition from an elimination `order` of the graph
+/// `edges` over `0..n` (standard fill-in construction).
+pub fn decomposition_from_order(
+    n: usize,
+    edges: &[(u32, u32)],
+    order: &[u32],
+) -> TreeDecomposition {
+    assert_eq!(order.len(), n, "order must cover all vertices");
+    let mut adj: Vec<BTreeSet<u32>> = vec![BTreeSet::new(); n];
+    for &(a, b) in edges {
+        if a != b {
+            adj[a as usize].insert(b);
+            adj[b as usize].insert(a);
+        }
+    }
+    let mut position = vec![0usize; n];
+    for (i, &v) in order.iter().enumerate() {
+        position[v as usize] = i;
+    }
+    // Replay elimination, recording each vertex's bag.
+    let mut bags: Vec<Vec<u32>> = vec![Vec::new(); n];
+    for &v in order {
+        let v = v as usize;
+        let neighbours: Vec<u32> = adj[v].iter().copied().collect();
+        let mut bag = vec![v as u32];
+        bag.extend(&neighbours);
+        bag.sort_unstable();
+        bags[position[v]] = bag;
+        for (i, &a) in neighbours.iter().enumerate() {
+            for &b in &neighbours[i + 1..] {
+                adj[a as usize].insert(b);
+                adj[b as usize].insert(a);
+            }
+        }
+        for &u in &neighbours {
+            adj[u as usize].remove(&(v as u32));
+        }
+        adj[v].clear();
+    }
+    // Tree edges: bag of order[i] connects to the bag of its earliest-
+    // eliminated *later* neighbour within its bag (classic construction).
+    let mut tree_edges = Vec::new();
+    for i in 0..n {
+        let bag = &bags[i];
+        let next = bag
+            .iter()
+            .map(|&u| position[u as usize])
+            .filter(|&p| p > i)
+            .min();
+        if let Some(p) = next {
+            tree_edges.push((i, p));
+        }
+    }
+    // Components without a later neighbour (e.g. isolated last vertices)
+    // must still be connected into a single tree; attach them to bag 0.
+    // Bags from different graph components share no vertices, so the extra
+    // edges cannot violate the connected-subtree condition.
+    if n > 1 {
+        let mut uf: Vec<usize> = (0..n).collect();
+        fn find(uf: &mut Vec<usize>, mut x: usize) -> usize {
+            while uf[x] != x {
+                uf[x] = uf[uf[x]];
+                x = uf[x];
+            }
+            x
+        }
+        for &(a, b) in &tree_edges {
+            let (ra, rb) = (find(&mut uf, a), find(&mut uf, b));
+            if ra != rb {
+                uf[ra] = rb;
+            }
+        }
+        for i in 1..n {
+            let (ra, rb) = (find(&mut uf, i), find(&mut uf, 0));
+            if ra != rb {
+                tree_edges.push((i, 0));
+                uf[ra] = rb;
+            }
+        }
+    }
+    TreeDecomposition {
+        bags,
+        edges: tree_edges,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::elimination::{elimination_order, EliminationHeuristic};
+
+    fn decompose(n: usize, edges: &[(u32, u32)]) -> TreeDecomposition {
+        let (order, _) = elimination_order(n, edges, EliminationHeuristic::MinFill);
+        decomposition_from_order(n, edges, &order)
+    }
+
+    #[test]
+    fn path_decomposition_is_width_one() {
+        let edges = vec![(0, 1), (1, 2), (2, 3), (3, 4)];
+        let td = decompose(5, &edges);
+        td.validate(5, &edges).expect("valid");
+        assert_eq!(td.width(), 1);
+    }
+
+    #[test]
+    fn cycle_decomposition_is_width_two() {
+        let edges: Vec<(u32, u32)> = (0..6).map(|i| (i, (i + 1) % 6)).collect();
+        let td = decompose(6, &edges);
+        td.validate(6, &edges).expect("valid");
+        assert_eq!(td.width(), 2);
+    }
+
+    #[test]
+    fn disconnected_graph_still_validates() {
+        let edges = vec![(0, 1), (2, 3)];
+        let td = decompose(4, &edges);
+        td.validate(4, &edges).expect("valid");
+        assert_eq!(td.width(), 1);
+    }
+
+    #[test]
+    fn validation_catches_missing_edge_coverage() {
+        let td = TreeDecomposition {
+            bags: vec![vec![0], vec![1]],
+            edges: vec![(0, 1)],
+        };
+        let err = td.validate(2, &[(0, 1)]).unwrap_err();
+        assert!(err.contains("not covered"));
+    }
+
+    #[test]
+    fn validation_catches_disconnected_vertex_subtree() {
+        let td = TreeDecomposition {
+            bags: vec![vec![0, 1], vec![1], vec![0, 1]],
+            edges: vec![(0, 1), (1, 2)],
+        };
+        let err = td.validate(2, &[(0, 1)]).unwrap_err();
+        assert!(err.contains("not connected"), "{err}");
+    }
+
+    #[test]
+    fn random_graphs_validate() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(5);
+        for _ in 0..40 {
+            let n = rng.gen_range(1..16);
+            let m = rng.gen_range(0..30);
+            let edges: Vec<(u32, u32)> = (0..m)
+                .map(|_| (rng.gen_range(0..n) as u32, rng.gen_range(0..n) as u32))
+                .filter(|&(a, b)| a != b)
+                .collect();
+            for h in [EliminationHeuristic::MinDegree, EliminationHeuristic::MinFill] {
+                let (order, width) = elimination_order(n, &edges, h);
+                let td = decomposition_from_order(n, &edges, &order);
+                td.validate(n, &edges).expect("valid");
+                assert_eq!(td.width(), width.max(0));
+            }
+        }
+    }
+}

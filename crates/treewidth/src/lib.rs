@@ -1,0 +1,29 @@
+//! # dsv-treewidth — tree decompositions for version graphs
+//!
+//! Section 5.3 of the paper generalizes the tree DP for MinSum Retrieval to
+//! graphs of bounded treewidth via *nice tree decompositions*. This crate
+//! provides the machinery:
+//!
+//! * [`elimination`] — min-degree / min-fill elimination orderings, the
+//!   standard practical route to good tree decompositions;
+//! * [`decomposition`] — building a [`TreeDecomposition`] from an
+//!   elimination order, plus full validation of the three tree-decomposition
+//!   conditions (Definition 11);
+//! * [`nice`] — conversion into a *nice* tree decomposition (Definition 12)
+//!   with leaf/introduce/forget/join nodes, the input shape the DP-BTW
+//!   algorithm consumes;
+//! * [`width`] — treewidth upper-bound estimation for arbitrary
+//!   [`dsv_vgraph::VersionGraph`]s (used to reproduce footnote 7: the
+//!   GitHub-derived graphs all have low treewidth).
+
+#![warn(missing_docs)]
+
+pub mod decomposition;
+pub mod elimination;
+pub mod nice;
+pub mod width;
+
+pub use decomposition::TreeDecomposition;
+pub use elimination::{elimination_order, EliminationHeuristic};
+pub use nice::{NiceDecomposition, NiceNode};
+pub use width::treewidth_upper_bound;

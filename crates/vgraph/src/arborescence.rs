@@ -1,0 +1,527 @@
+//! Minimum spanning arborescence (directed MST).
+//!
+//! Every algorithm in the paper that needs a starting storage plan — LMG
+//! (Algorithm 1 line 7), LMG-All (Algorithm 7 line 2) and the tree
+//! extraction of Section 6.2 — begins from a minimum spanning arborescence
+//! of the extended version graph. Two implementations are provided:
+//!
+//! * [`min_arborescence`] — Gabow/Tarjan contraction algorithm in
+//!   `O(E log V)` using lazy skew heaps and a rollback union–find, with full
+//!   reconstruction of the chosen edges;
+//! * [`naive_min_arborescence`] — the classic recursive Chu–Liu/Edmonds
+//!   procedure in `O(V·E)`, kept as an independently-written reference that
+//!   the property tests compare against.
+
+use crate::skew_heap::{SkewHeapArena, NIL};
+use crate::unionfind::RollbackUnionFind;
+
+/// An input edge for the arborescence solvers.
+///
+/// Weights are `i64` because the contraction algorithm works with *reduced*
+/// weights which are differences of the original (non-negative) costs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ArbEdge {
+    /// Tail.
+    pub src: u32,
+    /// Head.
+    pub dst: u32,
+    /// Weight (must be non-negative for the complexity analysis; the
+    /// algorithms remain correct for negative weights).
+    pub weight: i64,
+}
+
+impl ArbEdge {
+    /// Convenience constructor.
+    pub fn new(src: usize, dst: usize, weight: i64) -> Self {
+        ArbEdge {
+            src: src as u32,
+            dst: dst as u32,
+            weight,
+        }
+    }
+}
+
+/// A spanning arborescence: for each node, the index (into the input edge
+/// slice) of its parent edge; the root has `None`.
+#[derive(Clone, Debug)]
+pub struct Arborescence {
+    /// Sum of the weights of the chosen edges.
+    pub total_weight: i64,
+    /// `parent_edge[v]` = input index of the edge entering `v`.
+    pub parent_edge: Vec<Option<usize>>,
+}
+
+impl Arborescence {
+    /// Recompute the weight from the chosen edges (used in tests/validation).
+    pub fn weight_from_edges(&self, edges: &[ArbEdge]) -> i64 {
+        self.parent_edge
+            .iter()
+            .flatten()
+            .map(|&i| edges[i].weight)
+            .sum()
+    }
+
+    /// Check that `parent_edge` really encodes a spanning arborescence
+    /// rooted at `root`: every non-root node has a parent edge pointing at
+    /// it, and following parents always reaches the root.
+    pub fn validate(&self, n: usize, root: usize, edges: &[ArbEdge]) -> Result<(), String> {
+        if self.parent_edge.len() != n {
+            return Err(format!(
+                "parent_edge has length {}, expected {n}",
+                self.parent_edge.len()
+            ));
+        }
+        if self.parent_edge[root].is_some() {
+            return Err("root must not have a parent edge".into());
+        }
+        for (v, pe) in self.parent_edge.iter().enumerate() {
+            if v == root {
+                continue;
+            }
+            match *pe {
+                None => return Err(format!("node {v} has no parent edge")),
+                Some(i) => {
+                    if edges[i].dst as usize != v {
+                        return Err(format!(
+                            "edge {i} assigned to node {v} but enters {}",
+                            edges[i].dst
+                        ));
+                    }
+                }
+            }
+        }
+        // Walk each node to the root; cycle detection by step counting.
+        for start in 0..n {
+            let mut v = start;
+            let mut steps = 0;
+            while v != root {
+                let e = self.parent_edge[v].expect("checked above");
+                v = edges[e].src as usize;
+                steps += 1;
+                if steps > n {
+                    return Err(format!("cycle reached from node {start}"));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Gabow/Tarjan minimum spanning arborescence rooted at `root`.
+///
+/// Returns `None` when some node is unreachable from the root. Runs in
+/// `O(E log V)`; self-loops and edges into the root are ignored.
+pub fn min_arborescence(n: usize, root: usize, edges: &[ArbEdge]) -> Option<Arborescence> {
+    assert!(root < n, "root out of bounds");
+    if n == 0 {
+        return Some(Arborescence {
+            total_weight: 0,
+            parent_edge: Vec::new(),
+        });
+    }
+    let mut uf = RollbackUnionFind::new(n);
+    let mut arena = SkewHeapArena::with_capacity(edges.len());
+    let mut heap: Vec<u32> = vec![NIL; n];
+    for (i, e) in edges.iter().enumerate() {
+        let (a, b) = (e.src as usize, e.dst as usize);
+        assert!(a < n && b < n, "edge endpoint out of bounds");
+        if b == root || a == b {
+            continue; // never useful; keeps heaps small
+        }
+        let s = arena.singleton(e.weight, i as u32);
+        heap[b] = arena.merge(heap[b], s);
+    }
+
+    const UNSEEN: i64 = -1;
+    let mut seen: Vec<i64> = vec![UNSEEN; n];
+    seen[root] = n as i64; // distinct from every walk id 0..n-1
+    let mut res: i64 = 0;
+    let mut path: Vec<usize> = vec![0; n + 1];
+    let mut q_edges: Vec<u32> = vec![0; n + 1];
+    let mut in_edge: Vec<u32> = vec![u32::MAX; n];
+    // (contracted representative, uf time before contraction, cycle edges)
+    let mut cycles: Vec<(usize, usize, Vec<u32>)> = Vec::new();
+
+    for s in 0..n {
+        let mut u = s;
+        let mut qi = 0usize;
+        while seen[u] == UNSEEN {
+            if heap[u] == NIL {
+                return None; // u cannot be reached from the root
+            }
+            let w = arena.top_key(heap[u]);
+            let eidx = arena.top_item(heap[u]);
+            // Reduce every remaining incoming edge of `u` by the amount we
+            // just "paid" — this is what makes later pops telescope.
+            arena.add_all(heap[u], -w);
+            heap[u] = arena.pop(heap[u]);
+            q_edges[qi] = eidx;
+            path[qi] = u;
+            qi += 1;
+            seen[u] = s as i64;
+            res += w;
+            u = uf.find(edges[eidx as usize].src as usize);
+            if seen[u] == s as i64 {
+                // Found a cycle along the current walk: contract it.
+                let mut cyc = NIL;
+                let end = qi;
+                let time = uf.time();
+                loop {
+                    qi -= 1;
+                    let w_node = path[qi];
+                    cyc = arena.merge(cyc, heap[w_node]);
+                    if !uf.union(u, w_node) {
+                        break;
+                    }
+                }
+                u = uf.find(u);
+                heap[u] = cyc;
+                seen[u] = UNSEEN;
+                cycles.push((u, time, q_edges[qi..end].to_vec()));
+            }
+        }
+        for i in 0..qi {
+            let dst = uf.find(edges[q_edges[i] as usize].dst as usize);
+            in_edge[dst] = q_edges[i];
+        }
+    }
+
+    // Reconstruction: unroll contractions newest-first. For each cycle, the
+    // edge chosen *into* the contracted node displaces exactly one of the
+    // cycle's own edges.
+    for (u, time, comp) in cycles.into_iter().rev() {
+        uf.rollback(time);
+        let entering = in_edge[u];
+        for &e in &comp {
+            let d = uf.find(edges[e as usize].dst as usize);
+            in_edge[d] = e;
+        }
+        let d = uf.find(edges[entering as usize].dst as usize);
+        in_edge[d] = entering;
+    }
+
+    let parent_edge: Vec<Option<usize>> = (0..n)
+        .map(|v| {
+            if v == root {
+                None
+            } else {
+                Some(in_edge[v] as usize)
+            }
+        })
+        .collect();
+    Some(Arborescence {
+        total_weight: res,
+        parent_edge,
+    })
+}
+
+/// Reference Chu–Liu/Edmonds implementation (recursive contraction),
+/// `O(V·E)` per level and at most `V` levels. Only intended for tests and
+/// small instances.
+pub fn naive_min_arborescence(n: usize, root: usize, edges: &[ArbEdge]) -> Option<Arborescence> {
+    #[derive(Clone, Copy)]
+    struct E {
+        src: usize,
+        dst: usize,
+        weight: i64,
+        /// Index into the edge list one level up (or the original input at
+        /// the top level).
+        parent_level_idx: usize,
+    }
+
+    /// Returns the chosen incoming edge (index into `edges` at this level)
+    /// for every non-root node.
+    fn solve(n: usize, root: usize, edges: &[E]) -> Option<Vec<Option<usize>>> {
+        let mut best: Vec<Option<usize>> = vec![None; n];
+        for (i, e) in edges.iter().enumerate() {
+            if e.dst == root || e.src == e.dst {
+                continue;
+            }
+            if best[e.dst].is_none_or(|b| e.weight < edges[b].weight) {
+                best[e.dst] = Some(i);
+            }
+        }
+        for (v, b) in best.iter().enumerate() {
+            if v != root && b.is_none() {
+                return None;
+            }
+        }
+        // Look for a cycle in the functional graph v -> src(best[v]).
+        let mut color = vec![0u8; n]; // 0 unvisited, 1 on stack, 2 done
+        let mut cycle: Vec<usize> = Vec::new();
+        'outer: for s in 0..n {
+            if color[s] != 0 || s == root {
+                continue;
+            }
+            let mut u = s;
+            let mut stack = Vec::new();
+            while u != root && color[u] == 0 {
+                color[u] = 1;
+                stack.push(u);
+                u = edges[best[u].expect("non-root has best")].src;
+            }
+            if u != root && color[u] == 1 {
+                // Extract the cycle: nodes from `u` to the stack top.
+                let pos = stack.iter().position(|&x| x == u).expect("on stack");
+                cycle = stack[pos..].to_vec();
+                for &x in &stack {
+                    color[x] = 2;
+                }
+                break 'outer;
+            }
+            for &x in &stack {
+                color[x] = 2;
+            }
+        }
+        if cycle.is_empty() {
+            return Some(best);
+        }
+
+        // Contract the cycle into a fresh super node.
+        let mut comp: Vec<usize> = vec![usize::MAX; n];
+        let mut in_cycle = vec![false; n];
+        for &v in &cycle {
+            in_cycle[v] = true;
+        }
+        let mut next_id = 0usize;
+        for v in 0..n {
+            if !in_cycle[v] {
+                comp[v] = next_id;
+                next_id += 1;
+            }
+        }
+        let cyc_id = next_id;
+        for &v in &cycle {
+            comp[v] = cyc_id;
+        }
+        let new_n = next_id + 1;
+        let new_root = comp[root];
+
+        let mut new_edges: Vec<E> = Vec::with_capacity(edges.len());
+        for (i, e) in edges.iter().enumerate() {
+            let (cu, cv) = (comp[e.src], comp[e.dst]);
+            if cu == cv {
+                continue;
+            }
+            let weight = if in_cycle[e.dst] {
+                e.weight - edges[best[e.dst].expect("cycle node has best")].weight
+            } else {
+                e.weight
+            };
+            new_edges.push(E {
+                src: cu,
+                dst: cv,
+                weight,
+                parent_level_idx: i,
+            });
+        }
+
+        let sub = solve(new_n, new_root, &new_edges)?;
+        let mut chosen: Vec<Option<usize>> = vec![None; n];
+        for v in 0..n {
+            if v == root || in_cycle[v] {
+                continue;
+            }
+            let idx = sub[comp[v]].expect("non-root contracted node chosen");
+            chosen[v] = Some(new_edges[idx].parent_level_idx);
+        }
+        // The edge entering the contracted node breaks the cycle at the node
+        // it really enters; every other cycle node keeps its cycle edge.
+        let entering = new_edges[sub[cyc_id].expect("cycle comp entered")].parent_level_idx;
+        let broken = edges[entering].dst;
+        for &v in &cycle {
+            chosen[v] = if v == broken {
+                Some(entering)
+            } else {
+                best[v]
+            };
+        }
+        Some(chosen)
+    }
+
+    let level0: Vec<E> = edges
+        .iter()
+        .enumerate()
+        .map(|(i, e)| E {
+            src: e.src as usize,
+            dst: e.dst as usize,
+            weight: e.weight,
+            parent_level_idx: i,
+        })
+        .collect();
+    let chosen = solve(n, root, &level0)?;
+    let parent_edge: Vec<Option<usize>> = chosen
+        .iter()
+        .map(|c| c.map(|i| level0[i].parent_level_idx))
+        .collect();
+    let total_weight = parent_edge
+        .iter()
+        .flatten()
+        .map(|&i| edges[i].weight)
+        .sum();
+    Some(Arborescence {
+        total_weight,
+        parent_edge,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+
+    fn check_both(n: usize, root: usize, edges: &[ArbEdge]) -> Option<i64> {
+        let fast = min_arborescence(n, root, edges);
+        let naive = naive_min_arborescence(n, root, edges);
+        match (fast, naive) {
+            (None, None) => None,
+            (Some(f), Some(nv)) => {
+                f.validate(n, root, edges).expect("fast result valid");
+                nv.validate(n, root, edges).expect("naive result valid");
+                assert_eq!(f.total_weight, f.weight_from_edges(edges));
+                assert_eq!(nv.total_weight, nv.weight_from_edges(edges));
+                assert_eq!(f.total_weight, nv.total_weight, "fast vs naive weight");
+                Some(f.total_weight)
+            }
+            (f, nv) => panic!(
+                "feasibility disagreement: fast={:?} naive={:?}",
+                f.map(|a| a.total_weight),
+                nv.map(|a| a.total_weight)
+            ),
+        }
+    }
+
+    #[test]
+    fn single_node() {
+        let got = min_arborescence(1, 0, &[]).expect("trivially feasible");
+        assert_eq!(got.total_weight, 0);
+        assert_eq!(got.parent_edge, vec![None]);
+    }
+
+    #[test]
+    fn simple_path() {
+        let edges = vec![ArbEdge::new(0, 1, 5), ArbEdge::new(1, 2, 7)];
+        assert_eq!(check_both(3, 0, &edges), Some(12));
+    }
+
+    #[test]
+    fn chooses_cheaper_of_parallel_edges() {
+        let edges = vec![
+            ArbEdge::new(0, 1, 5),
+            ArbEdge::new(0, 1, 3),
+            ArbEdge::new(0, 1, 9),
+        ];
+        let a = min_arborescence(2, 0, &edges).expect("feasible");
+        assert_eq!(a.total_weight, 3);
+        assert_eq!(a.parent_edge[1], Some(1));
+    }
+
+    #[test]
+    fn cycle_contraction_classic() {
+        // Root 0 with an expensive direct edge to the 1-2 cycle; the optimal
+        // arborescence enters the cycle where it is cheapest to break.
+        let edges = vec![
+            ArbEdge::new(0, 1, 10),
+            ArbEdge::new(1, 2, 1),
+            ArbEdge::new(2, 1, 1),
+            ArbEdge::new(0, 2, 2),
+        ];
+        assert_eq!(check_both(3, 0, &edges), Some(3)); // 0->2 (2) + 2->1 (1)
+    }
+
+    #[test]
+    fn unreachable_node_is_infeasible() {
+        let edges = vec![ArbEdge::new(0, 1, 1)];
+        assert!(min_arborescence(3, 0, &edges).is_none());
+        assert!(naive_min_arborescence(3, 0, &edges).is_none());
+    }
+
+    #[test]
+    fn self_loops_are_ignored() {
+        let edges = vec![
+            ArbEdge::new(1, 1, 0), // self loop cheaper than anything
+            ArbEdge::new(0, 1, 4),
+        ];
+        assert_eq!(check_both(2, 0, &edges), Some(4));
+    }
+
+    #[test]
+    fn nested_cycles() {
+        // Two nested cycles forcing repeated contraction.
+        let edges = vec![
+            ArbEdge::new(1, 2, 2),
+            ArbEdge::new(2, 1, 2),
+            ArbEdge::new(2, 3, 2),
+            ArbEdge::new(3, 2, 2),
+            ArbEdge::new(3, 1, 2),
+            ArbEdge::new(1, 3, 2),
+            ArbEdge::new(0, 1, 100),
+            ArbEdge::new(0, 3, 50),
+        ];
+        assert_eq!(check_both(4, 0, &edges), Some(54));
+    }
+
+    #[test]
+    fn randomized_fast_matches_naive() {
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(0xDA7A);
+        for case in 0..300 {
+            let n = rng.gen_range(2..14);
+            let m = rng.gen_range(1..40);
+            let edges: Vec<ArbEdge> = (0..m)
+                .map(|_| {
+                    ArbEdge::new(
+                        rng.gen_range(0..n),
+                        rng.gen_range(0..n),
+                        rng.gen_range(0..100),
+                    )
+                })
+                .collect();
+            let root = rng.gen_range(0..n);
+            // Either both infeasible or both agree (checked inside).
+            let _ = check_both(n, root, &edges);
+            let _ = case;
+        }
+    }
+
+    #[test]
+    fn randomized_always_feasible_with_root_star() {
+        // Adding a root->v edge for every v guarantees feasibility; this is
+        // exactly the extended-graph construction from the paper.
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(0xBEEF);
+        for _ in 0..200 {
+            let n = rng.gen_range(2..12);
+            let mut edges: Vec<ArbEdge> = (1..n)
+                .map(|v| ArbEdge::new(0, v, rng.gen_range(50..150)))
+                .collect();
+            let m = rng.gen_range(0..30);
+            for _ in 0..m {
+                edges.push(ArbEdge::new(
+                    rng.gen_range(0..n),
+                    rng.gen_range(0..n),
+                    rng.gen_range(0..100),
+                ));
+            }
+            let w = check_both(n, 0, &edges);
+            assert!(w.is_some());
+        }
+    }
+
+    #[test]
+    fn large_random_instance_is_fast_and_valid() {
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(1);
+        let n = 5000;
+        let mut edges: Vec<ArbEdge> = (1..n)
+            .map(|v| ArbEdge::new(0, v, rng.gen_range(1000..2000)))
+            .collect();
+        for _ in 0..40_000 {
+            edges.push(ArbEdge::new(
+                rng.gen_range(0..n),
+                rng.gen_range(0..n),
+                rng.gen_range(0..1000),
+            ));
+        }
+        let a = min_arborescence(n, 0, &edges).expect("feasible");
+        a.validate(n, 0, &edges).expect("valid");
+        assert_eq!(a.total_weight, a.weight_from_edges(&edges));
+    }
+}

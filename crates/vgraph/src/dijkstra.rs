@@ -1,0 +1,152 @@
+//! Dijkstra shortest-path arborescences.
+//!
+//! Problem 2 of the paper (Shortest Path Tree): ignore storage and minimize
+//! every version's retrieval cost. The result doubles as the
+//! retrieval-optimal extreme of the storage/retrieval trade-off curve.
+
+use crate::graph::VersionGraph;
+use crate::ids::{EdgeId, NodeId};
+use crate::indexed_heap::IndexedMinHeap;
+use crate::{Cost, INF};
+
+/// Result of a (multi-source) shortest-path computation.
+#[derive(Clone, Debug)]
+pub struct ShortestPaths {
+    /// Distance from the nearest source, [`INF`] when unreachable.
+    pub dist: Vec<Cost>,
+    /// Edge used to enter each node on a shortest path (None at sources and
+    /// unreachable nodes).
+    pub parent_edge: Vec<Option<EdgeId>>,
+}
+
+impl ShortestPaths {
+    /// Whether `v` is reachable from some source.
+    pub fn reachable(&self, v: NodeId) -> bool {
+        self.dist[v.index()] < INF
+    }
+}
+
+/// Weight to use for Dijkstra runs over a [`VersionGraph`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EdgeWeight {
+    /// Use the retrieval cost `r_e` (the common case).
+    Retrieval,
+    /// Use the storage cost `s_e`.
+    Storage,
+    /// Use `s_e + r_e` (the tree-extraction weight of Section 6.2).
+    StoragePlusRetrieval,
+}
+
+impl EdgeWeight {
+    /// Extract the configured weight from an edge.
+    #[inline]
+    pub fn of(self, e: &crate::graph::EdgeData) -> Cost {
+        match self {
+            EdgeWeight::Retrieval => e.retrieval,
+            EdgeWeight::Storage => e.storage,
+            EdgeWeight::StoragePlusRetrieval => e.storage.saturating_add(e.retrieval),
+        }
+    }
+}
+
+/// Multi-source Dijkstra over the out-edges of `g`.
+///
+/// `sources` yields `(node, initial distance)` pairs; passing every node of
+/// the graph with its materialization cost as the initial distance computes
+/// the materialize-or-retrieve lower envelope used by several heuristics.
+pub fn dijkstra_multi(
+    g: &VersionGraph,
+    sources: impl IntoIterator<Item = (NodeId, Cost)>,
+    weight: EdgeWeight,
+) -> ShortestPaths {
+    let n = g.n();
+    let mut dist = vec![INF; n];
+    let mut parent_edge: Vec<Option<EdgeId>> = vec![None; n];
+    let mut heap = IndexedMinHeap::new(n);
+    for (s, d0) in sources {
+        if d0 < dist[s.index()] {
+            dist[s.index()] = d0;
+            heap.push_or_decrease(s.index(), d0);
+        }
+    }
+    while let Some((u, du)) = heap.pop() {
+        if du > dist[u] {
+            continue;
+        }
+        for &eid in g.out_edges(NodeId::new(u)) {
+            let e = g.edge(eid);
+            let nd = du.saturating_add(weight.of(e));
+            let v = e.dst.index();
+            if nd < dist[v] {
+                dist[v] = nd;
+                parent_edge[v] = Some(eid);
+                heap.push_or_decrease(v, nd);
+            }
+        }
+    }
+    ShortestPaths { dist, parent_edge }
+}
+
+/// Single-source Dijkstra from `src` with initial distance 0.
+pub fn dijkstra(g: &VersionGraph, src: NodeId, weight: EdgeWeight) -> ShortestPaths {
+    dijkstra_multi(g, [(src, 0)], weight)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid() -> VersionGraph {
+        // 0 -> 1 -> 2, 0 -> 2 (expensive), 2 -> 3
+        let mut g = VersionGraph::with_nodes(4);
+        g.add_edge(NodeId(0), NodeId(1), 1, 2);
+        g.add_edge(NodeId(1), NodeId(2), 1, 3);
+        g.add_edge(NodeId(0), NodeId(2), 1, 10);
+        g.add_edge(NodeId(2), NodeId(3), 1, 1);
+        g
+    }
+
+    #[test]
+    fn single_source_distances() {
+        let g = grid();
+        let sp = dijkstra(&g, NodeId(0), EdgeWeight::Retrieval);
+        assert_eq!(sp.dist, vec![0, 2, 5, 6]);
+        assert_eq!(sp.parent_edge[2], Some(EdgeId(1)));
+    }
+
+    #[test]
+    fn storage_weight_changes_paths() {
+        let g = grid();
+        let sp = dijkstra(&g, NodeId(0), EdgeWeight::Storage);
+        // All storage weights are 1, so 0 -> 2 direct (cost 1) wins.
+        assert_eq!(sp.dist[2], 1);
+        assert_eq!(sp.parent_edge[2], Some(EdgeId(2)));
+    }
+
+    #[test]
+    fn unreachable_nodes_get_inf() {
+        let mut g = grid();
+        let iso = g.add_node(7);
+        let sp = dijkstra(&g, NodeId(0), EdgeWeight::Retrieval);
+        assert!(!sp.reachable(iso));
+        assert_eq!(sp.dist[iso.index()], INF);
+    }
+
+    #[test]
+    fn multi_source_takes_minimum_envelope() {
+        let g = grid();
+        let sp = dijkstra_multi(
+            &g,
+            [(NodeId(0), 100), (NodeId(2), 0)],
+            EdgeWeight::Retrieval,
+        );
+        assert_eq!(sp.dist, vec![100, 102, 0, 1]);
+    }
+
+    #[test]
+    fn combined_weight() {
+        let g = grid();
+        let sp = dijkstra(&g, NodeId(0), EdgeWeight::StoragePlusRetrieval);
+        assert_eq!(sp.dist[2], 7); // (1+2)+(1+3) beats (1+10)
+    }
+}

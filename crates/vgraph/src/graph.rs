@@ -1,0 +1,364 @@
+//! The [`VersionGraph`] container.
+//!
+//! A directed multigraph with per-node materialization costs and per-edge
+//! (storage, retrieval) cost pairs, exactly the input model of Section 2.1
+//! of the paper. Adjacency is stored as per-node `Vec<EdgeId>` lists in both
+//! directions; edge payloads live in a single arena so that algorithms can
+//! index edges by [`EdgeId`] without pointer chasing.
+
+use crate::ids::{EdgeId, NodeId};
+use crate::Cost;
+use serde::{Deserialize, Serialize};
+
+/// Payload of a directed delta edge `src → dst`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EdgeData {
+    /// Tail of the edge (the version the delta is applied to).
+    pub src: NodeId,
+    /// Head of the edge (the version the delta produces).
+    pub dst: NodeId,
+    /// Cost of storing the delta (`s_e`).
+    pub storage: Cost,
+    /// Cost of applying the delta during retrieval (`r_e`).
+    pub retrieval: Cost,
+}
+
+/// A directed version graph: nodes are dataset versions, edges are deltas.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct VersionGraph {
+    node_storage: Vec<Cost>,
+    edges: Vec<EdgeData>,
+    out_adj: Vec<Vec<EdgeId>>,
+    in_adj: Vec<Vec<EdgeId>>,
+    /// Optional human-readable node labels (commit ids in the corpora).
+    labels: Vec<String>,
+}
+
+impl VersionGraph {
+    /// Create an empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Create a graph with `n` nodes, all with materialization cost 0.
+    pub fn with_nodes(n: usize) -> Self {
+        VersionGraph {
+            node_storage: vec![0; n],
+            edges: Vec::new(),
+            out_adj: vec![Vec::new(); n],
+            in_adj: vec![Vec::new(); n],
+            labels: Vec::new(),
+        }
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.node_storage.len()
+    }
+
+    /// Number of directed edges.
+    #[inline]
+    pub fn m(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Add a node with materialization cost `storage`, returning its id.
+    pub fn add_node(&mut self, storage: Cost) -> NodeId {
+        let id = NodeId::new(self.node_storage.len());
+        self.node_storage.push(storage);
+        self.out_adj.push(Vec::new());
+        self.in_adj.push(Vec::new());
+        id
+    }
+
+    /// Add a labelled node (labels are only used in reports).
+    pub fn add_labelled_node(&mut self, storage: Cost, label: impl Into<String>) -> NodeId {
+        let id = self.add_node(storage);
+        self.labels.resize(self.node_storage.len(), String::new());
+        self.labels[id.index()] = label.into();
+        id
+    }
+
+    /// Add a directed delta edge, returning its id.
+    pub fn add_edge(&mut self, src: NodeId, dst: NodeId, storage: Cost, retrieval: Cost) -> EdgeId {
+        assert!(src.index() < self.n(), "edge source out of bounds");
+        assert!(dst.index() < self.n(), "edge target out of bounds");
+        let id = EdgeId::new(self.edges.len());
+        self.edges.push(EdgeData {
+            src,
+            dst,
+            storage,
+            retrieval,
+        });
+        self.out_adj[src.index()].push(id);
+        self.in_adj[dst.index()].push(id);
+        id
+    }
+
+    /// Add both `(u,v)` and `(v,u)` with identical costs; returns both ids.
+    pub fn add_bidirectional_edge(
+        &mut self,
+        u: NodeId,
+        v: NodeId,
+        storage: Cost,
+        retrieval: Cost,
+    ) -> (EdgeId, EdgeId) {
+        (
+            self.add_edge(u, v, storage, retrieval),
+            self.add_edge(v, u, storage, retrieval),
+        )
+    }
+
+    /// Materialization cost `s_v` of a node.
+    #[inline]
+    pub fn node_storage(&self, v: NodeId) -> Cost {
+        self.node_storage[v.index()]
+    }
+
+    /// Mutable access to a node's materialization cost.
+    pub fn node_storage_mut(&mut self, v: NodeId) -> &mut Cost {
+        &mut self.node_storage[v.index()]
+    }
+
+    /// Label of a node, if one was assigned.
+    pub fn label(&self, v: NodeId) -> Option<&str> {
+        self.labels.get(v.index()).map(|s| s.as_str()).filter(|s| !s.is_empty())
+    }
+
+    /// Edge payload by id.
+    #[inline]
+    pub fn edge(&self, e: EdgeId) -> &EdgeData {
+        &self.edges[e.index()]
+    }
+
+    /// Mutable edge payload by id (used by the cost transforms).
+    #[inline]
+    pub fn edge_mut(&mut self, e: EdgeId) -> &mut EdgeData {
+        &mut self.edges[e.index()]
+    }
+
+    /// All edge payloads, in id order.
+    #[inline]
+    pub fn edges(&self) -> &[EdgeData] {
+        &self.edges
+    }
+
+    /// Ids of edges leaving `v`.
+    #[inline]
+    pub fn out_edges(&self, v: NodeId) -> &[EdgeId] {
+        &self.out_adj[v.index()]
+    }
+
+    /// Ids of edges entering `v`.
+    #[inline]
+    pub fn in_edges(&self, v: NodeId) -> &[EdgeId] {
+        &self.in_adj[v.index()]
+    }
+
+    /// Iterator over all node ids.
+    pub fn node_ids(&self) -> impl ExactSizeIterator<Item = NodeId> + Clone {
+        (0..self.n() as u32).map(NodeId)
+    }
+
+    /// Iterator over all edge ids.
+    pub fn edge_ids(&self) -> impl ExactSizeIterator<Item = EdgeId> + Clone {
+        (0..self.m() as u32).map(EdgeId)
+    }
+
+    /// Iterator over `(EdgeId, &EdgeData)` pairs.
+    pub fn edge_refs(&self) -> impl Iterator<Item = (EdgeId, &EdgeData)> {
+        self.edges
+            .iter()
+            .enumerate()
+            .map(|(i, e)| (EdgeId::new(i), e))
+    }
+
+    /// Out-degree of `v`.
+    #[inline]
+    pub fn out_degree(&self, v: NodeId) -> usize {
+        self.out_adj[v.index()].len()
+    }
+
+    /// In-degree of `v`.
+    #[inline]
+    pub fn in_degree(&self, v: NodeId) -> usize {
+        self.in_adj[v.index()].len()
+    }
+
+    /// Sum of all node materialization costs (the "store everything" plan).
+    pub fn total_node_storage(&self) -> Cost {
+        self.node_storage.iter().sum()
+    }
+
+    /// Average node materialization cost, as reported in Table 4.
+    pub fn avg_node_storage(&self) -> f64 {
+        if self.n() == 0 {
+            return 0.0;
+        }
+        self.total_node_storage() as f64 / self.n() as f64
+    }
+
+    /// Average edge storage cost, as reported in Table 4.
+    pub fn avg_edge_storage(&self) -> f64 {
+        if self.m() == 0 {
+            return 0.0;
+        }
+        self.edges.iter().map(|e| e.storage).sum::<Cost>() as f64 / self.m() as f64
+    }
+
+    /// Largest edge retrieval cost (`r_max` in Section 5.1).
+    pub fn max_edge_retrieval(&self) -> Cost {
+        self.edges.iter().map(|e| e.retrieval).max().unwrap_or(0)
+    }
+
+    /// True if for every edge `(u,v)` the reverse edge `(v,u)` also exists.
+    pub fn is_bidirectional(&self) -> bool {
+        use std::collections::HashSet;
+        let pairs: HashSet<(NodeId, NodeId)> =
+            self.edges.iter().map(|e| (e.src, e.dst)).collect();
+        self.edges.iter().all(|e| pairs.contains(&(e.dst, e.src)))
+    }
+
+    /// True if the underlying undirected graph is a tree (connected, and the
+    /// number of distinct undirected edges is `n - 1`). Self-loops disqualify.
+    pub fn underlying_is_tree(&self) -> bool {
+        use std::collections::HashSet;
+        if self.n() == 0 {
+            return true;
+        }
+        let mut undirected: HashSet<(NodeId, NodeId)> = HashSet::new();
+        for e in &self.edges {
+            if e.src == e.dst {
+                return false;
+            }
+            let (a, b) = if e.src < e.dst {
+                (e.src, e.dst)
+            } else {
+                (e.dst, e.src)
+            };
+            undirected.insert((a, b));
+        }
+        if undirected.len() != self.n() - 1 {
+            return false;
+        }
+        // Connectivity over the undirected closure.
+        let mut adj = vec![Vec::new(); self.n()];
+        for &(a, b) in &undirected {
+            adj[a.index()].push(b);
+            adj[b.index()].push(a);
+        }
+        let mut seen = vec![false; self.n()];
+        let mut stack = vec![NodeId(0)];
+        seen[0] = true;
+        let mut count = 1;
+        while let Some(v) = stack.pop() {
+            for &w in &adj[v.index()] {
+                if !seen[w.index()] {
+                    seen[w.index()] = true;
+                    count += 1;
+                    stack.push(w);
+                }
+            }
+        }
+        count == self.n()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> VersionGraph {
+        // v0 -> v1 -> v3, v0 -> v2 -> v3
+        let mut g = VersionGraph::new();
+        let v0 = g.add_node(100);
+        let v1 = g.add_node(110);
+        let v2 = g.add_node(120);
+        let v3 = g.add_node(130);
+        g.add_edge(v0, v1, 10, 11);
+        g.add_edge(v0, v2, 20, 21);
+        g.add_edge(v1, v3, 30, 31);
+        g.add_edge(v2, v3, 40, 41);
+        g
+    }
+
+    #[test]
+    fn construction_and_degrees() {
+        let g = diamond();
+        assert_eq!(g.n(), 4);
+        assert_eq!(g.m(), 4);
+        assert_eq!(g.out_degree(NodeId(0)), 2);
+        assert_eq!(g.in_degree(NodeId(3)), 2);
+        assert_eq!(g.node_storage(NodeId(2)), 120);
+        let e = g.edge(EdgeId(2));
+        assert_eq!((e.src, e.dst, e.storage, e.retrieval), (NodeId(1), NodeId(3), 30, 31));
+    }
+
+    #[test]
+    fn adjacency_is_consistent_with_edge_arena() {
+        let g = diamond();
+        for v in g.node_ids() {
+            for &e in g.out_edges(v) {
+                assert_eq!(g.edge(e).src, v);
+            }
+            for &e in g.in_edges(v) {
+                assert_eq!(g.edge(e).dst, v);
+            }
+        }
+    }
+
+    #[test]
+    fn table4_statistics() {
+        let g = diamond();
+        assert_eq!(g.total_node_storage(), 460);
+        assert!((g.avg_node_storage() - 115.0).abs() < 1e-9);
+        assert!((g.avg_edge_storage() - 25.0).abs() < 1e-9);
+        assert_eq!(g.max_edge_retrieval(), 41);
+    }
+
+    #[test]
+    fn bidirectional_detection() {
+        let mut g = VersionGraph::with_nodes(2);
+        g.add_edge(NodeId(0), NodeId(1), 1, 1);
+        assert!(!g.is_bidirectional());
+        g.add_edge(NodeId(1), NodeId(0), 2, 2);
+        assert!(g.is_bidirectional());
+    }
+
+    #[test]
+    fn underlying_tree_detection() {
+        let mut g = VersionGraph::with_nodes(3);
+        g.add_bidirectional_edge(NodeId(0), NodeId(1), 1, 1);
+        g.add_bidirectional_edge(NodeId(1), NodeId(2), 1, 1);
+        assert!(g.underlying_is_tree());
+        g.add_edge(NodeId(0), NodeId(2), 1, 1); // creates a cycle
+        assert!(!g.underlying_is_tree());
+    }
+
+    #[test]
+    fn disconnected_is_not_tree() {
+        let mut g = VersionGraph::with_nodes(4);
+        g.add_bidirectional_edge(NodeId(0), NodeId(1), 1, 1);
+        g.add_bidirectional_edge(NodeId(2), NodeId(3), 1, 1);
+        assert!(!g.underlying_is_tree());
+    }
+
+    #[test]
+    fn labels() {
+        let mut g = VersionGraph::new();
+        let a = g.add_labelled_node(5, "commit-a");
+        let b = g.add_node(6);
+        assert_eq!(g.label(a), Some("commit-a"));
+        assert_eq!(g.label(b), None);
+    }
+
+    #[test]
+    fn multigraph_allows_parallel_edges() {
+        let mut g = VersionGraph::with_nodes(2);
+        g.add_edge(NodeId(0), NodeId(1), 1, 1);
+        g.add_edge(NodeId(0), NodeId(1), 2, 2);
+        assert_eq!(g.m(), 2);
+        assert_eq!(g.out_degree(NodeId(0)), 2);
+    }
+}

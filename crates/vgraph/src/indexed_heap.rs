@@ -1,0 +1,216 @@
+//! Indexed binary min-heap with `decrease_key`.
+//!
+//! Dijkstra and the Modified-Prim heuristic both need a priority queue whose
+//! entries can be re-prioritized in place. An indexed heap keeps one slot per
+//! key (node id) and a position map, giving `O(log n)` `push`/`pop`/
+//! `decrease_key` with zero allocation after construction — in contrast to
+//! the common lazy-deletion `BinaryHeap` pattern which can hold `O(m)` stale
+//! entries.
+
+/// Min-heap keyed by `u64` priorities over the ids `0..n`.
+#[derive(Clone, Debug)]
+pub struct IndexedMinHeap {
+    /// `heap[i]` = id stored at heap slot `i`.
+    heap: Vec<u32>,
+    /// `pos[id]` = slot of `id` in `heap`, or `ABSENT`.
+    pos: Vec<u32>,
+    /// Current priority per id (valid only while present).
+    prio: Vec<u64>,
+}
+
+const ABSENT: u32 = u32::MAX;
+
+impl IndexedMinHeap {
+    /// Create an empty heap over the id universe `0..n`.
+    pub fn new(n: usize) -> Self {
+        IndexedMinHeap {
+            heap: Vec::with_capacity(n),
+            pos: vec![ABSENT; n],
+            prio: vec![0; n],
+        }
+    }
+
+    /// Number of ids currently queued.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True if no ids are queued.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Whether `id` is currently queued.
+    pub fn contains(&self, id: usize) -> bool {
+        self.pos[id] != ABSENT
+    }
+
+    /// Current priority of a queued id.
+    pub fn priority(&self, id: usize) -> Option<u64> {
+        if self.contains(id) {
+            Some(self.prio[id])
+        } else {
+            None
+        }
+    }
+
+    /// Insert `id` with `priority`, or lower its priority if it is already
+    /// queued with a larger one. Returns true if the entry changed.
+    pub fn push_or_decrease(&mut self, id: usize, priority: u64) -> bool {
+        if self.contains(id) {
+            if priority < self.prio[id] {
+                self.prio[id] = priority;
+                self.sift_up(self.pos[id] as usize);
+                true
+            } else {
+                false
+            }
+        } else {
+            self.prio[id] = priority;
+            self.pos[id] = self.heap.len() as u32;
+            self.heap.push(id as u32);
+            self.sift_up(self.heap.len() - 1);
+            true
+        }
+    }
+
+    /// Remove and return the id with the smallest priority.
+    pub fn pop(&mut self) -> Option<(usize, u64)> {
+        if self.heap.is_empty() {
+            return None;
+        }
+        let top = self.heap[0] as usize;
+        let p = self.prio[top];
+        let last = self.heap.pop().expect("non-empty");
+        self.pos[top] = ABSENT;
+        if !self.heap.is_empty() {
+            self.heap[0] = last;
+            self.pos[last as usize] = 0;
+            self.sift_down(0);
+        }
+        Some((top, p))
+    }
+
+    fn sift_up(&mut self, mut i: usize) {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if self.prio[self.heap[i] as usize] < self.prio[self.heap[parent] as usize] {
+                self.swap_slots(i, parent);
+                i = parent;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn sift_down(&mut self, mut i: usize) {
+        loop {
+            let (l, r) = (2 * i + 1, 2 * i + 2);
+            let mut smallest = i;
+            if l < self.heap.len()
+                && self.prio[self.heap[l] as usize] < self.prio[self.heap[smallest] as usize]
+            {
+                smallest = l;
+            }
+            if r < self.heap.len()
+                && self.prio[self.heap[r] as usize] < self.prio[self.heap[smallest] as usize]
+            {
+                smallest = r;
+            }
+            if smallest == i {
+                break;
+            }
+            self.swap_slots(i, smallest);
+            i = smallest;
+        }
+    }
+
+    #[inline]
+    fn swap_slots(&mut self, a: usize, b: usize) {
+        self.heap.swap(a, b);
+        self.pos[self.heap[a] as usize] = a as u32;
+        self.pos[self.heap[b] as usize] = b as u32;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_priority_order() {
+        let mut h = IndexedMinHeap::new(8);
+        for (id, p) in [(3usize, 30u64), (1, 10), (7, 70), (2, 20)] {
+            h.push_or_decrease(id, p);
+        }
+        assert_eq!(h.pop(), Some((1, 10)));
+        assert_eq!(h.pop(), Some((2, 20)));
+        assert_eq!(h.pop(), Some((3, 30)));
+        assert_eq!(h.pop(), Some((7, 70)));
+        assert_eq!(h.pop(), None);
+    }
+
+    #[test]
+    fn decrease_key_moves_entry_forward() {
+        let mut h = IndexedMinHeap::new(4);
+        h.push_or_decrease(0, 100);
+        h.push_or_decrease(1, 50);
+        assert!(h.push_or_decrease(0, 10));
+        assert!(!h.push_or_decrease(0, 99)); // increases are ignored
+        assert_eq!(h.pop(), Some((0, 10)));
+        assert_eq!(h.pop(), Some((1, 50)));
+    }
+
+    #[test]
+    fn contains_and_priority_track_membership() {
+        let mut h = IndexedMinHeap::new(3);
+        assert!(!h.contains(2));
+        h.push_or_decrease(2, 5);
+        assert!(h.contains(2));
+        assert_eq!(h.priority(2), Some(5));
+        h.pop();
+        assert!(!h.contains(2));
+        assert_eq!(h.priority(2), None);
+        assert!(h.is_empty());
+    }
+
+    #[test]
+    fn randomized_against_sorting() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(7);
+        for _ in 0..50 {
+            let n = rng.gen_range(1..64);
+            let mut h = IndexedMinHeap::new(n);
+            let mut model: Vec<Option<u64>> = vec![None; n];
+            for _ in 0..200 {
+                let id = rng.gen_range(0..n);
+                let p: u64 = rng.gen_range(0..1000);
+                h.push_or_decrease(id, p);
+                model[id] = Some(match model[id] {
+                    Some(old) if old <= p => old,
+                    _ => p,
+                });
+            }
+            let mut want: Vec<(u64, usize)> = model
+                .iter()
+                .enumerate()
+                .filter_map(|(i, p)| p.map(|p| (p, i)))
+                .collect();
+            want.sort();
+            let mut got = Vec::new();
+            while let Some((id, p)) = h.pop() {
+                got.push((p, id));
+            }
+            // Priorities must come out sorted; ids with equal priority may tie
+            // in any order, so compare priorities then membership.
+            let got_p: Vec<u64> = got.iter().map(|&(p, _)| p).collect();
+            let want_p: Vec<u64> = want.iter().map(|&(p, _)| p).collect();
+            assert_eq!(got_p, want_p);
+            let mut got_ids: Vec<usize> = got.iter().map(|&(_, i)| i).collect();
+            let mut want_ids: Vec<usize> = want.iter().map(|&(_, i)| i).collect();
+            got_ids.sort_unstable();
+            want_ids.sort_unstable();
+            assert_eq!(got_ids, want_ids);
+        }
+    }
+}

@@ -1,0 +1,85 @@
+//! Undirected minimum spanning trees (Kruskal).
+//!
+//! Problem 1 of the paper: ignore retrieval costs entirely and minimize
+//! storage. On bidirectional version graphs the storage-minimal plan is a
+//! spanning structure of the underlying undirected graph, so Kruskal over
+//! edge storage costs gives the storage-optimal skeleton. (On general
+//! digraphs the directed analogue in [`crate::arborescence`] is used
+//! instead.)
+
+use crate::graph::VersionGraph;
+use crate::ids::EdgeId;
+use crate::unionfind::UnionFind;
+use crate::Cost;
+
+/// A spanning forest of the underlying undirected graph.
+#[derive(Clone, Debug)]
+pub struct SpanningForest {
+    /// Chosen (directed) edge ids; one per undirected edge.
+    pub edges: Vec<EdgeId>,
+    /// Sum of storage costs of the chosen edges.
+    pub total_storage: Cost,
+    /// Number of connected components the forest spans.
+    pub components: usize,
+}
+
+/// Kruskal MST over the underlying undirected graph, weighting each edge by
+/// its storage cost. Parallel/antiparallel edges are treated independently,
+/// so the cheapest direction of each pair is the one picked first.
+pub fn kruskal_min_storage(g: &VersionGraph) -> SpanningForest {
+    let mut order: Vec<EdgeId> = g.edge_ids().collect();
+    order.sort_by_key(|&e| g.edge(e).storage);
+    let mut uf = UnionFind::new(g.n());
+    let mut edges = Vec::with_capacity(g.n().saturating_sub(1));
+    let mut total_storage: Cost = 0;
+    for e in order {
+        let d = g.edge(e);
+        if uf.union(d.src.index(), d.dst.index()) {
+            edges.push(e);
+            total_storage += d.storage;
+        }
+    }
+    SpanningForest {
+        edges,
+        total_storage,
+        components: uf.components(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::NodeId;
+
+    #[test]
+    fn picks_cheap_edges() {
+        let mut g = VersionGraph::with_nodes(3);
+        g.add_bidirectional_edge(NodeId(0), NodeId(1), 5, 1);
+        g.add_bidirectional_edge(NodeId(1), NodeId(2), 3, 1);
+        g.add_bidirectional_edge(NodeId(0), NodeId(2), 10, 1);
+        let f = kruskal_min_storage(&g);
+        assert_eq!(f.total_storage, 8);
+        assert_eq!(f.edges.len(), 2);
+        assert_eq!(f.components, 1);
+    }
+
+    #[test]
+    fn handles_forests() {
+        let mut g = VersionGraph::with_nodes(4);
+        g.add_bidirectional_edge(NodeId(0), NodeId(1), 2, 1);
+        g.add_bidirectional_edge(NodeId(2), NodeId(3), 4, 1);
+        let f = kruskal_min_storage(&g);
+        assert_eq!(f.total_storage, 6);
+        assert_eq!(f.components, 2);
+    }
+
+    #[test]
+    fn asymmetric_pair_picks_cheaper_direction() {
+        let mut g = VersionGraph::with_nodes(2);
+        g.add_edge(NodeId(0), NodeId(1), 9, 1);
+        g.add_edge(NodeId(1), NodeId(0), 4, 1);
+        let f = kruskal_min_storage(&g);
+        assert_eq!(f.total_storage, 4);
+        assert_eq!(g.edge(f.edges[0]).src, NodeId(1));
+    }
+}

@@ -1,0 +1,106 @@
+//! Instance validation.
+//!
+//! Section 2.2 of the paper lists structural assumptions (generalized
+//! triangle inequality, single weight function, bidirectionality) that some
+//! algorithms exploit and some hardness results require. This module checks
+//! them so experiments can assert the preconditions they claim.
+
+use crate::graph::VersionGraph;
+use crate::Cost;
+
+/// A structural report about a version graph.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct InstanceReport {
+    /// Every edge pair `(u,v),(v,u)` exists.
+    pub bidirectional: bool,
+    /// Underlying undirected graph is a tree.
+    pub underlying_tree: bool,
+    /// `s_e == r_e` on every edge.
+    pub single_weight: bool,
+    /// `s_u + s_{(u,v)} ≥ s_v` for all edges (generalized triangle
+    /// inequality on materialization costs, Section 2.2).
+    pub generalized_triangle: bool,
+    /// Number of edge pairs violating the generalized triangle inequality.
+    pub triangle_violations: usize,
+}
+
+/// Compute the structural report.
+pub fn analyze(g: &VersionGraph) -> InstanceReport {
+    let single_weight = g.edges().iter().all(|e| e.storage == e.retrieval);
+    let mut triangle_violations = 0usize;
+    for e in g.edges() {
+        let lhs: Cost = g.node_storage(e.src).saturating_add(e.storage);
+        if lhs < g.node_storage(e.dst) {
+            triangle_violations += 1;
+        }
+    }
+    InstanceReport {
+        bidirectional: g.is_bidirectional(),
+        underlying_tree: g.underlying_is_tree(),
+        single_weight,
+        generalized_triangle: triangle_violations == 0,
+        triangle_violations,
+    }
+}
+
+/// Basic well-formedness: adjacency lists agree with the edge arena.
+pub fn check_well_formed(g: &VersionGraph) -> Result<(), String> {
+    for v in g.node_ids() {
+        for &e in g.out_edges(v) {
+            if g.edge(e).src != v {
+                return Err(format!("out-adjacency of {v} lists edge {e} not leaving it"));
+            }
+        }
+        for &e in g.in_edges(v) {
+            if g.edge(e).dst != v {
+                return Err(format!("in-adjacency of {v} lists edge {e} not entering it"));
+            }
+        }
+    }
+    let mut seen_out = 0usize;
+    let mut seen_in = 0usize;
+    for v in g.node_ids() {
+        seen_out += g.out_degree(v);
+        seen_in += g.in_degree(v);
+    }
+    if seen_out != g.m() || seen_in != g.m() {
+        return Err(format!(
+            "degree sums ({seen_out} out, {seen_in} in) disagree with edge count {}",
+            g.m()
+        ));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{bidirectional_path, CostModel};
+    use crate::ids::NodeId;
+
+    #[test]
+    fn analyze_bidirectional_tree() {
+        let g = bidirectional_path(5, &CostModel::single_weight(), 1);
+        let r = analyze(&g);
+        assert!(r.bidirectional);
+        assert!(r.underlying_tree);
+        assert!(r.single_weight);
+    }
+
+    #[test]
+    fn triangle_violation_detected() {
+        let mut g = VersionGraph::with_nodes(2);
+        *g.node_storage_mut(NodeId(0)) = 10;
+        *g.node_storage_mut(NodeId(1)) = 100;
+        g.add_edge(NodeId(0), NodeId(1), 5, 5); // 10 + 5 < 100
+        let r = analyze(&g);
+        assert!(!r.generalized_triangle);
+        assert_eq!(r.triangle_violations, 1);
+    }
+
+    #[test]
+    fn well_formedness_holds_for_generated_graphs() {
+        let g = bidirectional_path(20, &CostModel::default(), 2);
+        check_well_formed(&g).expect("well formed");
+    }
+}

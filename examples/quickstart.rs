@@ -1,0 +1,84 @@
+//! Quickstart: the Figure-1 version graph from the paper, solved end to end.
+//!
+//! Five dataset versions with annotated `<storage, retrieval>` costs. We
+//! compare the two trivial extremes (store everything / minimum storage)
+//! against the paper's algorithms at an intermediate budget — reproducing
+//! the (i)–(iv) storage options of Figure 1.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use dataset_versioning::prelude::*;
+
+fn main() {
+    // Figure 1(i): the input version graph.
+    let mut g = VersionGraph::new();
+    let v1 = g.add_labelled_node(10_000, "v1");
+    let v2 = g.add_labelled_node(10_100, "v2");
+    let v3 = g.add_labelled_node(9_700, "v3");
+    let v4 = g.add_labelled_node(9_800, "v4");
+    let v5 = g.add_labelled_node(10_120, "v5");
+    // <storage, retrieval> annotations from the figure.
+    g.add_bidirectional_edge(v1, v2, 200, 200);
+    g.add_bidirectional_edge(v1, v3, 1_000, 3_000);
+    g.add_bidirectional_edge(v2, v4, 50, 400);
+    g.add_bidirectional_edge(v2, v5, 800, 2_500);
+    g.add_bidirectional_edge(v3, v5, 200, 550);
+
+    println!("version graph: {} versions, {} deltas", g.n(), g.m());
+
+    // Figure 1(ii): store every version.
+    let all = StoragePlan::materialize_all(&g);
+    let c = all.costs(&g);
+    println!(
+        "(ii) materialize all : storage {:>6}, total retrieval {:>6}, max {:>5}",
+        c.storage, c.total_retrieval, c.max_retrieval
+    );
+
+    // Figure 1(iii): the storage-minimal plan (Problem 1).
+    let minimal = min_storage_plan(&g);
+    let c = minimal.costs(&g);
+    println!(
+        "(iii) min storage    : storage {:>6}, total retrieval {:>6}, max {:>5}",
+        c.storage, c.total_retrieval, c.max_retrieval
+    );
+
+    // Figure 1(iv): materializing v3 as well shortens v3 and v5.
+    let smin = min_storage_value(&g);
+    let budget = smin + g.node_storage(v3);
+    for (name, plan) in [
+        ("LMG", lmg(&g, budget)),
+        ("LMG-All", lmg_all(&g, budget)),
+    ] {
+        let plan = plan.expect("budget is above minimum storage");
+        let c = plan.costs(&g);
+        println!(
+            "(iv) {name:<8} S<={budget}: storage {:>6}, total retrieval {:>6}, max {:>5}, {} materialized",
+            c.storage,
+            c.total_retrieval,
+            c.max_retrieval,
+            plan.materialized_count()
+        );
+    }
+
+    // DP-MSR gives the whole storage/retrieval frontier in one run.
+    let budgets: Vec<Cost> = (0..6).map(|i| smin + i * 5_000).collect();
+    let sweep = dp_msr_sweep(&g, v1, &budgets, &DpMsrConfig::default())
+        .expect("graph is connected");
+    println!("\nDP-MSR frontier (storage budget -> achieved storage/retrieval):");
+    for (b, costs) in budgets.iter().zip(sweep) {
+        match costs {
+            Some(c) => println!(
+                "  S <= {b:>6} : storage {:>6}, total retrieval {:>6}",
+                c.storage, c.total_retrieval
+            ),
+            None => println!("  S <= {b:>6} : infeasible"),
+        }
+    }
+
+    // And the exact optimum via the Appendix-D ILP (graph is tiny).
+    let opt = msr_opt(&g, budget, 50_000, None).expect("feasible");
+    println!(
+        "\nILP OPT at S <= {budget}: total retrieval {} (proven optimal: {})",
+        opt.total_retrieval, opt.proven_optimal
+    );
+}

@@ -1,0 +1,69 @@
+//! # dataset-versioning
+//!
+//! A from-scratch Rust implementation of Guo, Li, Sukprasert, Khuller,
+//! Deshpande & Mukherjee, *"To Store or Not to Store: a graph theoretical
+//! approach for Dataset Versioning"* (IPPS 2024, arXiv:2402.11741).
+//!
+//! Given many versions of a dataset and the deltas between them, the
+//! library decides which versions to **materialize** and which to rebuild
+//! from **deltas**, optimizing the storage/retrieval trade-off:
+//!
+//! * **MSR** — minimize total retrieval cost under a storage budget;
+//! * **MMR** — minimize the worst retrieval cost under a storage budget;
+//! * **BSR/BMR** — minimize storage under retrieval budgets.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use dataset_versioning::prelude::*;
+//!
+//! // Build a version graph: nodes carry materialization costs, edges carry
+//! // (storage, retrieval) delta costs.
+//! let mut g = VersionGraph::new();
+//! let v1 = g.add_node(10_000);
+//! let v2 = g.add_node(10_100);
+//! g.add_bidirectional_edge(v1, v2, 200, 200);
+//!
+//! // Budget: 1.2x the storage-minimal plan.
+//! let smin = min_storage_value(&g);
+//! let plan = lmg_all(&g, smin * 12 / 10).expect("feasible");
+//! let costs = plan.costs(&g);
+//! assert!(costs.storage <= smin * 12 / 10);
+//! ```
+//!
+//! ## Crate map
+//!
+//! | crate | contents |
+//! |-------|----------|
+//! | [`dsv_vgraph`] | graph container + arborescences, Dijkstra, MST, generators |
+//! | [`dsv_delta`] | Myers diff, chunk sketches, synthetic corpora (Table 4) |
+//! | [`dsv_treewidth`] | tree decompositions, nice decompositions |
+//! | [`dsv_core`] | LMG, LMG-All, MP, DP-BMR, DP-MSR, FPTAS, reductions, ILP |
+//! | [`dsv_solver`] | simplex + branch & bound (the Gurobi stand-in) |
+
+#![warn(missing_docs)]
+
+pub use dsv_core as core;
+pub use dsv_delta as delta;
+pub use dsv_solver as solver;
+pub use dsv_treewidth as treewidth;
+pub use dsv_vgraph as vgraph;
+
+/// Everything a typical user needs in one import.
+pub mod prelude {
+    pub use dsv_core::baselines::{
+        checkpoint_plan, min_storage_plan, min_storage_value, shortest_path_plan,
+    };
+    pub use dsv_core::btw::{btw_msr, btw_msr_value, BtwConfig};
+    pub use dsv_core::exact::{brute_force, msr_opt};
+    pub use dsv_core::heuristics::{lmg, lmg_all, modified_prims};
+    pub use dsv_core::plan::{Parent, PlanCosts, StoragePlan};
+    pub use dsv_core::problem::{Objective, ProblemKind};
+    pub use dsv_core::reductions::{bsr_via_msr, mmr_on_graph};
+    pub use dsv_core::tree::{
+        dp_bmr_on_graph, dp_msr_on_graph, dp_msr_sweep, extract_tree, DpMsrConfig,
+    };
+    pub use dsv_delta::corpus::{corpus, CorpusName};
+    pub use dsv_delta::transforms::{erdos_renyi_from_sketches, random_compression};
+    pub use dsv_vgraph::{Cost, EdgeId, NodeId, VersionGraph};
+}

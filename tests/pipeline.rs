@@ -1,0 +1,166 @@
+//! End-to-end integration: corpus generation → transforms → every
+//! algorithm → plan validation. This is the full pipeline a user of the
+//! library runs, exercised across crate boundaries.
+
+use dataset_versioning::prelude::*;
+use dsv_delta::corpus::corpus_with_sketches;
+
+fn all_msr_algorithms_agree_on_feasibility(g: &VersionGraph, budget: Cost) {
+    let lmg_plan = lmg(g, budget);
+    let all_plan = lmg_all(g, budget);
+    assert_eq!(lmg_plan.is_some(), all_plan.is_some());
+    for plan in [lmg_plan, all_plan].into_iter().flatten() {
+        plan.validate(g).expect("valid plan");
+        assert!(plan.costs(g).storage <= budget);
+    }
+}
+
+#[test]
+fn datasharing_corpus_end_to_end() {
+    let c = corpus(CorpusName::Datasharing, 1.0, 11);
+    let g = &c.graph;
+    assert_eq!(g.n(), 29);
+    let smin = min_storage_value(g);
+
+    // Sweep like Figure 10.
+    for factor in [105u64, 150, 200, 250] {
+        let budget = smin * factor / 100;
+        all_msr_algorithms_agree_on_feasibility(g, budget);
+        let (plan, costs) =
+            dp_msr_on_graph(g, NodeId(0), budget, &DpMsrConfig::default()).expect("feasible");
+        plan.validate(g).expect("valid");
+        assert!(costs.storage <= budget);
+    }
+
+    // OPT via ILP at one budget; DP must be close (paper: near-identical).
+    let budget = smin * 2;
+    let dp = dp_msr_on_graph(g, NodeId(0), budget, &DpMsrConfig::default())
+        .expect("feasible")
+        .1
+        .total_retrieval;
+    let incumbent = lmg_all(g, budget)
+        .expect("feasible")
+        .costs(g)
+        .total_retrieval
+        .min(dp);
+    // Debug builds get a smaller node budget: the assertion below accepts a
+    // NodeLimit outcome, so this only trades proof strength for time.
+    let node_cap = if cfg!(debug_assertions) { 4_000 } else { 150_000 };
+    match msr_opt(g, budget, node_cap, Some(incumbent)) {
+        Some(opt) if opt.proven_optimal => {
+            assert!(opt.total_retrieval <= dp);
+            assert!(
+                dp as f64 <= opt.total_retrieval as f64 * 1.3 + 1.0,
+                "DP-MSR ({dp}) should track OPT ({}) on datasharing",
+                opt.total_retrieval
+            );
+        }
+        Some(opt) => {
+            // Node limit hit but an improving solution was found.
+            assert!(opt.total_retrieval <= incumbent);
+        }
+        None => {
+            // Node limit hit without beating the heuristic incumbent —
+            // acceptable under debug node budgets; the release run proves
+            // optimality.
+            assert!(cfg!(debug_assertions), "release ILP must close");
+        }
+    }
+}
+
+#[test]
+fn compressed_corpus_pipeline() {
+    let c = corpus(CorpusName::Datasharing, 1.0, 12);
+    let g = random_compression(&c.graph, 99);
+    // Compression must decouple the weight functions.
+    assert!(g.edges().iter().any(|e| e.storage != e.retrieval));
+    let smin = min_storage_value(&g);
+    for factor in [120u64, 200] {
+        let budget = smin * factor / 100;
+        all_msr_algorithms_agree_on_feasibility(&g, budget);
+    }
+    // BMR pipeline on the compressed graph.
+    let r_budget = g.max_edge_retrieval() * 2;
+    let mp = modified_prims(&g, r_budget);
+    mp.validate(&g).expect("valid");
+    assert!(mp.costs(&g).max_retrieval <= r_budget);
+    let dp = dp_bmr_on_graph(&g, NodeId(0), r_budget).expect("connected");
+    dp.plan.validate(&g).expect("valid");
+    assert!(dp.plan.costs(&g).max_retrieval <= r_budget);
+}
+
+#[test]
+fn er_construction_pipeline() {
+    let c = corpus_with_sketches(CorpusName::LeetCodeAnimation, 0.2, 13, true);
+    let sketches = c.sketches.expect("sketch corpus");
+    let er = erdos_renyi_from_sketches(&sketches, 0.3, 5);
+    assert!(er.is_bidirectional());
+    // The ER graph must be solvable by every algorithm.
+    let smin = min_storage_value(&er);
+    all_msr_algorithms_agree_on_feasibility(&er, smin * 3 / 2);
+    let (plan, costs) =
+        dp_msr_on_graph(&er, NodeId(0), smin * 3 / 2, &DpMsrConfig::default())
+            .expect("ER graphs are connected at p=0.3");
+    plan.validate(&er).expect("valid");
+    assert!(costs.storage <= smin * 3 / 2);
+}
+
+#[test]
+fn mmr_and_bsr_reductions_on_corpus() {
+    let c = corpus(CorpusName::Datasharing, 0.8, 14);
+    let g = &c.graph;
+    let smin = min_storage_value(g);
+    let (plan, max_r) = mmr_on_graph(g, NodeId(0), smin * 2).expect("feasible");
+    plan.validate(g).expect("valid");
+    assert_eq!(plan.costs(g).max_retrieval, max_r);
+
+    let (bsr_plan, storage) =
+        bsr_via_msr(g, NodeId(0), max_r * g.n() as u64, &DpMsrConfig::default())
+            .expect("generous budget is feasible");
+    bsr_plan.validate(g).expect("valid");
+    assert!(storage >= smin);
+}
+
+#[test]
+fn problem_enum_is_consistent_with_brute_force_on_corpus_subgraph() {
+    // Take a tiny corpus so brute force is exact.
+    let c = corpus(CorpusName::Datasharing, 0.25, 15); // ~7 commits
+    let g = &c.graph;
+    assert!(g.n() <= 9);
+    let smin = min_storage_value(g);
+    let budget = smin * 2;
+    let msr = brute_force(g, ProblemKind::Msr { storage_budget: budget }).expect("feasible");
+    // LMG/LMG-All are upper bounds on the brute-force optimum.
+    for plan in [lmg(g, budget), lmg_all(g, budget)].into_iter().flatten() {
+        assert!(plan.costs(g).total_retrieval >= msr.costs.total_retrieval);
+    }
+    // The storage-minimal plan is what budget = smin forces.
+    let tight = brute_force(g, ProblemKind::Msr { storage_budget: smin }).expect("feasible");
+    assert_eq!(tight.costs.storage, smin);
+}
+
+#[test]
+fn serialization_roundtrip_through_text_and_json() {
+    let c = corpus(CorpusName::Datasharing, 0.5, 16);
+    let g = &c.graph;
+    let text = dsv_vgraph::io::to_text(g);
+    let g2 = dsv_vgraph::io::from_text(&text).expect("parses");
+    assert_eq!(g.edges(), g2.edges());
+    let json = dsv_vgraph::io::to_json(g);
+    let g3 = dsv_vgraph::io::from_json(&json).expect("parses");
+    assert_eq!(g.edges(), g3.edges());
+    // Solving the round-tripped graph gives identical results.
+    let smin = min_storage_value(g);
+    let a = lmg_all(g, smin * 2).expect("feasible").costs(g);
+    let b = lmg_all(&g2, smin * 2).expect("feasible").costs(&g2);
+    assert_eq!(a, b);
+}
+
+#[test]
+fn treewidth_of_natural_corpora_is_small() {
+    let c = corpus(CorpusName::Styleguide, 0.3, 17);
+    let tw = dsv_treewidth::treewidth_upper_bound(&c.graph);
+    // Footnote 7: natural version graphs have low treewidth even with
+    // hundreds of commits and merges.
+    assert!(tw <= 8, "treewidth upper bound {tw} unexpectedly large");
+}
