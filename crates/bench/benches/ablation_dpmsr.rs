@@ -11,8 +11,8 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dsv_core::baselines::min_storage_value;
-use dsv_core::tree::msr_engine::{run_tree_msr, GammaGrid, TreeDpConfig};
 use dsv_core::tree::extract_tree;
+use dsv_core::tree::msr_engine::{run_tree_msr, GammaGrid, TreeDpConfig};
 use dsv_delta::corpus::{corpus, CorpusName};
 use dsv_vgraph::NodeId;
 use std::hint::black_box;

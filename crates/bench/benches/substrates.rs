@@ -49,18 +49,19 @@ fn bench_myers(c: &mut Criterion) {
     group.sample_size(20);
     group.measurement_time(std::time::Duration::from_secs(2));
     group.warm_up_time(std::time::Duration::from_millis(500));
-    for (label, n, edits) in [("near-identical", 5_000usize, 5usize), ("divergent", 1_000, 300)] {
+    for (label, n, edits) in [
+        ("near-identical", 5_000usize, 5usize),
+        ("divergent", 1_000, 300),
+    ] {
         let a: Vec<u32> = (0..n as u32).collect();
         let mut b = a.clone();
         for i in 0..edits {
             let pos = (i * 977) % b.len();
             b[pos] = u32::MAX - i as u32;
         }
-        group.bench_with_input(
-            BenchmarkId::new("diff", label),
-            &(a, b),
-            |bench, (a, b)| bench.iter(|| black_box(dsv_delta::myers::diff(a, b))),
-        );
+        group.bench_with_input(BenchmarkId::new("diff", label), &(a, b), |bench, (a, b)| {
+            bench.iter(|| black_box(dsv_delta::myers::diff(a, b)))
+        });
     }
     group.finish();
 }

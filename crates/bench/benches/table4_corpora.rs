@@ -11,9 +11,9 @@ fn bench_table4(c: &mut Criterion) {
     group.measurement_time(std::time::Duration::from_secs(2));
     group.warm_up_time(std::time::Duration::from_millis(500));
     for (name, scale) in [
-        (CorpusName::Datasharing, 1.0),  // text mode, real Myers diffs
-        (CorpusName::Styleguide, 0.15),  // text mode, larger documents
-        (CorpusName::Icu996, 0.05),      // sketch mode, large chunks
+        (CorpusName::Datasharing, 1.0),   // text mode, real Myers diffs
+        (CorpusName::Styleguide, 0.15),   // text mode, larger documents
+        (CorpusName::Icu996, 0.05),       // sketch mode, large chunks
         (CorpusName::FreeCodeCamp, 0.01), // sketch mode, many small chunks
     ] {
         group.bench_with_input(

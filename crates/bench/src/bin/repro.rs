@@ -6,7 +6,7 @@
 //! ```
 //!
 //! Experiments: `table4`, `fig10`, `fig11`, `fig12`, `fig13`, `thm1`,
-//! `btw`, `treewidth`, `all`. Output: Markdown to stdout plus one CSV per
+//! `btw`, `portfolio`, `treewidth`, `all`. Output: Markdown to stdout plus one CSV per
 //! report under `--out` (default `results/`).
 
 use dsv_bench::experiments::{self, ExperimentOptions};
@@ -25,10 +25,7 @@ fn parse_args() -> Result<Args, String> {
     let mut opts = ExperimentOptions::default();
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
-        let mut value = |name: &str| {
-            it.next()
-                .ok_or_else(|| format!("missing value for {name}"))
-        };
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("missing value for {name}"));
         match arg.as_str() {
             "--experiment" | "-e" => experiment = value("--experiment")?,
             "--out" | "-o" => out = PathBuf::from(value("--out")?),
@@ -59,7 +56,7 @@ fn parse_args() -> Result<Args, String> {
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: repro [--experiment all|table4|fig10|fig11|fig12|fig13|thm1|btw|treewidth]\n\
+                    "usage: repro [--experiment all|table4|fig10|fig11|fig12|fig13|thm1|btw|portfolio|treewidth]\n\
                      \x20            [--scale F] [--max-nodes N] [--seed N] [--points N]\n\
                      \x20            [--opt-limit N] [--out DIR]"
                 );
@@ -85,6 +82,7 @@ fn run(experiment: &str, opts: &ExperimentOptions) -> Result<Vec<Report>, String
         "thm1" => vec![experiments::thm1()],
         "treewidth" => vec![experiments::treewidth_report(opts)],
         "btw" => vec![experiments::btw_report(opts)],
+        "portfolio" => vec![experiments::portfolio_report(opts)],
         "all" => {
             let mut all = vec![experiments::table4(opts)];
             all.extend(experiments::fig10(opts));
@@ -93,6 +91,7 @@ fn run(experiment: &str, opts: &ExperimentOptions) -> Result<Vec<Report>, String
             all.extend(experiments::fig13(opts));
             all.push(experiments::thm1());
             all.push(experiments::btw_report(opts));
+            all.push(experiments::portfolio_report(opts));
             all.push(experiments::treewidth_report(opts));
             all
         }

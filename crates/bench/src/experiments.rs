@@ -45,15 +45,14 @@ impl ExperimentOptions {
 }
 
 fn sweep_report(name: &str, points: &[SweepPoint]) -> Report {
-    let mut r = Report::new(
-        name,
-        &["algorithm", "budget", "objective", "time_ms"],
-    );
+    let mut r = Report::new(name, &["algorithm", "budget", "objective", "time_ms"]);
     for p in points {
         r.push_row(vec![
             p.algorithm.to_string(),
             p.budget.to_string(),
-            p.objective.map(|o| o.to_string()).unwrap_or_else(|| "inf".into()),
+            p.objective
+                .map(|o| o.to_string())
+                .unwrap_or_else(|| "inf".into()),
             fmt_f(p.time_ms),
         ]);
     }
@@ -157,8 +156,7 @@ pub fn fig12(opts: &ExperimentOptions) -> Vec<Report> {
         true,
     );
     let sketches = lc.sketches.as_ref().expect("sketch-mode corpus");
-    let mut cases: Vec<(String, VersionGraph)> =
-        vec![("original".into(), lc.graph.clone())];
+    let mut cases: Vec<(String, VersionGraph)> = vec![("original".into(), lc.graph.clone())];
     for p in [0.05, 0.2, 1.0] {
         cases.push((
             format!("p{p}"),
@@ -192,12 +190,13 @@ pub fn fig13(opts: &ExperimentOptions) -> Vec<Report> {
 }
 
 /// Theorem 1: the adversarial chain where LMG (and greedy in general) is
-/// arbitrarily bad.
+/// arbitrarily bad. All three solves dispatch through the engine.
 pub fn thm1() -> Report {
-    use dsv_core::exact::brute::msr_optimum;
-    use dsv_core::heuristics::{lmg, lmg_all};
-    use dsv_vgraph::NodeId;
+    use dsv_core::engine::{Engine, SolveOptions};
+    use dsv_core::problem::ProblemKind;
 
+    let engine = Engine::with_default_solvers();
+    let opts = SolveOptions::default();
     let mut r = Report::new(
         "thm1-lmg-worst-case",
         &["c/b", "LMG", "LMG-All", "OPT", "LMG/OPT"],
@@ -216,17 +215,21 @@ pub fn thm1() -> Report {
         g.add_edge(va, vb, eb, eb);
         g.add_edge(vb, vc, ec, ec);
         let _ = (va, vc);
-        let budget = a + eb + c;
-        let lmg_obj = lmg(&g, budget)
-            .expect("feasible")
-            .costs(&g)
-            .total_retrieval;
-        let all_obj = lmg_all(&g, budget)
-            .expect("feasible")
-            .costs(&g)
-            .total_retrieval;
-        let opt = msr_optimum(&g, budget).expect("feasible");
-        let _ = NodeId(0);
+        let problem = ProblemKind::Msr {
+            storage_budget: a + eb + c,
+        };
+        let objective = |solver: &str| {
+            engine
+                .solve_with(solver, &g, problem, &opts)
+                .expect("feasible")
+                .costs
+                .total_retrieval
+        };
+        let (lmg_obj, all_obj, opt) = (
+            objective("LMG"),
+            objective("LMG-All"),
+            objective("BruteForce"),
+        );
         r.push_row(vec![
             ratio.to_string(),
             lmg_obj.to_string(),
@@ -239,47 +242,123 @@ pub fn thm1() -> Report {
     r
 }
 
+/// Engine showcase: every [`ProblemKind`](dsv_core::problem::ProblemKind)
+/// solved end-to-end through [`Engine::portfolio`] on one corpus — which
+/// solver wins each problem, at what objective, against how many feasible
+/// competitors. Not a paper figure; it exercises the serving path future
+/// PRs build on.
+pub fn portfolio_report(opts: &ExperimentOptions) -> Report {
+    use crate::sweep::portfolio_sweep;
+    use dsv_core::baselines::min_storage_value;
+    use dsv_core::problem::ProblemKind;
+
+    let c = corpus(
+        CorpusName::Datasharing,
+        opts.scale_for(CorpusName::Datasharing),
+        opts.seed,
+    );
+    let g = &c.graph;
+    let smin = min_storage_value(g);
+    let rmax = g.max_edge_retrieval();
+
+    let mut r = Report::new(
+        "engine-portfolio-datasharing",
+        &[
+            "problem",
+            "budget",
+            "winner",
+            "objective",
+            "feasible",
+            "attempted",
+            "time_ms",
+        ],
+    );
+    let problems = [
+        ProblemKind::Msr {
+            storage_budget: smin * 2,
+        },
+        ProblemKind::Mmr {
+            storage_budget: smin * 2,
+        },
+        ProblemKind::Bsr {
+            retrieval_budget: rmax.saturating_mul(g.n() as u64),
+        },
+        ProblemKind::Bmr {
+            retrieval_budget: rmax,
+        },
+    ];
+    for point in portfolio_sweep(g, &problems) {
+        let (winner, objective) = match point.winner {
+            Some((solver, obj)) => (solver.to_string(), obj.to_string()),
+            None => ("-".into(), "-".into()),
+        };
+        r.push_row(vec![
+            point.problem.name().into(),
+            point.problem.budget().to_string(),
+            winner,
+            objective,
+            point.feasible.to_string(),
+            point.attempted.to_string(),
+            fmt_f(point.time_ms),
+        ]);
+    }
+    r.note("Engine portfolio: each row is one ProblemKind solved by every registered solver that supports it; the winner is the best feasible validated plan.");
+    r
+}
+
 /// Section 5.3 extension experiment: DP-BTW (exact on bounded-width
 /// graphs) against the tree-restricted DP and LMG-All on series-parallel
 /// graphs — the class the paper singles out as "highly resembl[ing] the
 /// version graphs we derive from real-world repositories". Not a paper
 /// figure; it demonstrates the bounded-treewidth contribution end to end.
 pub fn btw_report(opts: &ExperimentOptions) -> Report {
-    use dsv_core::btw::{btw_msr, BtwConfig};
-    use dsv_core::heuristics::lmg_all;
+    use dsv_core::engine::{Engine, SolveOptions};
+    use dsv_core::problem::ProblemKind;
     use dsv_core::tree::{extract_tree, msr_tree_exact};
     use dsv_vgraph::generators::{series_parallel, CostModel};
     use dsv_vgraph::NodeId;
 
+    let engine = Engine::with_default_solvers();
+    let solve_opts = SolveOptions::default();
     let mut r = Report::new(
         "btw-series-parallel",
-        &["nodes", "width", "budget", "DP-BTW", "tree-DP", "LMG-All"],
+        &["nodes", "budget", "DP-BTW", "tree-DP", "LMG-All"],
     );
     for ops in [6usize, 10, 14] {
         let g = series_parallel(ops, &CostModel::default(), opts.seed);
         let smin = dsv_core::baselines::min_storage_value(&g);
         let budget = smin * 2;
-        let cfg = BtwConfig {
-            storage_prune: Some(budget),
-            ..Default::default()
+        let problem = ProblemKind::Msr {
+            storage_budget: budget,
         };
-        let Some(btw) = btw_msr(&g, &cfg) else {
-            continue;
+        // The DP-BTW solver certifies the exact optimum as a lower bound
+        // on its (heuristic-witness) solution. A ResourceLimit (state-count
+        // explosion) means "no answer", not "infeasible": skip the row
+        // rather than print a misleading `inf`.
+        let btw_val = match engine.solve_with("DP-BTW", &g, problem, &solve_opts) {
+            Ok(s) => s.meta.lower_bound,
+            Err(dsv_core::engine::SolveError::ResourceLimit { .. }) => continue,
+            Err(_) => None,
         };
-        let btw_val = btw.best_under(budget);
         let tree_val = extract_tree(&g, NodeId(0))
             .map(|t| msr_tree_exact(&g, &t).best_under(budget).map(|(_, v)| v));
-        let greedy = lmg_all(&g, budget).map(|p| p.costs(&g).total_retrieval);
+        let greedy = engine
+            .solve_with("LMG-All", &g, problem, &solve_opts)
+            .ok()
+            .map(|s| s.costs.total_retrieval);
         r.push_row(vec![
             g.n().to_string(),
-            btw.width.to_string(),
             budget.to_string(),
-            btw_val.map(|v| v.to_string()).unwrap_or_else(|| "inf".into()),
+            btw_val
+                .map(|v| v.to_string())
+                .unwrap_or_else(|| "inf".into()),
             tree_val
                 .flatten()
                 .map(|v| v.to_string())
                 .unwrap_or_else(|| "inf".into()),
-            greedy.map(|v| v.to_string()).unwrap_or_else(|| "inf".into()),
+            greedy
+                .map(|v| v.to_string())
+                .unwrap_or_else(|| "inf".into()),
         ]);
     }
     r.note("Extension (Table 3, DP-BTW row): the bounded-width DP is exact, so DP-BTW <= tree-DP <= / ~ LMG-All; the tree DP loses whenever a series-parallel shortcut edge matters.");
@@ -287,15 +366,17 @@ pub fn btw_report(opts: &ExperimentOptions) -> Report {
 }
 
 /// Footnote 7: treewidth upper bounds of the corpora. The five estimations
-/// are independent `O(n²)`-ish computations, so they run on crossbeam
-/// scoped threads.
+/// are independent `O(n²)`-ish computations, so they run on scoped threads.
 pub fn treewidth_report(opts: &ExperimentOptions) -> Report {
-    let mut r = Report::new("treewidth-of-corpora", &["dataset", "nodes", "treewidth_ub"]);
-    let rows: Vec<(CorpusName, usize, usize)> = crossbeam::thread::scope(|scope| {
+    let mut r = Report::new(
+        "treewidth-of-corpora",
+        &["dataset", "nodes", "treewidth_ub"],
+    );
+    let rows: Vec<(CorpusName, usize, usize)> = std::thread::scope(|scope| {
         let handles: Vec<_> = CorpusName::ALL
             .into_iter()
             .map(|name| {
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     // Treewidth estimation is O(n^2)-ish; cap sizes.
                     let scale = opts.scale_for(name).min(800.0 / name.paper_nodes() as f64);
                     let c = corpus(name, scale, opts.seed);
@@ -308,8 +389,7 @@ pub fn treewidth_report(opts: &ExperimentOptions) -> Report {
             .into_iter()
             .map(|h| h.join().expect("treewidth worker"))
             .collect()
-    })
-    .expect("crossbeam scope");
+    });
     for (name, n, tw) in rows {
         r.push_row(vec![name.as_str().into(), n.to_string(), tw.to_string()]);
     }
@@ -348,10 +428,12 @@ mod tests {
         let ratios: Vec<f64> = r
             .rows
             .iter()
-            .map(|row| row[4].replace("e", "E").parse::<f64>().unwrap_or_else(|_| {
-                // fmt_f may emit scientific notation like 1.234e4.
-                row[4].parse::<f64>().expect("ratio parses")
-            }))
+            .map(|row| {
+                row[4].replace("e", "E").parse::<f64>().unwrap_or_else(|_| {
+                    // fmt_f may emit scientific notation like 1.234e4.
+                    row[4].parse::<f64>().expect("ratio parses")
+                })
+            })
             .collect();
         assert!(ratios.windows(2).all(|w| w[1] > w[0]));
         assert!(*ratios.last().expect("non-empty") > 100.0);

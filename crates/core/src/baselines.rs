@@ -101,7 +101,7 @@ pub fn checkpoint_plan(g: &VersionGraph, k: usize) -> StoragePlan {
     for &v in order.iter().rev() {
         if let Some(p) = pf[v.index()] {
             depth[v.index()] = depth[p.index()] + 1;
-            if depth[v.index()] % k == 0 {
+            if depth[v.index()].is_multiple_of(k) {
                 plan.parent[v.index()] = Parent::Materialized;
                 depth[v.index()] = 0;
             }

@@ -124,7 +124,9 @@ fn with_status(key: &Key, x: u32, vs: VS) -> Key {
 }
 
 fn status_of(key: &Key, x: u32) -> VS {
-    let pos = key.binary_search_by_key(&x, |&(v, _)| v).expect("x is live");
+    let pos = key
+        .binary_search_by_key(&x, |&(v, _)| v)
+        .expect("x is live");
     key[pos].1
 }
 
@@ -189,7 +191,12 @@ pub fn btw_msr(g: &VersionGraph, cfg: &BtwConfig) -> Option<BtwResult> {
                 let mut k = base.clone();
                 k.insert(pos, (vid, VS::Rooted { gamma: 0 }));
                 for &(s, r) in list {
-                    insert(&mut next, cfg, k.clone(), (cost_add(s, g.node_storage(v)), r));
+                    insert(
+                        &mut next,
+                        cfg,
+                        k.clone(),
+                        (cost_add(s, g.node_storage(v)), r),
+                    );
                 }
             }
             // Option 2: leave v waiting for a parent.
@@ -389,11 +396,11 @@ pub fn materialize_all_point(g: &VersionGraph) -> (StoragePlan, Pair) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dsv_vgraph::NodeId;
     use crate::exact::brute::msr_optimum;
     use dsv_vgraph::generators::{
         bidirectional_path, erdos_renyi_bidirectional, random_tree, series_parallel, CostModel,
     };
+    use dsv_vgraph::NodeId;
 
     fn check_against_brute(g: &VersionGraph, budgets: &[Cost]) {
         for &budget in budgets {
@@ -452,10 +459,7 @@ mod tests {
         assert_eq!(r.frontier.first().expect("non-empty").0, smin);
         // High end: materializing everything gives zero retrieval.
         let (_, (s_all, _)) = materialize_all_point(&g);
-        assert!(r
-            .frontier
-            .iter()
-            .any(|&(s, rho)| rho == 0 && s <= s_all));
+        assert!(r.frontier.iter().any(|&(s, rho)| rho == 0 && s <= s_all));
     }
 
     #[test]

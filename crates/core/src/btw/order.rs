@@ -50,11 +50,7 @@ pub fn separation_order(g: &VersionGraph) -> SeparationOrder {
             .filter(|&v| !introduced[v])
             .min_by_key(|&v| {
                 let touches_live = adj[v].iter().any(|&u| live.contains(&u));
-                (
-                    !touches_live && !live.is_empty(),
-                    remaining_degree[v],
-                    v,
-                )
+                (!touches_live && !live.is_empty(), remaining_degree[v], v)
             })
             .expect("vertices remain");
         introduced[candidate] = true;
@@ -67,9 +63,7 @@ pub fn separation_order(g: &VersionGraph) -> SeparationOrder {
         let mut forgets = Vec::new();
         let still_live: Vec<u32> = live.iter().copied().collect();
         for v in still_live {
-            let all_in = adj[v as usize]
-                .iter()
-                .all(|&u| introduced[u as usize]);
+            let all_in = adj[v as usize].iter().all(|&u| introduced[u as usize]);
             if all_in {
                 live.remove(&v);
                 forgets.push(NodeId(v));
@@ -106,7 +100,11 @@ mod tests {
     fn paths_have_tiny_live_sets() {
         let g = bidirectional_path(30, &CostModel::default(), 2);
         let so = separation_order(&g);
-        assert!(so.max_live <= 3, "path live sets stay constant: {}", so.max_live);
+        assert!(
+            so.max_live <= 3,
+            "path live sets stay constant: {}",
+            so.max_live
+        );
     }
 
     #[test]

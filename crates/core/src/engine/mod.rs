@@ -1,0 +1,846 @@
+//! The unified solver engine: one request/response layer over every
+//! algorithm in this crate.
+//!
+//! The paper defines four constrained problems (MSR/MMR/BSR/BMR, Table 1)
+//! and roughly a dozen algorithms that each attack a subset of them with
+//! different trade-offs. The engine normalizes all of them behind a single
+//! API:
+//!
+//! * [`Solver`] — the uniform interface: `solve(graph, problem, options)`
+//!   returns a [`Solution`] or a typed [`SolveError`];
+//! * [`Solution`] — the storage plan, its exactly re-evaluated
+//!   [`PlanCosts`], and [`SolverMeta`] (name, iterations, wall time,
+//!   optimality/lower-bound certificates, the solver's own running
+//!   objective);
+//! * [`Engine`] — a registry dispatching a [`ProblemKind`] to registered
+//!   solvers, in preference order, plus a [`Engine::portfolio`] mode that
+//!   runs every applicable solver and returns the best feasible plan.
+//!
+//! Every solution handed out is validated ([`StoragePlan::validate`]) and
+//! budget-checked against its problem before it leaves the engine, so a
+//! buggy or heuristic solver can never silently return an infeasible plan
+//! — it becomes a [`SolveError::BudgetExceeded`] instead.
+//!
+//! The legacy free functions ([`crate::heuristics::lmg`],
+//! [`crate::tree::dp_msr_on_graph`], …) remain available and are what the
+//! built-in solvers call; the engine adds dispatch, validation, and
+//! metadata, not new algorithms.
+//!
+//! ```
+//! use dsv_core::engine::{Engine, SolveOptions};
+//! use dsv_core::problem::ProblemKind;
+//! use dsv_vgraph::VersionGraph;
+//!
+//! let mut g = VersionGraph::new();
+//! let a = g.add_node(1_000);
+//! let b = g.add_node(1_100);
+//! g.add_bidirectional_edge(a, b, 40, 35);
+//!
+//! let engine = Engine::with_default_solvers();
+//! let sol = engine
+//!     .solve(&g, ProblemKind::Msr { storage_budget: 1_100 }, &SolveOptions::default())
+//!     .expect("feasible");
+//! assert!(sol.costs.storage <= 1_100);
+//! ```
+
+pub mod solvers;
+
+use crate::plan::{PlanCosts, StoragePlan};
+use crate::problem::{Objective, ProblemKind};
+use crate::tree::DpMsrConfig;
+use dsv_vgraph::{Cost, NodeId, VersionGraph};
+use std::time::{Duration, Instant};
+
+/// Options shared by every solver invocation.
+#[derive(Clone, Debug)]
+pub struct SolveOptions {
+    /// Root used by tree-extraction based solvers (DP-MSR, DP-BMR, the
+    /// MMR/BSR reductions).
+    pub root: NodeId,
+    /// Wall-clock limit. Enforced at solver granularity: the engine will
+    /// not *start* a solver past the deadline (running solvers are not
+    /// preempted).
+    pub time_limit: Option<Duration>,
+    /// Configuration for the DP-MSR tree engine.
+    pub dp_msr: DpMsrConfig,
+    /// Configuration for the bounded-width DP.
+    pub btw: crate::btw::BtwConfig,
+    /// Node limit for ILP branch & bound.
+    pub ilp_max_nodes: usize,
+    /// Variable-count ceiling for the ILP (the dense simplex tableau is
+    /// `O(vars²)` per pivot); larger instances get a
+    /// [`SolveError::ResourceLimit`] instead of an unbounded solve. The
+    /// paper only computes OPT on its smallest corpus (~200 variables).
+    pub ilp_max_vars: usize,
+}
+
+impl Default for SolveOptions {
+    fn default() -> Self {
+        SolveOptions {
+            root: NodeId(0),
+            time_limit: None,
+            dp_msr: DpMsrConfig::default(),
+            btw: crate::btw::BtwConfig::default(),
+            ilp_max_nodes: 100_000,
+            ilp_max_vars: 4_096,
+        }
+    }
+}
+
+/// Typed failure modes of a solve.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SolveError {
+    /// No plan satisfies the constraint (e.g. the storage budget lies below
+    /// the minimum-storage plan, or the graph is not reachable from the
+    /// chosen root).
+    Infeasible {
+        /// The reporting solver.
+        solver: &'static str,
+        /// What made the instance infeasible for this solver.
+        detail: String,
+    },
+    /// The solver does not handle this [`ProblemKind`].
+    UnsupportedProblem {
+        /// The refusing solver.
+        solver: &'static str,
+        /// Short problem name (`"MSR"`, …).
+        problem: &'static str,
+    },
+    /// The solver produced a plan that violates the problem's budget — a
+    /// heuristic overshoot, surfaced instead of silently returned.
+    BudgetExceeded {
+        /// The offending solver.
+        solver: &'static str,
+        /// The constraint value requested.
+        budget: Cost,
+        /// The constrained quantity the plan actually reached.
+        achieved: Cost,
+    },
+    /// The wall-clock limit in [`SolveOptions::time_limit`] expired before
+    /// this solver could start (or finish a portfolio).
+    Timeout {
+        /// The solver that was not run (or `"engine"`).
+        solver: &'static str,
+        /// The configured limit.
+        limit: Duration,
+    },
+    /// The solver gave up within its resource bounds (state-count caps,
+    /// branch-and-bound node limits, enumeration-space limits).
+    ResourceLimit {
+        /// The reporting solver.
+        solver: &'static str,
+        /// Which bound was hit.
+        detail: String,
+    },
+    /// The solver returned a structurally invalid plan — always a bug, but
+    /// reported as data so a portfolio can route around it.
+    InvalidPlan {
+        /// The offending solver.
+        solver: &'static str,
+        /// The validation failure.
+        reason: String,
+    },
+    /// No registered solver supports the problem.
+    NoSolver {
+        /// Short problem name (`"MSR"`, …).
+        problem: &'static str,
+    },
+    /// [`Engine::solve_with`] was given a name no registered solver has.
+    UnknownSolver {
+        /// The name that failed to resolve.
+        name: String,
+    },
+}
+
+impl std::fmt::Display for SolveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SolveError::Infeasible { solver, detail } => {
+                write!(f, "{solver}: infeasible: {detail}")
+            }
+            SolveError::UnsupportedProblem { solver, problem } => {
+                write!(f, "{solver} does not support {problem}")
+            }
+            SolveError::BudgetExceeded {
+                solver,
+                budget,
+                achieved,
+            } => write!(f, "{solver} exceeded the budget: {achieved} > {budget}"),
+            SolveError::Timeout { solver, limit } => {
+                write!(f, "{solver}: time limit {limit:?} expired")
+            }
+            SolveError::ResourceLimit { solver, detail } => {
+                write!(f, "{solver}: resource limit: {detail}")
+            }
+            SolveError::InvalidPlan { solver, reason } => {
+                write!(f, "{solver} returned an invalid plan: {reason}")
+            }
+            SolveError::NoSolver { problem } => {
+                write!(f, "no registered solver supports {problem}")
+            }
+            SolveError::UnknownSolver { name } => {
+                write!(f, "no solver named `{name}` is registered")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SolveError {}
+
+/// Metadata about how a [`Solution`] was produced.
+#[derive(Clone, Debug)]
+pub struct SolverMeta {
+    /// Name of the producing solver.
+    pub solver: &'static str,
+    /// Solver-specific work counter: greedy moves, DP peak states,
+    /// branch-and-bound nodes, enumerated plans.
+    pub iterations: usize,
+    /// Wall-clock time of the solve call.
+    pub wall_time: Duration,
+    /// Whether the solver proved its objective optimal (exact DPs on their
+    /// native graph class, closed ILPs, brute force).
+    pub proven_optimal: bool,
+    /// The objective value as tracked by the solver's own bookkeeping
+    /// (e.g. the greedy [`PlanView`](crate::heuristics)'s running total
+    /// retrieval). Always re-checked against the exact re-evaluation in
+    /// [`Solution::costs`] by the parity tests.
+    pub reported_objective: Option<Cost>,
+    /// A certified lower bound on the optimum objective, when the solver
+    /// produces one (DP-BTW's exact frontier, proven ILPs). Allows callers
+    /// to compute optimality gaps for heuristic plans.
+    pub lower_bound: Option<Cost>,
+}
+
+impl SolverMeta {
+    fn new(solver: &'static str) -> Self {
+        SolverMeta {
+            solver,
+            iterations: 0,
+            wall_time: Duration::ZERO,
+            proven_optimal: false,
+            reported_objective: None,
+            lower_bound: None,
+        }
+    }
+}
+
+/// A validated solution: plan, exact costs, and provenance.
+#[derive(Clone, Debug)]
+pub struct Solution {
+    /// The storage plan.
+    pub plan: StoragePlan,
+    /// Exactly re-evaluated costs of [`Solution::plan`].
+    pub costs: PlanCosts,
+    /// Provenance and certificates.
+    pub meta: SolverMeta,
+}
+
+/// The objective side of `costs` under `problem` — the single source of
+/// truth for the `ProblemKind` → cost mapping (used by [`Solution`], the
+/// budget check in [`Solution::checked`], and the built-in solvers).
+pub fn objective_cost(costs: &PlanCosts, problem: ProblemKind) -> Cost {
+    match problem.objective() {
+        Objective::SumRetrieval => costs.total_retrieval,
+        Objective::MaxRetrieval => costs.max_retrieval,
+        Objective::Storage => costs.storage,
+    }
+}
+
+/// The constrained (budgeted) side of `costs` under `problem`.
+pub fn constrained_cost(costs: &PlanCosts, problem: ProblemKind) -> Cost {
+    match problem {
+        ProblemKind::Msr { .. } | ProblemKind::Mmr { .. } => costs.storage,
+        ProblemKind::Bsr { .. } => costs.total_retrieval,
+        ProblemKind::Bmr { .. } => costs.max_retrieval,
+    }
+}
+
+impl Solution {
+    /// The objective value of this solution under `problem`.
+    pub fn objective(&self, problem: ProblemKind) -> Cost {
+        objective_cost(&self.costs, problem)
+    }
+
+    /// The constrained quantity of this solution under `problem` (the side
+    /// the budget applies to).
+    pub fn constrained(&self, problem: ProblemKind) -> Cost {
+        constrained_cost(&self.costs, problem)
+    }
+
+    /// Total retrieval cost (exact re-evaluation).
+    pub fn total_retrieval(&self) -> Cost {
+        self.costs.total_retrieval
+    }
+
+    /// Build a solution from a raw plan: validate, cost, budget-check.
+    /// Every built-in solver funnels through here, so no infeasible or
+    /// invalid plan can leave the engine.
+    pub fn checked(
+        g: &VersionGraph,
+        problem: ProblemKind,
+        plan: StoragePlan,
+        mut meta: SolverMeta,
+        started: Instant,
+    ) -> Result<Self, SolveError> {
+        if let Err(reason) = plan.validate(g) {
+            return Err(SolveError::InvalidPlan {
+                solver: meta.solver,
+                reason,
+            });
+        }
+        let costs = plan.costs(g);
+        let achieved = constrained_cost(&costs, problem);
+        if achieved > problem.budget() {
+            return Err(SolveError::BudgetExceeded {
+                solver: meta.solver,
+                budget: problem.budget(),
+                achieved,
+            });
+        }
+        meta.wall_time = started.elapsed();
+        Ok(Solution { plan, costs, meta })
+    }
+}
+
+/// The uniform solver interface.
+pub trait Solver: Send + Sync {
+    /// Display name, also the registry key (`"LMG"`, `"DP-MSR"`, …).
+    fn name(&self) -> &'static str;
+
+    /// Whether this solver handles `problem`.
+    fn supports(&self, problem: ProblemKind) -> bool;
+
+    /// Solve `problem` on `g`. Implementations must return only validated,
+    /// budget-respecting solutions (use [`Solution::checked`]).
+    fn solve(
+        &self,
+        g: &VersionGraph,
+        problem: ProblemKind,
+        opts: &SolveOptions,
+    ) -> Result<Solution, SolveError>;
+}
+
+/// One solver's result within a [`Portfolio`] run.
+#[derive(Clone, Debug)]
+pub struct PortfolioAttempt {
+    /// Which solver ran.
+    pub solver: &'static str,
+    /// Its costs on success, or why it failed.
+    pub outcome: Result<PlanCosts, SolveError>,
+    /// Wall-clock time of the attempt.
+    pub wall_time: Duration,
+}
+
+/// Result of [`Engine::portfolio`]: the winning solution plus the full
+/// per-solver scoreboard.
+#[derive(Clone, Debug)]
+pub struct Portfolio {
+    /// The best feasible solution across all attempted solvers.
+    pub best: Solution,
+    /// Every attempt, in registry order.
+    pub attempts: Vec<PortfolioAttempt>,
+}
+
+/// Registry dispatching problems to solvers.
+///
+/// [`Engine::solve`] tries supporting solvers in registration order and
+/// returns the first success — registration order is therefore the
+/// preference order. [`Engine::portfolio`] runs *all* supporting solvers
+/// and keeps the best feasible plan.
+pub struct Engine {
+    solvers: Vec<Box<dyn Solver>>,
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Engine::with_default_solvers()
+    }
+}
+
+impl Engine {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Engine {
+            solvers: Vec::new(),
+        }
+    }
+
+    /// The standard registry, in preference order: scalable DPs first,
+    /// greedies as fallback, exact solvers (bounded-width DP, ILP, brute
+    /// force) last — they refuse instances beyond their resource limits.
+    pub fn with_default_solvers() -> Self {
+        let mut e = Engine::new();
+        e.register(Box::new(solvers::DpMsrSolver))
+            .register(Box::new(solvers::DpBmrSolver))
+            .register(Box::new(solvers::LmgAllSolver))
+            .register(Box::new(solvers::LmgSolver))
+            .register(Box::new(solvers::ModifiedPrimsSolver))
+            .register(Box::new(solvers::BtwSolver))
+            .register(Box::new(solvers::IlpSolver))
+            .register(Box::new(solvers::BruteForceSolver));
+        e
+    }
+
+    /// Append a solver (lowest preference so far).
+    pub fn register(&mut self, solver: Box<dyn Solver>) -> &mut Self {
+        self.solvers.push(solver);
+        self
+    }
+
+    /// Names of all registered solvers, in preference order.
+    pub fn solver_names(&self) -> Vec<&'static str> {
+        self.solvers.iter().map(|s| s.name()).collect()
+    }
+
+    /// Registered solvers supporting `problem`, in preference order.
+    pub fn solvers_for(&self, problem: ProblemKind) -> Vec<&dyn Solver> {
+        self.solvers
+            .iter()
+            .filter(|s| s.supports(problem))
+            .map(|s| s.as_ref())
+            .collect()
+    }
+
+    /// Solve with one specific solver by name.
+    pub fn solve_with(
+        &self,
+        name: &str,
+        g: &VersionGraph,
+        problem: ProblemKind,
+        opts: &SolveOptions,
+    ) -> Result<Solution, SolveError> {
+        let solver = self
+            .solvers
+            .iter()
+            .find(|s| s.name() == name)
+            .ok_or_else(|| SolveError::UnknownSolver {
+                name: name.to_string(),
+            })?;
+        if !solver.supports(problem) {
+            return Err(SolveError::UnsupportedProblem {
+                solver: solver.name(),
+                problem: problem.name(),
+            });
+        }
+        solver.solve(g, problem, opts)
+    }
+
+    /// Solve `problem`, trying supporting solvers in preference order and
+    /// returning the first success. On total failure, returns the most
+    /// informative error (an [`SolveError::Infeasible`] if any solver
+    /// reported one, otherwise the first error).
+    pub fn solve(
+        &self,
+        g: &VersionGraph,
+        problem: ProblemKind,
+        opts: &SolveOptions,
+    ) -> Result<Solution, SolveError> {
+        let deadline = opts.time_limit.map(|l| (Instant::now(), l));
+        let mut first_err: Option<SolveError> = None;
+        let mut infeasible: Option<SolveError> = None;
+        let mut tried = 0usize;
+        for solver in self.solvers.iter().filter(|s| s.supports(problem)) {
+            tried += 1;
+            if let Some((t0, limit)) = deadline {
+                if t0.elapsed() > limit {
+                    return Err(SolveError::Timeout {
+                        solver: solver.name(),
+                        limit,
+                    });
+                }
+            }
+            match solver.solve(g, problem, opts) {
+                Ok(sol) => return Ok(sol),
+                Err(e) => {
+                    if matches!(e, SolveError::Infeasible { .. }) && infeasible.is_none() {
+                        infeasible = Some(e.clone());
+                    }
+                    first_err.get_or_insert(e);
+                }
+            }
+        }
+        if tried == 0 {
+            return Err(SolveError::NoSolver {
+                problem: problem.name(),
+            });
+        }
+        Err(infeasible
+            .or(first_err)
+            .expect("tried > 0 implies an error was recorded"))
+    }
+
+    /// Run every supporting solver and return the best feasible solution
+    /// (minimum objective; ties broken by the smaller constrained cost),
+    /// plus the full scoreboard.
+    pub fn portfolio(
+        &self,
+        g: &VersionGraph,
+        problem: ProblemKind,
+        opts: &SolveOptions,
+    ) -> Result<Portfolio, SolveError> {
+        let deadline = opts.time_limit.map(|l| (Instant::now(), l));
+        let mut attempts = Vec::new();
+        let mut best: Option<Solution> = None;
+        let mut infeasible: Option<SolveError> = None;
+        let mut first_err: Option<SolveError> = None;
+        for solver in self.solvers.iter().filter(|s| s.supports(problem)) {
+            if let Some((t0, limit)) = deadline {
+                if t0.elapsed() > limit {
+                    attempts.push(PortfolioAttempt {
+                        solver: solver.name(),
+                        outcome: Err(SolveError::Timeout {
+                            solver: solver.name(),
+                            limit,
+                        }),
+                        wall_time: Duration::ZERO,
+                    });
+                    continue;
+                }
+            }
+            let t0 = Instant::now();
+            let result = solver.solve(g, problem, opts);
+            let wall_time = t0.elapsed();
+            match result {
+                Ok(sol) => {
+                    attempts.push(PortfolioAttempt {
+                        solver: solver.name(),
+                        outcome: Ok(sol.costs),
+                        wall_time,
+                    });
+                    let better = match &best {
+                        None => true,
+                        Some(b) => {
+                            let (o, bo) = (sol.objective(problem), b.objective(problem));
+                            o < bo || (o == bo && sol.constrained(problem) < b.constrained(problem))
+                        }
+                    };
+                    if better {
+                        best = Some(sol);
+                    }
+                }
+                Err(e) => {
+                    if matches!(e, SolveError::Infeasible { .. }) && infeasible.is_none() {
+                        infeasible = Some(e.clone());
+                    }
+                    first_err.get_or_insert(e.clone());
+                    attempts.push(PortfolioAttempt {
+                        solver: solver.name(),
+                        outcome: Err(e),
+                        wall_time,
+                    });
+                }
+            }
+        }
+        match best {
+            Some(best) => Ok(Portfolio { best, attempts }),
+            None => Err(infeasible.or(first_err).unwrap_or(SolveError::NoSolver {
+                problem: problem.name(),
+            })),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baselines::min_storage_value;
+    use crate::plan::Parent;
+    use dsv_vgraph::generators::{bidirectional_path, random_tree, CostModel};
+
+    fn graph() -> VersionGraph {
+        random_tree(8, &CostModel::default(), 3)
+    }
+
+    #[test]
+    fn engine_solves_all_four_problems() {
+        let g = graph();
+        let engine = Engine::with_default_solvers();
+        let opts = SolveOptions::default();
+        let smin = min_storage_value(&g);
+        let rmax = g.max_edge_retrieval();
+
+        for problem in [
+            ProblemKind::Msr {
+                storage_budget: smin * 2,
+            },
+            ProblemKind::Mmr {
+                storage_budget: smin * 2,
+            },
+            ProblemKind::Bsr {
+                retrieval_budget: rmax * g.n() as u64,
+            },
+            ProblemKind::Bmr {
+                retrieval_budget: rmax * 2,
+            },
+        ] {
+            let sol = engine.solve(&g, problem, &opts).expect("feasible");
+            sol.plan.validate(&g).expect("valid");
+            assert!(
+                sol.constrained(problem) <= problem.budget(),
+                "{}: budget violated",
+                problem.name()
+            );
+            assert!(!sol.meta.solver.is_empty());
+        }
+    }
+
+    #[test]
+    fn portfolio_returns_the_best_feasible_plan() {
+        let g = graph();
+        let engine = Engine::with_default_solvers();
+        let opts = SolveOptions::default();
+        let smin = min_storage_value(&g);
+        let problem = ProblemKind::Msr {
+            storage_budget: smin * 2,
+        };
+
+        let portfolio = engine.portfolio(&g, problem, &opts).expect("feasible");
+        let successes: Vec<Cost> = portfolio
+            .attempts
+            .iter()
+            .filter_map(|a| a.outcome.as_ref().ok())
+            .map(|c| c.total_retrieval)
+            .collect();
+        assert!(
+            successes.len() >= 3,
+            "expected ≥ 3 feasible MSR solvers, got {successes:?}"
+        );
+        let best = portfolio.best.objective(problem);
+        assert_eq!(best, successes.iter().copied().min().expect("non-empty"));
+        portfolio.best.plan.validate(&g).expect("valid");
+    }
+
+    #[test]
+    fn solve_with_dispatches_by_name_and_rejects_mismatches() {
+        let g = graph();
+        let engine = Engine::with_default_solvers();
+        let opts = SolveOptions::default();
+        let smin = min_storage_value(&g);
+        let msr = ProblemKind::Msr {
+            storage_budget: smin * 2,
+        };
+
+        let sol = engine.solve_with("LMG", &g, msr, &opts).expect("feasible");
+        assert_eq!(sol.meta.solver, "LMG");
+
+        assert!(matches!(
+            engine.solve_with("nope", &g, msr, &opts),
+            Err(SolveError::UnknownSolver { .. })
+        ));
+        assert!(matches!(
+            engine.solve_with("MP", &g, msr, &opts),
+            Err(SolveError::UnsupportedProblem { solver: "MP", .. })
+        ));
+    }
+
+    #[test]
+    fn infeasible_budget_reports_infeasible() {
+        let g = graph();
+        let engine = Engine::with_default_solvers();
+        let err = engine
+            .solve(
+                &g,
+                ProblemKind::Msr { storage_budget: 0 },
+                &SolveOptions::default(),
+            )
+            .expect_err("budget 0 is infeasible");
+        assert!(matches!(err, SolveError::Infeasible { .. }), "{err}");
+    }
+
+    #[test]
+    fn empty_engine_reports_no_solver() {
+        let g = graph();
+        let engine = Engine::new();
+        let err = engine
+            .solve(
+                &g,
+                ProblemKind::Msr { storage_budget: 1 },
+                &SolveOptions::default(),
+            )
+            .expect_err("no solvers registered");
+        assert!(matches!(err, SolveError::NoSolver { .. }));
+    }
+
+    #[test]
+    fn expired_time_limit_reports_timeout() {
+        let g = graph();
+        let engine = Engine::with_default_solvers();
+        let opts = SolveOptions {
+            time_limit: Some(Duration::ZERO),
+            ..Default::default()
+        };
+        let err = engine
+            .solve(
+                &g,
+                ProblemKind::Msr {
+                    storage_budget: u64::MAX / 8,
+                },
+                &opts,
+            )
+            .expect_err("zero time limit");
+        assert!(matches!(err, SolveError::Timeout { .. }));
+    }
+
+    /// A deliberately broken solver: returns the minimum-storage plan no
+    /// matter the budget — the engine must catch the overshoot.
+    struct OvershootSolver;
+
+    impl Solver for OvershootSolver {
+        fn name(&self) -> &'static str {
+            "overshoot"
+        }
+        fn supports(&self, problem: ProblemKind) -> bool {
+            matches!(problem, ProblemKind::Msr { .. })
+        }
+        fn solve(
+            &self,
+            g: &VersionGraph,
+            problem: ProblemKind,
+            _opts: &SolveOptions,
+        ) -> Result<Solution, SolveError> {
+            let started = Instant::now();
+            let plan = crate::baselines::min_storage_plan(g);
+            Solution::checked(g, problem, plan, SolverMeta::new(self.name()), started)
+        }
+    }
+
+    #[test]
+    fn budget_violations_cannot_leave_the_engine() {
+        let g = bidirectional_path(5, &CostModel::default(), 1);
+        let mut engine = Engine::new();
+        engine.register(Box::new(OvershootSolver));
+        // A budget below minimum storage: the overshooting plan must be
+        // rejected, not returned.
+        let err = engine
+            .solve(
+                &g,
+                ProblemKind::Msr { storage_budget: 1 },
+                &SolveOptions::default(),
+            )
+            .expect_err("plan exceeds budget");
+        assert!(matches!(err, SolveError::BudgetExceeded { .. }), "{err}");
+    }
+
+    /// A solver returning a structurally broken plan (delta edge entering
+    /// the wrong node).
+    struct InvalidPlanSolver;
+
+    impl Solver for InvalidPlanSolver {
+        fn name(&self) -> &'static str {
+            "invalid"
+        }
+        fn supports(&self, _problem: ProblemKind) -> bool {
+            true
+        }
+        fn solve(
+            &self,
+            g: &VersionGraph,
+            problem: ProblemKind,
+            _opts: &SolveOptions,
+        ) -> Result<Solution, SolveError> {
+            let started = Instant::now();
+            let mut plan = StoragePlan::materialize_all(g);
+            plan.parent[0] = Parent::Delta(dsv_vgraph::EdgeId(0));
+            Solution::checked(g, problem, plan, SolverMeta::new(self.name()), started)
+        }
+    }
+
+    #[test]
+    fn invalid_plans_are_rejected() {
+        let mut g = VersionGraph::new();
+        let a = g.add_node(5);
+        let b = g.add_node(5);
+        g.add_edge(a, b, 1, 1); // edge 0 enters b, not a
+        let mut engine = Engine::new();
+        engine.register(Box::new(InvalidPlanSolver));
+        let err = engine
+            .solve(
+                &g,
+                ProblemKind::Msr {
+                    storage_budget: u64::MAX / 8,
+                },
+                &SolveOptions::default(),
+            )
+            .expect_err("plan is invalid");
+        assert!(matches!(err, SolveError::InvalidPlan { .. }), "{err}");
+    }
+
+    #[test]
+    fn brute_force_dispatch_matches_direct_call() {
+        let g = bidirectional_path(5, &CostModel::default(), 2);
+        let engine = Engine::with_default_solvers();
+        let smin = min_storage_value(&g);
+        let problem = ProblemKind::Msr {
+            storage_budget: smin * 2,
+        };
+        let via_engine = engine
+            .solve_with("BruteForce", &g, problem, &SolveOptions::default())
+            .expect("feasible");
+        let direct = crate::exact::brute::brute_force(&g, problem).expect("feasible");
+        assert_eq!(via_engine.plan, direct.plan);
+        assert_eq!(via_engine.costs, direct.costs);
+        assert!(via_engine.meta.proven_optimal);
+    }
+
+    #[test]
+    fn greedy_metadata_reports_the_planview_objective() {
+        let g = graph();
+        let engine = Engine::with_default_solvers();
+        let smin = min_storage_value(&g);
+        for name in ["LMG", "LMG-All"] {
+            let sol = engine
+                .solve_with(
+                    name,
+                    &g,
+                    ProblemKind::Msr {
+                        storage_budget: smin * 2,
+                    },
+                    &SolveOptions::default(),
+                )
+                .expect("feasible");
+            // The solver's own PlanView bookkeeping must agree with the
+            // exact re-evaluation.
+            assert_eq!(sol.meta.reported_objective, Some(sol.costs.total_retrieval));
+        }
+    }
+
+    #[test]
+    fn ilp_refuses_oversized_instances_up_front() {
+        let g = graph();
+        let engine = Engine::with_default_solvers();
+        let smin = min_storage_value(&g);
+        let opts = SolveOptions {
+            ilp_max_vars: 4, // far below 2 * (m + n)
+            ..Default::default()
+        };
+        let err = engine
+            .solve_with(
+                "ILP",
+                &g,
+                ProblemKind::Msr {
+                    storage_budget: smin * 2,
+                },
+                &opts,
+            )
+            .expect_err("instance exceeds the variable limit");
+        assert!(matches!(err, SolveError::ResourceLimit { .. }), "{err}");
+    }
+
+    #[test]
+    fn btw_solver_certifies_a_lower_bound() {
+        let g = bidirectional_path(6, &CostModel::default(), 5);
+        let engine = Engine::with_default_solvers();
+        let smin = min_storage_value(&g);
+        let problem = ProblemKind::Msr {
+            storage_budget: smin * 2,
+        };
+        let sol = engine
+            .solve_with("DP-BTW", &g, problem, &SolveOptions::default())
+            .expect("feasible");
+        let bound = sol.meta.lower_bound.expect("DP-BTW certifies");
+        assert!(bound <= sol.costs.total_retrieval);
+        // On a path the exact frontier and the witness should coincide.
+        assert!(sol.meta.proven_optimal);
+        assert_eq!(bound, sol.costs.total_retrieval);
+    }
+}

@@ -1,0 +1,407 @@
+//! Built-in [`Solver`] implementations wrapping the legacy free functions.
+//!
+//! Problem coverage of the default registry:
+//!
+//! | solver | MSR | MMR | BSR | BMR | notes |
+//! |--------|-----|-----|-----|-----|-------|
+//! | [`DpMsrSolver`] | ✓ | | ✓ | | BSR via the DP frontier (Lemma 7) |
+//! | [`DpBmrSolver`] | | ✓ | | ✓ | MMR via binary search over BMR (Lemma 7) |
+//! | [`LmgAllSolver`] | ✓ | | | | Algorithm 7 |
+//! | [`LmgSolver`] | ✓ | | | | Algorithm 1 (prior work) |
+//! | [`ModifiedPrimsSolver`] | | | | ✓ | Section-7 BMR baseline |
+//! | [`BtwSolver`] | ✓ | | | | exact value certificate + heuristic witness plan |
+//! | [`IlpSolver`] | ✓ | | | | Appendix-D ILP on branch & bound |
+//! | [`BruteForceSolver`] | ✓ | ✓ | ✓ | ✓ | tiny instances only |
+
+use super::{Solution, SolveError, SolveOptions, Solver, SolverMeta};
+use crate::baselines::min_storage_value;
+use crate::exact::brute::{brute_force, enumeration_space, ENUMERATION_LIMIT};
+use crate::exact::msr_opt;
+use crate::heuristics::lmg::lmg_with_stats;
+use crate::heuristics::lmg_all::lmg_all_with_stats;
+use crate::heuristics::mp::modified_prims;
+use crate::problem::ProblemKind;
+use crate::reductions::{bsr_via_msr, mmr_on_graph};
+use crate::tree::{dp_bmr_on_graph, dp_msr_on_graph, extract_tree};
+use dsv_vgraph::VersionGraph;
+use std::time::Instant;
+
+/// Local Move Greedy (Algorithm 1) for MSR.
+pub struct LmgSolver;
+
+impl Solver for LmgSolver {
+    fn name(&self) -> &'static str {
+        "LMG"
+    }
+
+    fn supports(&self, problem: ProblemKind) -> bool {
+        matches!(problem, ProblemKind::Msr { .. })
+    }
+
+    fn solve(
+        &self,
+        g: &VersionGraph,
+        problem: ProblemKind,
+        _opts: &SolveOptions,
+    ) -> Result<Solution, SolveError> {
+        let started = Instant::now();
+        let ProblemKind::Msr { storage_budget } = problem else {
+            return Err(unsupported(self.name(), problem));
+        };
+        let (plan, stats) =
+            lmg_with_stats(g, storage_budget).ok_or_else(|| below_min_storage(self.name()))?;
+        let mut meta = SolverMeta::new(self.name());
+        meta.iterations = stats.moves;
+        meta.reported_objective = Some(stats.total_retrieval);
+        Solution::checked(g, problem, plan, meta, started)
+    }
+}
+
+/// LMG-All (Algorithm 7) for MSR.
+pub struct LmgAllSolver;
+
+impl Solver for LmgAllSolver {
+    fn name(&self) -> &'static str {
+        "LMG-All"
+    }
+
+    fn supports(&self, problem: ProblemKind) -> bool {
+        matches!(problem, ProblemKind::Msr { .. })
+    }
+
+    fn solve(
+        &self,
+        g: &VersionGraph,
+        problem: ProblemKind,
+        _opts: &SolveOptions,
+    ) -> Result<Solution, SolveError> {
+        let started = Instant::now();
+        let ProblemKind::Msr { storage_budget } = problem else {
+            return Err(unsupported(self.name(), problem));
+        };
+        let (plan, stats) =
+            lmg_all_with_stats(g, storage_budget).ok_or_else(|| below_min_storage(self.name()))?;
+        let mut meta = SolverMeta::new(self.name());
+        meta.iterations = stats.moves;
+        meta.reported_objective = Some(stats.total_retrieval);
+        Solution::checked(g, problem, plan, meta, started)
+    }
+}
+
+/// Modified Prim's for BMR (always feasible: materialization is the
+/// fallback for every version).
+pub struct ModifiedPrimsSolver;
+
+impl Solver for ModifiedPrimsSolver {
+    fn name(&self) -> &'static str {
+        "MP"
+    }
+
+    fn supports(&self, problem: ProblemKind) -> bool {
+        matches!(problem, ProblemKind::Bmr { .. })
+    }
+
+    fn solve(
+        &self,
+        g: &VersionGraph,
+        problem: ProblemKind,
+        _opts: &SolveOptions,
+    ) -> Result<Solution, SolveError> {
+        let started = Instant::now();
+        let ProblemKind::Bmr { retrieval_budget } = problem else {
+            return Err(unsupported(self.name(), problem));
+        };
+        let plan = modified_prims(g, retrieval_budget);
+        let mut meta = SolverMeta::new(self.name());
+        meta.iterations = g.n();
+        Solution::checked(g, problem, plan, meta, started)
+    }
+}
+
+/// The Section-6.2 DP-MSR pipeline for MSR, and BSR through the DP's
+/// storage/retrieval frontier (the Lemma-7 reduction degenerates into a
+/// frontier lookup).
+pub struct DpMsrSolver;
+
+impl Solver for DpMsrSolver {
+    fn name(&self) -> &'static str {
+        "DP-MSR"
+    }
+
+    fn supports(&self, problem: ProblemKind) -> bool {
+        matches!(problem, ProblemKind::Msr { .. } | ProblemKind::Bsr { .. })
+    }
+
+    fn solve(
+        &self,
+        g: &VersionGraph,
+        problem: ProblemKind,
+        opts: &SolveOptions,
+    ) -> Result<Solution, SolveError> {
+        let started = Instant::now();
+        if extract_tree(g, opts.root).is_none() {
+            return Err(not_reachable(self.name(), opts));
+        }
+        let mut meta = SolverMeta::new(self.name());
+        let plan = match problem {
+            ProblemKind::Msr { storage_budget } => {
+                let (plan, costs) = dp_msr_on_graph(g, opts.root, storage_budget, &opts.dp_msr)
+                    .ok_or_else(|| below_min_storage(self.name()))?;
+                meta.reported_objective = Some(costs.total_retrieval);
+                plan
+            }
+            ProblemKind::Bsr { retrieval_budget } => {
+                let (plan, storage) = bsr_via_msr(g, opts.root, retrieval_budget, &opts.dp_msr)
+                    .ok_or_else(|| SolveError::Infeasible {
+                        solver: self.name(),
+                        detail: "no frontier point fits the retrieval budget".into(),
+                    })?;
+                meta.reported_objective = Some(storage);
+                plan
+            }
+            other => return Err(unsupported(self.name(), other)),
+        };
+        Solution::checked(g, problem, plan, meta, started)
+    }
+}
+
+/// The Section-4 exact tree DP for BMR, and MMR through Lemma 7's binary
+/// search over BMR. Exact over plans restricted to the extracted tree;
+/// heuristic on general graphs (hence no optimality claim).
+pub struct DpBmrSolver;
+
+impl Solver for DpBmrSolver {
+    fn name(&self) -> &'static str {
+        "DP-BMR"
+    }
+
+    fn supports(&self, problem: ProblemKind) -> bool {
+        matches!(problem, ProblemKind::Bmr { .. } | ProblemKind::Mmr { .. })
+    }
+
+    fn solve(
+        &self,
+        g: &VersionGraph,
+        problem: ProblemKind,
+        opts: &SolveOptions,
+    ) -> Result<Solution, SolveError> {
+        let started = Instant::now();
+        let mut meta = SolverMeta::new(self.name());
+        let plan = match problem {
+            ProblemKind::Bmr { retrieval_budget } => {
+                let r = dp_bmr_on_graph(g, opts.root, retrieval_budget)
+                    .ok_or_else(|| not_reachable(self.name(), opts))?;
+                meta.reported_objective = Some(r.storage);
+                r.plan
+            }
+            ProblemKind::Mmr { storage_budget } => {
+                if extract_tree(g, opts.root).is_none() {
+                    return Err(not_reachable(self.name(), opts));
+                }
+                let (plan, max_r) = mmr_on_graph(g, opts.root, storage_budget)
+                    .ok_or_else(|| below_min_storage(self.name()))?;
+                meta.reported_objective = Some(max_r);
+                plan
+            }
+            other => return Err(unsupported(self.name(), other)),
+        };
+        Solution::checked(g, problem, plan, meta, started)
+    }
+}
+
+/// The bounded-width DP for MSR. DP-BTW's frontier is exact but carries no
+/// plan reconstruction (yet — a ROADMAP open item), so this solver returns
+/// the best heuristic witness plan alongside the certified optimum as
+/// [`SolverMeta::lower_bound`]; `proven_optimal` is set exactly when the
+/// witness meets the certificate.
+pub struct BtwSolver;
+
+impl Solver for BtwSolver {
+    fn name(&self) -> &'static str {
+        "DP-BTW"
+    }
+
+    fn supports(&self, problem: ProblemKind) -> bool {
+        matches!(problem, ProblemKind::Msr { .. })
+    }
+
+    fn solve(
+        &self,
+        g: &VersionGraph,
+        problem: ProblemKind,
+        opts: &SolveOptions,
+    ) -> Result<Solution, SolveError> {
+        let started = Instant::now();
+        let ProblemKind::Msr { storage_budget } = problem else {
+            return Err(unsupported(self.name(), problem));
+        };
+        let mut cfg = opts.btw.clone();
+        // Prune at exactly the budget: dropping states above it is lossless
+        // for MSR, while any tighter caller-supplied prune would truncate
+        // the plan set and invalidate the lower-bound certificate below.
+        cfg.storage_prune = Some(storage_budget);
+        let result = crate::btw::btw_msr(g, &cfg).ok_or_else(|| SolveError::ResourceLimit {
+            solver: self.name(),
+            detail: format!("state count exceeded max_states = {}", cfg.max_states),
+        })?;
+        let bound = result
+            .best_under(storage_budget)
+            .ok_or_else(|| below_min_storage(self.name()))?;
+
+        // Witness plan: best of the plan-producing heuristics at this budget
+        // (each candidate costed once).
+        let lmg_all_plan = lmg_all_with_stats(g, storage_budget).map(|(p, _)| p);
+        let dp_plan = dp_msr_on_graph(g, opts.root, storage_budget, &opts.dp_msr).map(|(p, _)| p);
+        let (plan, witness_retrieval) = [lmg_all_plan, dp_plan]
+            .into_iter()
+            .flatten()
+            .map(|p| {
+                let r = p.costs(g).total_retrieval;
+                (p, r)
+            })
+            .min_by_key(|&(_, r)| r)
+            .ok_or_else(|| below_min_storage(self.name()))?;
+
+        let mut meta = SolverMeta::new(self.name());
+        meta.iterations = result.peak_states;
+        meta.lower_bound = Some(bound);
+        // The objective the returned plan actually achieves; the certified
+        // optimum lives in `lower_bound`.
+        meta.reported_objective = Some(witness_retrieval);
+        meta.proven_optimal = witness_retrieval == bound;
+        Solution::checked(g, problem, plan, meta, started)
+    }
+}
+
+/// The Appendix-D ILP on the from-scratch branch & bound, primed with an
+/// LMG-All incumbent.
+pub struct IlpSolver;
+
+impl Solver for IlpSolver {
+    fn name(&self) -> &'static str {
+        "ILP"
+    }
+
+    fn supports(&self, problem: ProblemKind) -> bool {
+        matches!(problem, ProblemKind::Msr { .. })
+    }
+
+    fn solve(
+        &self,
+        g: &VersionGraph,
+        problem: ProblemKind,
+        opts: &SolveOptions,
+    ) -> Result<Solution, SolveError> {
+        let started = Instant::now();
+        let ProblemKind::Msr { storage_budget } = problem else {
+            return Err(unsupported(self.name(), problem));
+        };
+        // The dense simplex tableau costs O(vars²) per pivot: refuse
+        // instances beyond the configured size up front (the paper only
+        // computes OPT on its smallest corpus) so portfolios stay bounded.
+        let vars = 2 * (g.m() + g.n());
+        if vars > opts.ilp_max_vars {
+            return Err(SolveError::ResourceLimit {
+                solver: self.name(),
+                detail: format!(
+                    "{vars} ILP variables exceed the {}-variable limit",
+                    opts.ilp_max_vars
+                ),
+            });
+        }
+        if min_storage_value(g) > storage_budget {
+            return Err(below_min_storage(self.name()));
+        }
+        // Prime branch & bound with the best cheap upper bound available:
+        // LMG-All and the DP-MSR frontier plan (the DP is usually tighter
+        // on tree-like graphs, which prunes far more of the search).
+        let incumbent = [
+            lmg_all_with_stats(g, storage_budget).map(|(p, _)| p.costs(g).total_retrieval),
+            dp_msr_on_graph(g, opts.root, storage_budget, &opts.dp_msr)
+                .map(|(_, c)| c.total_retrieval),
+        ]
+        .into_iter()
+        .flatten()
+        .min();
+        let outcome =
+            msr_opt(g, storage_budget, opts.ilp_max_nodes, incumbent).ok_or_else(|| {
+                SolveError::ResourceLimit {
+                    solver: self.name(),
+                    detail: format!(
+                        "branch & bound hit the {}-node limit without an improving solution",
+                        opts.ilp_max_nodes
+                    ),
+                }
+            })?;
+        let mut meta = SolverMeta::new(self.name());
+        meta.iterations = outcome.nodes;
+        meta.proven_optimal = outcome.proven_optimal;
+        meta.reported_objective = Some(outcome.total_retrieval);
+        if outcome.proven_optimal {
+            meta.lower_bound = Some(outcome.total_retrieval);
+        }
+        Solution::checked(g, problem, outcome.plan, meta, started)
+    }
+}
+
+/// Exhaustive enumeration — ground truth for all four problems on tiny
+/// instances; refuses anything larger.
+pub struct BruteForceSolver;
+
+impl Solver for BruteForceSolver {
+    fn name(&self) -> &'static str {
+        "BruteForce"
+    }
+
+    fn supports(&self, _problem: ProblemKind) -> bool {
+        true
+    }
+
+    fn solve(
+        &self,
+        g: &VersionGraph,
+        problem: ProblemKind,
+        _opts: &SolveOptions,
+    ) -> Result<Solution, SolveError> {
+        let started = Instant::now();
+        let space = enumeration_space(g);
+        if space > ENUMERATION_LIMIT {
+            return Err(SolveError::ResourceLimit {
+                solver: self.name(),
+                detail: format!("enumeration space {space} exceeds {ENUMERATION_LIMIT}"),
+            });
+        }
+        let result = brute_force(g, problem).ok_or_else(|| SolveError::Infeasible {
+            solver: self.name(),
+            detail: "no plan satisfies the constraint".into(),
+        })?;
+        let mut meta = SolverMeta::new(self.name());
+        meta.iterations = usize::try_from(space).unwrap_or(usize::MAX);
+        meta.proven_optimal = true;
+        let objective = super::objective_cost(&result.costs, problem);
+        meta.reported_objective = Some(objective);
+        meta.lower_bound = Some(objective);
+        Solution::checked(g, problem, result.plan, meta, started)
+    }
+}
+
+fn unsupported(solver: &'static str, problem: ProblemKind) -> SolveError {
+    SolveError::UnsupportedProblem {
+        solver,
+        problem: problem.name(),
+    }
+}
+
+fn below_min_storage(solver: &'static str) -> SolveError {
+    SolveError::Infeasible {
+        solver,
+        detail: "budget below the instance's minimum".into(),
+    }
+}
+
+fn not_reachable(solver: &'static str, opts: &SolveOptions) -> SolveError {
+    SolveError::Infeasible {
+        solver,
+        detail: format!("graph is not spanning-reachable from root {}", opts.root),
+    }
+}

@@ -20,14 +20,22 @@ pub struct BruteForceResult {
 }
 
 /// Upper bound on the number of plans the enumerator will visit.
-const ENUMERATION_LIMIT: u128 = 20_000_000;
+pub const ENUMERATION_LIMIT: u128 = 20_000_000;
+
+/// Size of the enumeration space `∏_v (indeg(v) + 1)` — what
+/// [`for_each_plan`] would visit, saturating at `u128::MAX` (large graphs
+/// overflow any integer width long before they are enumerable). The engine
+/// uses this to refuse intractable instances instead of panicking.
+pub fn enumeration_space(g: &VersionGraph) -> u128 {
+    (0..g.n())
+        .map(|v| g.in_degree(NodeId::new(v)) as u128 + 1)
+        .fold(1u128, |acc, d| acc.saturating_mul(d))
+}
 
 /// Enumerate every valid plan, calling `f` with each plan and its costs.
 pub fn for_each_plan(g: &VersionGraph, mut f: impl FnMut(&StoragePlan, &PlanCosts)) {
     let n = g.n();
-    let space: u128 = (0..n)
-        .map(|v| g.in_degree(NodeId::new(v)) as u128 + 1)
-        .product();
+    let space: u128 = enumeration_space(g);
     assert!(
         space <= ENUMERATION_LIMIT,
         "brute force space {space} exceeds limit; use it only on tiny instances"
@@ -158,7 +166,13 @@ mod tests {
     #[test]
     fn bmr_zero_budget_forces_full_materialization() {
         let g = bidirectional_path(4, &CostModel::default(), 2);
-        let r = brute_force(&g, ProblemKind::Bmr { retrieval_budget: 0 }).expect("feasible");
+        let r = brute_force(
+            &g,
+            ProblemKind::Bmr {
+                retrieval_budget: 0,
+            },
+        )
+        .expect("feasible");
         assert_eq!(r.costs.storage, g.total_node_storage());
         assert_eq!(r.plan.materialized_count(), 4);
     }
@@ -168,8 +182,20 @@ mod tests {
         let g = bidirectional_path(5, &CostModel::single_weight(), 3);
         let smin = crate::baselines::min_storage_value(&g);
         let budget = smin * 2;
-        let msr = brute_force(&g, ProblemKind::Msr { storage_budget: budget }).expect("ok");
-        let mmr = brute_force(&g, ProblemKind::Mmr { storage_budget: budget }).expect("ok");
+        let msr = brute_force(
+            &g,
+            ProblemKind::Msr {
+                storage_budget: budget,
+            },
+        )
+        .expect("ok");
+        let mmr = brute_force(
+            &g,
+            ProblemKind::Mmr {
+                storage_budget: budget,
+            },
+        )
+        .expect("ok");
         // Max retrieval of the MSR optimum is an upper bound for MMR's
         // optimum; totals relate the other way.
         assert!(mmr.costs.max_retrieval <= msr.costs.max_retrieval);

@@ -42,7 +42,10 @@ pub struct MsrIlpOutcome {
 
 /// Build the Appendix-D model. Returns the LP, the integer-variable ids,
 /// and the extended edge list (for reconstruction).
-pub fn msr_ilp(g: &VersionGraph, storage_budget: Cost) -> (LinearProgram, Vec<usize>, Vec<ArbEdge>) {
+pub fn msr_ilp(
+    g: &VersionGraph,
+    storage_budget: Cost,
+) -> (LinearProgram, Vec<usize>, Vec<ArbEdge>) {
     let n = g.n();
     let ext = extended_edges(g, EdgeWeight::Storage);
     let m = ext.len();
@@ -63,16 +66,12 @@ pub fn msr_ilp(g: &VersionGraph, storage_budget: Cost) -> (LinearProgram, Vec<us
 
     // Variables: x_e at [0, m), I_e at [m, 2m).
     let mut lp = LinearProgram::new(2 * m);
-    for i in 0..m {
-        lp.set_objective(i, retr[i] / r_scale);
+    for (i, r) in retr.iter().enumerate() {
+        lp.set_objective(i, r / r_scale);
         lp.set_upper(i, n as f64);
         lp.set_upper(m + i, 1.0);
         // Indicator: x_e - n * I_e <= 0.
-        lp.add_constraint(
-            vec![(i, 1.0), (m + i, -(n as f64))],
-            ConstraintOp::Le,
-            0.0,
-        );
+        lp.add_constraint(vec![(i, 1.0), (m + i, -(n as f64))], ConstraintOp::Le, 0.0);
     }
     // Storage budget.
     lp.add_constraint(

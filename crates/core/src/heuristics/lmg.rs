@@ -23,6 +23,9 @@ use dsv_vgraph::{Cost, NodeId, VersionGraph};
 pub struct LmgStats {
     /// Number of materialization moves applied.
     pub moves: usize,
+    /// Total retrieval of the final plan as tracked by the greedy's own
+    /// [`PlanView`] (no extra costing pass).
+    pub total_retrieval: Cost,
 }
 
 /// Run LMG under a storage budget. Returns `None` when even the
@@ -48,8 +51,8 @@ pub fn lmg_with_stats(g: &VersionGraph, storage_budget: Cost) -> Option<(Storage
     loop {
         let view = PlanView::new(g, &plan);
         let mut best: Option<(Ratio, usize)> = None;
-        for v in 0..g.n() {
-            if !eligible[v] {
+        for (v, &is_eligible) in eligible.iter().enumerate() {
+            if !is_eligible {
                 continue;
             }
             let sv = g.node_storage(NodeId::new(v));
@@ -79,6 +82,7 @@ pub fn lmg_with_stats(g: &VersionGraph, storage_budget: Cost) -> Option<(Storage
             }
         }
         let Some((_, v)) = best else {
+            stats.total_retrieval = view.total_retrieval;
             return Some((plan, stats));
         };
         plan.parent[v] = Parent::Materialized;
@@ -105,12 +109,18 @@ mod tests {
     fn respects_budget_and_improves_retrieval() {
         let g = bidirectional_path(40, &CostModel::default(), 2);
         let smin = min_storage_value(&g);
-        let base_retrieval = crate::baselines::min_storage_plan(&g).costs(&g).total_retrieval;
+        let base_retrieval = crate::baselines::min_storage_plan(&g)
+            .costs(&g)
+            .total_retrieval;
         for budget in [smin, smin * 3 / 2, smin * 3, smin * 10] {
             let plan = lmg(&g, budget).expect("feasible");
             plan.validate(&g).expect("valid");
             let c = plan.costs(&g);
-            assert!(c.storage <= budget, "storage {} > budget {budget}", c.storage);
+            assert!(
+                c.storage <= budget,
+                "storage {} > budget {budget}",
+                c.storage
+            );
             assert!(c.total_retrieval <= base_retrieval);
         }
     }

@@ -32,6 +32,9 @@ pub struct LmgAllStats {
     pub moves: usize,
     /// Of which, materializations.
     pub materializations: usize,
+    /// Total retrieval of the final plan as tracked by the greedy's own
+    /// [`PlanView`] (no extra costing pass).
+    pub total_retrieval: Cost,
 }
 
 /// Threshold (edge count) above which the candidate scan uses rayon.
@@ -83,17 +86,17 @@ pub fn lmg_all_with_stats(
                 if dr == 0 && ds == 0 {
                     return None; // no progress
                 }
-                Some((Ratio::Infinite { dr, ds }, Move::Reparent { edge: ei as u32 }))
+                Some((
+                    Ratio::Infinite { dr, ds },
+                    Move::Reparent { edge: ei as u32 },
+                ))
             } else {
                 let ds = e.storage - paid;
                 if view.storage + ds > storage_budget || dr == 0 {
                     return None;
                 }
                 Some((
-                    Ratio::Finite {
-                        dr,
-                        ds: ds as u128,
-                    },
+                    Ratio::Finite { dr, ds: ds as u128 },
                     Move::Reparent { edge: ei as u32 },
                 ))
             }
@@ -113,17 +116,17 @@ pub fn lmg_all_with_stats(
                 if dr == 0 && ds == 0 {
                     return None;
                 }
-                Some((Ratio::Infinite { dr, ds }, Move::Materialize { node: v as u32 }))
+                Some((
+                    Ratio::Infinite { dr, ds },
+                    Move::Materialize { node: v as u32 },
+                ))
             } else {
                 let ds = sv - paid;
                 if view.storage + ds > storage_budget || dr == 0 {
                     return None;
                 }
                 Some((
-                    Ratio::Finite {
-                        dr,
-                        ds: ds as u128,
-                    },
+                    Ratio::Finite { dr, ds: ds as u128 },
                     Move::Materialize { node: v as u32 },
                 ))
             }
@@ -144,6 +147,7 @@ pub fn lmg_all_with_stats(
         };
 
         let Some((_, mv)) = best else {
+            stats.total_retrieval = view.total_retrieval;
             return Some((plan, stats));
         };
         match mv {
@@ -213,10 +217,7 @@ mod tests {
         let e_ab = g.add_edge(va, vb, eb, eb);
         g.add_edge(vb, vc, ec, ec);
         let budget = a + eb + c; // within the adversarial window
-        let lmg_cost = lmg(&g, budget)
-            .expect("feasible")
-            .costs(&g)
-            .total_retrieval;
+        let lmg_cost = lmg(&g, budget).expect("feasible").costs(&g).total_retrieval;
         let all_plan = lmg_all(&g, budget).expect("feasible");
         let all_cost = all_plan.costs(&g).total_retrieval;
         assert!(all_cost <= lmg_cost);
@@ -246,7 +247,10 @@ mod tests {
             let smin = min_storage_value(&g);
             let budget = smin * 2;
             let a = lmg(&g, budget).expect("feasible").costs(&g).total_retrieval;
-            let b = lmg_all(&g, budget).expect("feasible").costs(&g).total_retrieval;
+            let b = lmg_all(&g, budget)
+                .expect("feasible")
+                .costs(&g)
+                .total_retrieval;
             if a < b {
                 lmg_wins += 1;
             }

@@ -27,8 +27,8 @@ pub(crate) struct PlanView {
     pub tout: Vec<u32>,
     /// Total storage.
     pub storage: Cost,
-    /// Total retrieval (read by diagnostics and tests).
-    #[allow(dead_code)]
+    /// Total retrieval — reported through the run stats of [`lmg`] and
+    /// [`lmg_all`] and surfaced as solver metadata by the engine.
     pub total_retrieval: Cost,
 }
 

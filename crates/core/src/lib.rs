@@ -22,11 +22,18 @@
 //! | [`btw`] | DP over nice tree decompositions | Section 5.3 |
 //! | [`reductions`] | MSR↔BSR and MMR↔BMR binary searches | Lemma 7 |
 //! | [`exact`] | brute force + Appendix-D ILP | Appendix D |
+//!
+//! All of the above are unified behind the [`engine`]: a [`engine::Solver`]
+//! trait, an [`engine::Engine`] registry dispatching [`problem::ProblemKind`]
+//! to solvers, and a portfolio mode returning the best feasible plan. New
+//! code should go through the engine; the free functions remain as the
+//! algorithm layer underneath it.
 
 #![warn(missing_docs)]
 
 pub mod baselines;
 pub mod btw;
+pub mod engine;
 pub mod exact;
 pub mod heuristics;
 pub mod plan;
@@ -34,5 +41,6 @@ pub mod problem;
 pub mod reductions;
 pub mod tree;
 
+pub use engine::{Engine, Portfolio, Solution, SolveError, SolveOptions, Solver, SolverMeta};
 pub use plan::{Parent, StoragePlan};
 pub use problem::{Objective, ProblemKind};

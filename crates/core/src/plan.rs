@@ -7,10 +7,10 @@
 //! `G_aux` of the paper.
 
 use dsv_vgraph::{cost_add, Cost, EdgeId, NodeId, VersionGraph};
-use serde::{Deserialize, Serialize};
+use serde::{object, Deserialize, Error, Serialize, Value};
 
 /// How one version is stored.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Parent {
     /// The version is materialized (costs `s_v`, retrieval 0).
     Materialized,
@@ -19,11 +19,50 @@ pub enum Parent {
     Delta(EdgeId),
 }
 
+// Hand-written (the serde shim has no derive), using the same externally
+// tagged enum encoding a derived impl would emit: `"Materialized"` or
+// `{"Delta": <edge>}`.
+impl Serialize for Parent {
+    fn to_value(&self) -> Value {
+        match self {
+            Parent::Materialized => Value::Str("Materialized".into()),
+            Parent::Delta(e) => object([("Delta", e.to_value())]),
+        }
+    }
+}
+
+impl Deserialize for Parent {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) if s == "Materialized" => Ok(Parent::Materialized),
+            Value::Map(_) => EdgeId::from_value(v.field("Delta")?).map(Parent::Delta),
+            other => Err(Error::new(format!(
+                "expected Parent variant, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
 /// A complete storage plan for a version graph.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct StoragePlan {
     /// Per-node decision.
     pub parent: Vec<Parent>,
+}
+
+impl Serialize for StoragePlan {
+    fn to_value(&self) -> Value {
+        object([("parent", self.parent.to_value())])
+    }
+}
+
+impl Deserialize for StoragePlan {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(StoragePlan {
+            parent: Vec::from_value(v.field("parent")?)?,
+        })
+    }
 }
 
 /// Cost summary of a plan.
@@ -183,11 +222,7 @@ mod tests {
         let e1 = g.add_edge(a, b, 10, 7);
         let e2 = g.add_edge(b, c, 20, 9);
         let plan = StoragePlan {
-            parent: vec![
-                Parent::Materialized,
-                Parent::Delta(e1),
-                Parent::Delta(e2),
-            ],
+            parent: vec![Parent::Materialized, Parent::Delta(e1), Parent::Delta(e2)],
         };
         let _ = (a, b, c);
         (g, plan)

@@ -81,7 +81,9 @@ mod tests {
         assert_eq!(msr.objective(), Objective::SumRetrieval);
         assert_eq!(msr.budget(), 10);
         assert_eq!(msr.name(), "MSR");
-        let bmr = ProblemKind::Bmr { retrieval_budget: 3 };
+        let bmr = ProblemKind::Bmr {
+            retrieval_budget: 3,
+        };
         assert_eq!(bmr.objective(), Objective::Storage);
         assert_eq!(bmr.budget(), 3);
     }

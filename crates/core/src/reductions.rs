@@ -90,12 +90,16 @@ mod tests {
             let g = random_tree(6, &CostModel::default(), seed);
             let smin = crate::baselines::min_storage_value(&g);
             for budget in [smin, smin * 2, smin * 8] {
-                let want = brute_force(&g, ProblemKind::Mmr { storage_budget: budget })
-                    .expect("feasible")
-                    .costs
-                    .max_retrieval;
-                let (plan, got) =
-                    mmr_on_graph(&g, NodeId(0), budget).expect("feasible");
+                let want = brute_force(
+                    &g,
+                    ProblemKind::Mmr {
+                        storage_budget: budget,
+                    },
+                )
+                .expect("feasible")
+                .costs
+                .max_retrieval;
+                let (plan, got) = mmr_on_graph(&g, NodeId(0), budget).expect("feasible");
                 plan.validate(&g).expect("valid");
                 let c = plan.costs(&g);
                 assert!(c.storage <= budget);
@@ -129,16 +133,20 @@ mod tests {
             let g = random_tree(6, &CostModel::default(), seed + 50);
             // A generous retrieval budget: half the worst chain cost.
             let budget = g.max_edge_retrieval() * 3;
-            let want = brute_force(&g, ProblemKind::Bsr { retrieval_budget: budget })
-                .expect("feasible")
-                .costs
-                .storage;
+            let want = brute_force(
+                &g,
+                ProblemKind::Bsr {
+                    retrieval_budget: budget,
+                },
+            )
+            .expect("feasible")
+            .costs
+            .storage;
             let cfg = DpMsrConfig {
                 engine: Some(crate::tree::msr_engine::TreeDpConfig::exact()),
                 ..Default::default()
             };
-            let (plan, storage) =
-                bsr_via_msr(&g, NodeId(0), budget, &cfg).expect("feasible");
+            let (plan, storage) = bsr_via_msr(&g, NodeId(0), budget, &cfg).expect("feasible");
             plan.validate(&g).expect("valid");
             assert!(plan.costs(&g).total_retrieval <= budget);
             assert_eq!(storage, want, "seed {}", seed);

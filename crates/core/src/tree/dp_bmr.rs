@@ -28,12 +28,7 @@ pub struct DpBmrResult {
 }
 
 /// All nodes `u` with path-retrieval `R(u → v) ≤ budget`, with their costs.
-fn retrieval_ball(
-    g: &VersionGraph,
-    t: &BidirTree,
-    v: NodeId,
-    budget: Cost,
-) -> Vec<(u32, Cost)> {
+fn retrieval_ball(g: &VersionGraph, t: &BidirTree, v: NodeId, budget: Cost) -> Vec<(u32, Cost)> {
     // The u → v path cost grows monotonically as u moves away from v, so a
     // DFS that stops at the budget explores exactly the ball.
     let mut out = vec![(v.0, 0)];
@@ -180,7 +175,11 @@ pub fn dp_bmr(g: &VersionGraph, t: &BidirTree, retrieval_budget: Cost) -> DpBmrR
 
 /// Extract the tree rooted at `root` and run DP-BMR (the full Section-6.2
 /// pipeline). `None` when the graph is not spanning-reachable from `root`.
-pub fn dp_bmr_on_graph(g: &VersionGraph, root: NodeId, retrieval_budget: Cost) -> Option<DpBmrResult> {
+pub fn dp_bmr_on_graph(
+    g: &VersionGraph,
+    root: NodeId,
+    retrieval_budget: Cost,
+) -> Option<DpBmrResult> {
     let t = extract_tree(g, root)?;
     Some(dp_bmr(g, &t, retrieval_budget))
 }
@@ -193,10 +192,15 @@ mod tests {
     use dsv_vgraph::generators::{bidirectional_path, random_tree, star, CostModel};
 
     fn exact_tree_bmr(g: &VersionGraph, budget: Cost) -> Cost {
-        brute_force(g, ProblemKind::Bmr { retrieval_budget: budget })
-            .expect("BMR always feasible")
-            .costs
-            .storage
+        brute_force(
+            g,
+            ProblemKind::Bmr {
+                retrieval_budget: budget,
+            },
+        )
+        .expect("BMR always feasible")
+        .costs
+        .storage
     }
 
     #[test]

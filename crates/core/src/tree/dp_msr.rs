@@ -113,9 +113,8 @@ mod tests {
             let smin = min_storage_value(&g);
             for budget in [smin, smin * 2, smin * 4] {
                 let opt = msr_optimum(&g, budget).expect("feasible");
-                let (plan, costs) =
-                    dp_msr_on_graph(&g, NodeId(0), budget, &DpMsrConfig::default())
-                        .expect("feasible");
+                let (plan, costs) = dp_msr_on_graph(&g, NodeId(0), budget, &DpMsrConfig::default())
+                    .expect("feasible");
                 plan.validate(&g).expect("valid");
                 assert!(costs.storage <= budget);
                 // Heuristic discretization is coarse but must stay close on
@@ -169,8 +168,8 @@ mod tests {
         let g = bidirectional_path(20, &CostModel::default(), 3);
         let smin = min_storage_value(&g);
         let budgets = vec![smin, smin * 3 / 2, smin * 2, smin * 3];
-        let sweep = dp_msr_sweep(&g, NodeId(0), &budgets, &DpMsrConfig::default())
-            .expect("connected");
+        let sweep =
+            dp_msr_sweep(&g, NodeId(0), &budgets, &DpMsrConfig::default()).expect("connected");
         assert_eq!(sweep.len(), budgets.len());
         // Retrieval decreases along increasing budgets.
         let vals: Vec<u64> = sweep
@@ -201,8 +200,8 @@ mod tests {
         let g = random_tree(250, &CostModel::default(), 5);
         let smin = min_storage_value(&g);
         let budgets: Vec<u64> = (0..6).map(|i| smin + smin * i / 4).collect();
-        let sweep = dp_msr_sweep(&g, NodeId(0), &budgets, &DpMsrConfig::default())
-            .expect("connected");
+        let sweep =
+            dp_msr_sweep(&g, NodeId(0), &budgets, &DpMsrConfig::default()).expect("connected");
         assert!(sweep.iter().all(|c| c.is_some()));
     }
 }

@@ -40,7 +40,8 @@ impl BidirTree {
     /// Is `anc` an ancestor of `v` (or `v` itself)?
     #[inline]
     pub fn is_ancestor(&self, anc: NodeId, v: NodeId) -> bool {
-        self.tin[anc.index()] <= self.tin[v.index()] && self.tout[v.index()] <= self.tout[anc.index()]
+        self.tin[anc.index()] <= self.tin[v.index()]
+            && self.tout[v.index()] <= self.tout[anc.index()]
     }
 
     /// Retrieval cost of the directed tree edge `x → y` where `x` and `y`

@@ -271,9 +271,7 @@ fn compress(list: &mut Vec<Pair>, cfg: &TreeDpConfig) {
     if cfg.storage_ratio <= 1.0 {
         out = pareto;
     } else {
-        let bucket = |s: Cost| -> u64 {
-            ((s.max(1) as f64).ln() / cfg.storage_ratio.ln()) as u64
-        };
+        let bucket = |s: Cost| -> u64 { ((s.max(1) as f64).ln() / cfg.storage_ratio.ln()) as u64 };
         out = Vec::with_capacity(pareto.len());
         out.push(pareto[0]); // global min-storage point
         let mut i = 1;
@@ -369,12 +367,7 @@ fn merge_child(
         for &(s, rho) in list {
             // Option 1: closed — the child subtree is self-sufficient.
             for &(cs, crho) in closed {
-                push(
-                    &mut out,
-                    cfg,
-                    key,
-                    (cost_add(s, cs), cost_add(rho, crho)),
-                );
+                push(&mut out, cfg, key, (cost_add(s, cs), cost_add(rho, crho)));
             }
             // Option 2: hang — store (v → c); child interface Dep(k_c).
             if let Some((svc, rvc)) = edges.down {
@@ -401,10 +394,8 @@ fn merge_child(
                                 );
                             }
                             AccKey::Up(gamma) => {
-                                let r2 = cost_add(
-                                    cost_add(rho, crho),
-                                    mul_kg(kc, cost_add(gamma, rvc)),
-                                );
+                                let r2 =
+                                    cost_add(cost_add(rho, crho), mul_kg(kc, cost_add(gamma, rvc)));
                                 push(&mut out, cfg, AccKey::Up(gamma), (s2, r2));
                             }
                         }
@@ -544,7 +535,13 @@ pub fn run_tree_msr<'a>(g: &'a VersionGraph, t: &'a BidirTree, cfg: TreeDpConfig
         let mut acc = init_acc(g, v, &cfg);
         for &c in &t.children[v.index()] {
             let closed = closed_frontier(&tables[c.index()], &cfg);
-            acc = merge_child(&acc, &tables[c.index()], &closed, child_edges(g, t, c), &cfg);
+            acc = merge_child(
+                &acc,
+                &tables[c.index()],
+                &closed,
+                child_edges(g, t, c),
+                &cfg,
+            );
         }
         tables[v.index()] = finalize(acc);
     }
@@ -583,8 +580,7 @@ impl<'a> TreeMsrDp<'a> {
         let mut plan = StoragePlan {
             parent: vec![Parent::Materialized; self.t.n()],
         };
-        let mut stack: Vec<(NodeId, AccKey, Pair)> =
-            vec![(self.t.root, AccKey::Up(gamma), (s, r))];
+        let mut stack: Vec<(NodeId, AccKey, Pair)> = vec![(self.t.root, AccKey::Up(gamma), (s, r))];
         while let Some((v, key, pair)) = stack.pop() {
             self.backtrack_node(v, key, pair, &mut plan, &mut stack);
         }
@@ -637,14 +633,14 @@ impl<'a> TreeMsrDp<'a> {
                         continue;
                     }
                     let (ps, prho) = (s - cs, rho - crho);
-                    if prev
-                        .get(&cur_key)
-                        .is_some_and(|l| l.contains(&(ps, prho)))
-                    {
+                    if prev.get(&cur_key).is_some_and(|l| l.contains(&(ps, prho))) {
                         found = Some((
                             cur_key,
                             (ps, prho),
-                            ChildDecision::Closed { gamma: gc, pair: (cs, crho) },
+                            ChildDecision::Closed {
+                                gamma: gc,
+                                pair: (cs, crho),
+                            },
                         ));
                         break 'closed;
                     }
@@ -685,15 +681,17 @@ impl<'a> TreeMsrDp<'a> {
                                             found = Some((
                                                 make(pk),
                                                 (ps, prho),
-                                                ChildDecision::Hang { k: kc, pair: (cs, crho) },
+                                                ChildDecision::Hang {
+                                                    k: kc,
+                                                    pair: (cs, crho),
+                                                },
                                             ));
                                             break 'hang;
                                         }
                                     }
                                 }
                                 AccKey::Up(gamma) => {
-                                    let extra =
-                                        cost_add(crho, mul_kg(kc, cost_add(gamma, rvc)));
+                                    let extra = cost_add(crho, mul_kg(kc, cost_add(gamma, rvc)));
                                     if extra > rho {
                                         continue;
                                     }
@@ -705,7 +703,10 @@ impl<'a> TreeMsrDp<'a> {
                                         found = Some((
                                             AccKey::Up(gamma),
                                             (ps, prho),
-                                            ChildDecision::Hang { k: kc, pair: (cs, crho) },
+                                            ChildDecision::Hang {
+                                                k: kc,
+                                                pair: (cs, crho),
+                                            },
                                         ));
                                         break 'hang;
                                     }
@@ -739,7 +740,10 @@ impl<'a> TreeMsrDp<'a> {
                                     found = Some((
                                         pkey,
                                         (ps, prho),
-                                        ChildDecision::Source { gamma: gc, pair: (cs, crho) },
+                                        ChildDecision::Source {
+                                            gamma: gc,
+                                            pair: (cs, crho),
+                                        },
                                     ));
                                     break 'source;
                                 }
@@ -762,9 +766,8 @@ impl<'a> TreeMsrDp<'a> {
                     stack.push((c, AccKey::Dep(k), pair));
                 }
                 ChildDecision::Source { gamma, pair } => {
-                    plan.parent[v.index()] = Parent::Delta(
-                        self.t.up_edge[c.index()].expect("source used the up edge"),
-                    );
+                    plan.parent[v.index()] =
+                        Parent::Delta(self.t.up_edge[c.index()].expect("source used the up edge"));
                     stack.push((c, AccKey::Up(gamma), pair));
                 }
             }

@@ -105,8 +105,22 @@ pub fn evolve(params: &EvolveParams) -> Evolution {
 
 fn random_line(rng: &mut SmallRng, len: usize) -> String {
     const WORDS: [&str; 16] = [
-        "data", "version", "store", "delta", "graph", "commit", "merge", "branch", "retrieval",
-        "storage", "index", "schema", "table", "column", "record", "lineage",
+        "data",
+        "version",
+        "store",
+        "delta",
+        "graph",
+        "commit",
+        "merge",
+        "branch",
+        "retrieval",
+        "storage",
+        "index",
+        "schema",
+        "table",
+        "column",
+        "record",
+        "lineage",
     ];
     let mut s = String::with_capacity(len + 8);
     while s.len() < len {
@@ -148,11 +162,11 @@ fn evolve_text(params: &EvolveParams, tp: &TextParams) -> Evolution {
     let mut merge_count = 0usize;
 
     let connect = |g: &mut VersionGraph,
-                       store: &LineStore,
-                       parent: NodeId,
-                       parent_snap: &Snapshot,
-                       child: NodeId,
-                       child_snap: &Snapshot| {
+                   store: &LineStore,
+                   parent: NodeId,
+                   parent_snap: &Snapshot,
+                   child: NodeId,
+                   child_snap: &Snapshot| {
         let fwd = parent_snap.delta_to(child_snap, store);
         let bwd = child_snap.delta_to(parent_snap, store);
         g.add_edge(

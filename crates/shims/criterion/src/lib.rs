@@ -1,0 +1,211 @@
+//! API-subset shim for the `criterion` crate (the build environment is
+//! offline). Implements the macro and builder surface the workspace's
+//! benches use with a plain fixed-iteration timer: every benchmark runs
+//! `sample_size` samples (after one warm-up iteration per sample batch) and
+//! prints mean/min/max wall time to stdout. No statistics, plots, or
+//! baseline comparisons — those need the real crate.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Entry point handed to benchmark functions.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Start a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("benchmark group: {name}");
+        BenchmarkGroup {
+            _criterion: self,
+            name,
+            sample_size: 10,
+            measurement_time: Duration::from_secs(1),
+        }
+    }
+
+    /// Benchmark a single function outside a group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl std::fmt::Display, mut f: F) {
+        run_one(&format!("{id}"), 10, Duration::from_secs(1), &mut f);
+    }
+}
+
+/// A named collection of benchmarks sharing settings.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Target measurement time (used as a cap on total sampling).
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Warm-up time (accepted for API compatibility; the shim warms up with
+    /// one untimed iteration instead).
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Benchmark a closure.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl std::fmt::Display, mut f: F) {
+        let label = format!("{}/{id}", self.name);
+        run_one(&label, self.sample_size, self.measurement_time, &mut f);
+    }
+
+    /// Benchmark a closure with an input handed through.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl std::fmt::Display,
+        input: &I,
+        mut f: F,
+    ) {
+        let label = format!("{}/{id}", self.name);
+        run_one(&label, self.sample_size, self.measurement_time, &mut |b| {
+            f(b, input)
+        });
+    }
+
+    /// End the group.
+    pub fn finish(self) {}
+}
+
+fn run_one(label: &str, samples: usize, cap: Duration, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher {
+        timed: Duration::ZERO,
+        iters: 0,
+    };
+    // Warm-up: one untimed pass.
+    f(&mut b);
+    b.timed = Duration::ZERO;
+    b.iters = 0;
+    let started = Instant::now();
+    let mut per_sample: Vec<Duration> = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let before = (b.timed, b.iters);
+        f(&mut b);
+        let (dt, di) = (b.timed - before.0, b.iters - before.1);
+        per_sample.push(if di > 0 { dt / di as u32 } else { dt });
+        if started.elapsed() > cap * 2 {
+            break; // keep offline bench runs bounded
+        }
+    }
+    let n = per_sample.len().max(1) as u32;
+    let mean: Duration = per_sample.iter().sum::<Duration>() / n;
+    let min = per_sample.iter().min().copied().unwrap_or_default();
+    let max = per_sample.iter().max().copied().unwrap_or_default();
+    println!(
+        "  {label}: mean {mean:?} min {min:?} max {max:?} ({} samples)",
+        per_sample.len()
+    );
+}
+
+/// Runs the benchmarked closure and accumulates timing.
+pub struct Bencher {
+    timed: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Time one closure, repeatedly.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let t0 = Instant::now();
+        black_box(f());
+        self.timed += t0.elapsed();
+        self.iters += 1;
+    }
+}
+
+/// Identifier combining a function name and a parameter.
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            text: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// Parameter-only id.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            text: parameter.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.text)
+    }
+}
+
+/// Define a benchmark group function, as in real criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Define `main` running the given groups, as in real criterion.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_counts_samples() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(3);
+        let mut runs = 0u32;
+        group.bench_function("noop", |b| {
+            b.iter(|| black_box(1 + 1));
+            runs += 1;
+        });
+        group.finish();
+        // 1 warm-up + 3 samples.
+        assert_eq!(runs, 4);
+    }
+
+    #[test]
+    fn bench_with_input_passes_input() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim2");
+        group.sample_size(1);
+        group.bench_with_input(BenchmarkId::new("sq", 7), &7u64, |b, &x| {
+            b.iter(|| black_box(x * x));
+        });
+    }
+}

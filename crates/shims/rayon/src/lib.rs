@@ -1,0 +1,134 @@
+//! API-subset shim for the `rayon` crate (the build environment is offline).
+//!
+//! Provides `prelude::*` with [`iter::IntoParallelIterator`] for ranges and
+//! vectors plus the iterator adaptors this workspace uses (`map`,
+//! `filter_map`, `max_by`, `sum`, `collect`). **Execution is sequential**:
+//! the adaptors simply delegate to `std::iter`. Call sites keep the
+//! data-parallel shape, so swapping in the real rayon restores parallelism
+//! with no code changes; a true work-stealing pool is a ROADMAP open item.
+
+#![warn(missing_docs)]
+
+/// Parallel-iterator traits and adaptors (sequential in this shim).
+pub mod iter {
+    /// Conversion into a "parallel" iterator.
+    pub trait IntoParallelIterator {
+        /// Element type.
+        type Item;
+        /// The iterator produced.
+        type Iter: ParallelIterator<Item = Self::Item>;
+        /// Convert `self` into a (sequentially executing) parallel iterator.
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    /// The adaptor surface used by this workspace.
+    ///
+    /// Deliberately *not* a `std::iter::Iterator`, so that adaptor calls
+    /// resolve unambiguously to this trait (exactly as with real rayon).
+    pub trait ParallelIterator: Sized {
+        /// Element type.
+        type Item;
+        /// Underlying sequential iterator.
+        type Inner: Iterator<Item = Self::Item>;
+
+        /// Unwrap into the underlying sequential iterator.
+        fn into_seq(self) -> Self::Inner;
+
+        /// Map each element.
+        fn map<O, F: FnMut(Self::Item) -> O>(self, f: F) -> Seq<std::iter::Map<Self::Inner, F>> {
+            Seq(self.into_seq().map(f))
+        }
+
+        /// Filter-map each element.
+        fn filter_map<O, F: FnMut(Self::Item) -> Option<O>>(
+            self,
+            f: F,
+        ) -> Seq<std::iter::FilterMap<Self::Inner, F>> {
+            Seq(self.into_seq().filter_map(f))
+        }
+
+        /// Maximum by a comparison function.
+        fn max_by<F: FnMut(&Self::Item, &Self::Item) -> std::cmp::Ordering>(
+            self,
+            f: F,
+        ) -> Option<Self::Item> {
+            self.into_seq().max_by(f)
+        }
+
+        /// Sum the elements.
+        fn sum<S: std::iter::Sum<Self::Item>>(self) -> S {
+            self.into_seq().sum()
+        }
+
+        /// Collect into a container.
+        fn collect<C: FromIterator<Self::Item>>(self) -> C {
+            self.into_seq().collect()
+        }
+    }
+
+    /// Wrapper marking a sequential iterator as "parallel".
+    pub struct Seq<I>(I);
+
+    impl<I: Iterator> ParallelIterator for Seq<I> {
+        type Item = I::Item;
+        type Inner = I;
+        fn into_seq(self) -> I {
+            self.0
+        }
+    }
+
+    impl IntoParallelIterator for std::ops::Range<usize> {
+        type Item = usize;
+        type Iter = Seq<std::ops::Range<usize>>;
+        fn into_par_iter(self) -> Self::Iter {
+            Seq(self)
+        }
+    }
+
+    impl IntoParallelIterator for std::ops::Range<u32> {
+        type Item = u32;
+        type Iter = Seq<std::ops::Range<u32>>;
+        fn into_par_iter(self) -> Self::Iter {
+            Seq(self)
+        }
+    }
+
+    impl<T> IntoParallelIterator for Vec<T> {
+        type Item = T;
+        type Iter = Seq<std::vec::IntoIter<T>>;
+        fn into_par_iter(self) -> Self::Iter {
+            Seq(self.into_iter())
+        }
+    }
+}
+
+/// The customary glob import.
+pub mod prelude {
+    pub use crate::iter::{IntoParallelIterator, ParallelIterator};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn range_map_collect() {
+        let v: Vec<usize> = (0..5usize).into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(v, vec![0, 2, 4, 6, 8]);
+    }
+
+    #[test]
+    fn filter_map_max_by() {
+        let best = (0..100usize)
+            .into_par_iter()
+            .filter_map(|x| if x % 7 == 0 { Some(x) } else { None })
+            .max_by(|a, b| a.cmp(b));
+        assert_eq!(best, Some(98));
+    }
+
+    #[test]
+    fn vec_sum() {
+        let s: u64 = vec![1u64, 2, 3].into_par_iter().sum();
+        assert_eq!(s, 6);
+    }
+}

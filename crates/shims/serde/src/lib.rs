@@ -1,0 +1,302 @@
+//! API-subset shim for the `serde` crate (the build environment is offline).
+//!
+//! Real serde's visitor-based `Serializer`/`Deserializer` machinery is far
+//! more than this workspace needs, so the shim works through an owned value
+//! tree instead: [`Serialize`] renders a type into a [`Value`],
+//! [`Deserialize`] rebuilds the type from one. There is **no derive macro**
+//! — the handful of serializable types in this workspace implement the
+//! traits by hand (a few lines each). `serde_json` (its own shim) turns
+//! `Value` into JSON text and back.
+//!
+//! Integers are kept as `u64`/`i64` (never squeezed through `f64`), so
+//! `Cost` values round-trip exactly.
+
+#![warn(missing_docs)]
+
+use std::collections::BTreeMap;
+
+/// An owned, JSON-shaped value tree.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Unsigned integer (serialized without a fraction).
+    UInt(u64),
+    /// Signed integer (serialized without a fraction).
+    Int(i64),
+    /// Floating-point number.
+    Float(f64),
+    /// JSON string.
+    Str(String),
+    /// JSON array.
+    Seq(Vec<Value>),
+    /// JSON object. `BTreeMap` keeps key order deterministic.
+    Map(BTreeMap<String, Value>),
+}
+
+impl Value {
+    /// Fetch a field of an object, or error.
+    pub fn field<'a>(&'a self, key: &str) -> Result<&'a Value, Error> {
+        match self {
+            Value::Map(m) => m
+                .get(key)
+                .ok_or_else(|| Error::new(format!("missing field `{key}`"))),
+            other => Err(Error::new(format!(
+                "expected object with field `{key}`, found {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// Human-readable kind (for error messages).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::UInt(_) | Value::Int(_) => "integer",
+            Value::Float(_) => "number",
+            Value::Str(_) => "string",
+            Value::Seq(_) => "array",
+            Value::Map(_) => "object",
+        }
+    }
+}
+
+/// Serialization/deserialization error.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    /// Construct from a message.
+    pub fn new(msg: impl Into<String>) -> Self {
+        Error { msg: msg.into() }
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types renderable into a [`Value`].
+pub trait Serialize {
+    /// Render into a value tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Types rebuildable from a [`Value`].
+pub trait Deserialize: Sized {
+    /// Rebuild from a value tree.
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+macro_rules! impl_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::UInt(*self as u64) }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::UInt(x) => <$t>::try_from(*x)
+                        .map_err(|_| Error::new(format!("{x} out of range"))),
+                    Value::Int(x) => <$t>::try_from(*x)
+                        .map_err(|_| Error::new(format!("{x} out of range"))),
+                    other => Err(Error::new(format!(
+                        "expected integer, found {}", other.kind()
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::Int(*self as i64) }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::Int(x) => <$t>::try_from(*x)
+                        .map_err(|_| Error::new(format!("{x} out of range"))),
+                    Value::UInt(x) => <$t>::try_from(*x)
+                        .map_err(|_| Error::new(format!("{x} out of range"))),
+                    other => Err(Error::new(format!(
+                        "expected integer, found {}", other.kind()
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(Error::new(format!("expected bool, found {}", other.kind()))),
+        }
+    }
+}
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Float(x) => Ok(*x),
+            Value::UInt(x) => Ok(*x as f64),
+            Value::Int(x) => Ok(*x as f64),
+            other => Err(Error::new(format!(
+                "expected number, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(Error::new(format!(
+                "expected string, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Seq(items) => items.iter().map(T::from_value).collect(),
+            other => Err(Error::new(format!(
+                "expected array, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (*self).to_value()
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
+/// Build a [`Value::Map`] from `("key", value)` pairs — the helper the
+/// hand-written `Serialize` impls use.
+pub fn object<const N: usize>(fields: [(&str, Value); N]) -> Value {
+    Value::Map(
+        fields
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip() {
+        assert_eq!(u64::from_value(&42u64.to_value()), Ok(42));
+        assert_eq!(i64::from_value(&(-7i64).to_value()), Ok(-7));
+        assert_eq!(
+            String::from_value(&"hi".to_string().to_value()),
+            Ok("hi".to_string())
+        );
+        assert_eq!(
+            Vec::<u32>::from_value(&vec![1u32, 2, 3].to_value()),
+            Ok(vec![1, 2, 3])
+        );
+    }
+
+    #[test]
+    fn large_u64_survives() {
+        let big = u64::MAX - 3;
+        assert_eq!(u64::from_value(&big.to_value()), Ok(big));
+    }
+
+    #[test]
+    fn type_errors_are_reported() {
+        assert!(u64::from_value(&Value::Str("x".into())).is_err());
+        assert!(Value::Null.field("k").is_err());
+        let obj = object([("k", Value::UInt(1))]);
+        assert_eq!(obj.field("k").unwrap(), &Value::UInt(1));
+        assert!(obj.field("missing").is_err());
+    }
+}

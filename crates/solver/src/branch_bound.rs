@@ -228,9 +228,7 @@ mod tests {
         );
         assert_eq!(loose.status, MilpStatus::Optimal);
         assert_eq!(primed.status, MilpStatus::Optimal);
-        assert!(
-            (loose.objective.expect("opt") - primed.objective.expect("opt")).abs() < 1e-6
-        );
+        assert!((loose.objective.expect("opt") - primed.objective.expect("opt")).abs() < 1e-6);
         assert!(primed.nodes <= loose.nodes);
     }
 

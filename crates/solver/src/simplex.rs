@@ -89,12 +89,9 @@ impl Tableau {
             let entering = if stalled < STALL_LIMIT {
                 // Dantzig: most negative reduced cost.
                 let mut best: Option<(usize, f64)> = None;
-                for j in 0..self.cols {
-                    let c = cost_rows[cost_idx][j];
-                    if c < -1e-7 && allowed(j) {
-                        if best.is_none_or(|(_, bc)| c < bc) {
-                            best = Some((j, c));
-                        }
+                for (j, &c) in cost_rows[cost_idx].iter().enumerate().take(self.cols) {
+                    if c < -1e-7 && allowed(j) && best.is_none_or(|(_, bc)| c < bc) {
+                        best = Some((j, c));
                     }
                 }
                 best.map(|(j, _)| j)
@@ -116,8 +113,7 @@ impl Tableau {
                         None => best = Some((r, ratio)),
                         Some((br, bratio)) => {
                             if ratio < bratio - EPS
-                                || ((ratio - bratio).abs() <= EPS
-                                    && self.basis[r] < self.basis[br])
+                                || ((ratio - bratio).abs() <= EPS && self.basis[r] < self.basis[br])
                             {
                                 best = Some((r, ratio));
                             }
@@ -237,20 +233,17 @@ pub fn solve_lp(lp: &LinearProgram) -> LpOutcome {
 
     // Cost rows: index 0 = phase 2 (real objective), 1 = phase 1.
     let mut cost_rows = vec![vec![0.0; cols + 1]; 2];
-    for j in 0..n {
-        cost_rows[0][j] = lp.objective[j];
-    }
-    for j in art_start..cols {
-        cost_rows[1][j] = 1.0;
+    cost_rows[0][..n].copy_from_slice(&lp.objective[..n]);
+    for c in &mut cost_rows[1][art_start..cols] {
+        *c = 1.0;
     }
     // Price out the initial basis from both cost rows.
     for r in 0..m {
         let b = tab.basis[r];
-        for ci in 0..2 {
-            let factor = cost_rows[ci][b];
+        for cost_row in cost_rows.iter_mut() {
+            let factor = cost_row[b];
             if factor.abs() > EPS {
-                let row = tab.rows[r].clone();
-                for (x, p) in cost_rows[ci].iter_mut().zip(&row) {
+                for (x, p) in cost_row.iter_mut().zip(&tab.rows[r]) {
                     *x -= factor * p;
                 }
             }

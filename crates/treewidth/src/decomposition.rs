@@ -76,8 +76,11 @@ impl TreeDecomposition {
             return Err(format!("vertex {v} not covered by any bag"));
         }
         // (iii) coverage of edges.
-        let bag_sets: Vec<BTreeSet<u32>> =
-            self.bags.iter().map(|b| b.iter().copied().collect()).collect();
+        let bag_sets: Vec<BTreeSet<u32>> = self
+            .bags
+            .iter()
+            .map(|b| b.iter().copied().collect())
+            .collect();
         for &(u, v) in graph_edges {
             if u == v {
                 continue;
@@ -159,8 +162,7 @@ pub fn decomposition_from_order(
     // Tree edges: bag of order[i] connects to the bag of its earliest-
     // eliminated *later* neighbour within its bag (classic construction).
     let mut tree_edges = Vec::new();
-    for i in 0..n {
-        let bag = &bags[i];
+    for (i, bag) in bags.iter().enumerate() {
         let next = bag
             .iter()
             .map(|&u| position[u as usize])
@@ -176,7 +178,7 @@ pub fn decomposition_from_order(
     // edges cannot violate the connected-subtree condition.
     if n > 1 {
         let mut uf: Vec<usize> = (0..n).collect();
-        fn find(uf: &mut Vec<usize>, mut x: usize) -> usize {
+        fn find(uf: &mut [usize], mut x: usize) -> usize {
             while uf[x] != x {
                 uf[x] = uf[uf[x]];
                 x = uf[x];
@@ -268,11 +270,14 @@ mod tests {
                 .map(|_| (rng.gen_range(0..n) as u32, rng.gen_range(0..n) as u32))
                 .filter(|&(a, b)| a != b)
                 .collect();
-            for h in [EliminationHeuristic::MinDegree, EliminationHeuristic::MinFill] {
+            for h in [
+                EliminationHeuristic::MinDegree,
+                EliminationHeuristic::MinFill,
+            ] {
                 let (order, width) = elimination_order(n, &edges, h);
                 let td = decomposition_from_order(n, &edges, &order);
                 td.validate(n, &edges).expect("valid");
-                assert_eq!(td.width(), width.max(0));
+                assert_eq!(td.width(), width);
             }
         }
     }

@@ -92,7 +92,10 @@ mod tests {
     #[test]
     fn path_has_width_one() {
         let edges = vec![(0, 1), (1, 2), (2, 3)];
-        for h in [EliminationHeuristic::MinDegree, EliminationHeuristic::MinFill] {
+        for h in [
+            EliminationHeuristic::MinDegree,
+            EliminationHeuristic::MinFill,
+        ] {
             let (order, width) = elimination_order(4, &edges, h);
             assert_eq!(order.len(), 4);
             assert_eq!(width, 1);
@@ -101,7 +104,10 @@ mod tests {
 
     #[test]
     fn cycle_has_width_two() {
-        for h in [EliminationHeuristic::MinDegree, EliminationHeuristic::MinFill] {
+        for h in [
+            EliminationHeuristic::MinDegree,
+            EliminationHeuristic::MinFill,
+        ] {
             let (_, width) = elimination_order(6, &cycle(6), h);
             assert_eq!(width, 2);
         }
@@ -142,6 +148,6 @@ mod tests {
             }
         }
         let (_, width) = elimination_order(9, &edges, EliminationHeuristic::MinFill);
-        assert!(width >= 3 && width <= 4, "width {width}");
+        assert!((3..=4).contains(&width), "width {width}");
     }
 }

@@ -273,7 +273,7 @@ mod tests {
         let nice = nice_of(4, &edges);
         assert_eq!(nice.width(), 1);
         // Must contain at least one leaf and cover all vertices.
-        assert!(nice.kinds.iter().any(|k| *k == NiceNode::Leaf));
+        assert!(nice.kinds.contains(&NiceNode::Leaf));
         let all: BTreeSet<u32> = nice.bags.iter().flatten().copied().collect();
         assert_eq!(all, (0..4).collect::<BTreeSet<u32>>());
     }

@@ -330,11 +330,7 @@ pub fn naive_min_arborescence(n: usize, root: usize, edges: &[ArbEdge]) -> Optio
         let entering = new_edges[sub[cyc_id].expect("cycle comp entered")].parent_level_idx;
         let broken = edges[entering].dst;
         for &v in &cycle {
-            chosen[v] = if v == broken {
-                Some(entering)
-            } else {
-                best[v]
-            };
+            chosen[v] = if v == broken { Some(entering) } else { best[v] };
         }
         Some(chosen)
     }
@@ -354,11 +350,7 @@ pub fn naive_min_arborescence(n: usize, root: usize, edges: &[ArbEdge]) -> Optio
         .iter()
         .map(|c| c.map(|i| level0[i].parent_level_idx))
         .collect();
-    let total_weight = parent_edge
-        .iter()
-        .flatten()
-        .map(|&i| edges[i].weight)
-        .sum();
+    let total_weight = parent_edge.iter().flatten().map(|&i| edges[i].weight).sum();
     Some(Arborescence {
         total_weight,
         parent_edge,

@@ -77,7 +77,9 @@ fn sample(rng: &mut SmallRng, (lo, hi): (Cost, Cost)) -> Cost {
 pub fn directed_path(n: usize, model: &CostModel, seed: u64) -> VersionGraph {
     let mut rng = SmallRng::seed_from_u64(seed);
     let mut g = VersionGraph::new();
-    let nodes: Vec<NodeId> = (0..n).map(|_| g.add_node(model.sample_node(&mut rng))).collect();
+    let nodes: Vec<NodeId> = (0..n)
+        .map(|_| g.add_node(model.sample_node(&mut rng)))
+        .collect();
     for w in nodes.windows(2) {
         let (s, r) = model.sample_edge(&mut rng);
         g.add_edge(w[0], w[1], s, r);
@@ -89,7 +91,9 @@ pub fn directed_path(n: usize, model: &CostModel, seed: u64) -> VersionGraph {
 pub fn bidirectional_path(n: usize, model: &CostModel, seed: u64) -> VersionGraph {
     let mut rng = SmallRng::seed_from_u64(seed);
     let mut g = VersionGraph::new();
-    let nodes: Vec<NodeId> = (0..n).map(|_| g.add_node(model.sample_node(&mut rng))).collect();
+    let nodes: Vec<NodeId> = (0..n)
+        .map(|_| g.add_node(model.sample_node(&mut rng)))
+        .collect();
     for w in nodes.windows(2) {
         let (s, r) = model.sample_edge(&mut rng);
         g.add_edge(w[0], w[1], s, r);
@@ -103,7 +107,9 @@ pub fn bidirectional_path(n: usize, model: &CostModel, seed: u64) -> VersionGrap
 pub fn star(n: usize, model: &CostModel, seed: u64) -> VersionGraph {
     let mut rng = SmallRng::seed_from_u64(seed);
     let mut g = VersionGraph::new();
-    let nodes: Vec<NodeId> = (0..n).map(|_| g.add_node(model.sample_node(&mut rng))).collect();
+    let nodes: Vec<NodeId> = (0..n)
+        .map(|_| g.add_node(model.sample_node(&mut rng)))
+        .collect();
     for &v in &nodes[1..] {
         let (s, r) = model.sample_edge(&mut rng);
         g.add_edge(nodes[0], v, s, r);
@@ -144,7 +150,9 @@ pub fn caterpillar(spine: usize, legs: usize, model: &CostModel, seed: u64) -> V
 pub fn random_tree(n: usize, model: &CostModel, seed: u64) -> VersionGraph {
     let mut rng = SmallRng::seed_from_u64(seed);
     let mut g = VersionGraph::new();
-    let nodes: Vec<NodeId> = (0..n).map(|_| g.add_node(model.sample_node(&mut rng))).collect();
+    let nodes: Vec<NodeId> = (0..n)
+        .map(|_| g.add_node(model.sample_node(&mut rng)))
+        .collect();
     for i in 1..n {
         let p = nodes[rng.gen_range(0..i)];
         let (s, r) = model.sample_edge(&mut rng);
@@ -197,7 +205,9 @@ pub fn series_parallel(operations: usize, model: &CostModel, seed: u64) -> Versi
 pub fn erdos_renyi_bidirectional(n: usize, p: f64, model: &CostModel, seed: u64) -> VersionGraph {
     let mut rng = SmallRng::seed_from_u64(seed);
     let mut g = VersionGraph::new();
-    let nodes: Vec<NodeId> = (0..n).map(|_| g.add_node(model.sample_node(&mut rng))).collect();
+    let nodes: Vec<NodeId> = (0..n)
+        .map(|_| g.add_node(model.sample_node(&mut rng)))
+        .collect();
     for i in 0..n {
         for j in (i + 1)..n {
             if rng.gen_bool(p) {

@@ -8,10 +8,10 @@
 
 use crate::ids::{EdgeId, NodeId};
 use crate::Cost;
-use serde::{Deserialize, Serialize};
+use serde::{object, Deserialize, Error, Serialize, Value};
 
 /// Payload of a directed delta edge `src → dst`.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct EdgeData {
     /// Tail of the edge (the version the delta is applied to).
     pub src: NodeId,
@@ -23,8 +23,32 @@ pub struct EdgeData {
     pub retrieval: Cost,
 }
 
+// Hand-written (the serde shim has no derive); field names match what a
+// derived impl would emit, so dumps stay stable if real serde returns.
+impl Serialize for EdgeData {
+    fn to_value(&self) -> Value {
+        object([
+            ("src", self.src.to_value()),
+            ("dst", self.dst.to_value()),
+            ("storage", self.storage.to_value()),
+            ("retrieval", self.retrieval.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for EdgeData {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(EdgeData {
+            src: NodeId::from_value(v.field("src")?)?,
+            dst: NodeId::from_value(v.field("dst")?)?,
+            storage: Cost::from_value(v.field("storage")?)?,
+            retrieval: Cost::from_value(v.field("retrieval")?)?,
+        })
+    }
+}
+
 /// A directed version graph: nodes are dataset versions, edges are deltas.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct VersionGraph {
     node_storage: Vec<Cost>,
     edges: Vec<EdgeData>,
@@ -32,6 +56,50 @@ pub struct VersionGraph {
     in_adj: Vec<Vec<EdgeId>>,
     /// Optional human-readable node labels (commit ids in the corpora).
     labels: Vec<String>,
+}
+
+impl Serialize for VersionGraph {
+    fn to_value(&self) -> Value {
+        object([
+            ("node_storage", self.node_storage.to_value()),
+            ("edges", self.edges.to_value()),
+            ("out_adj", self.out_adj.to_value()),
+            ("in_adj", self.in_adj.to_value()),
+            ("labels", self.labels.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for VersionGraph {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let g = VersionGraph {
+            node_storage: Vec::from_value(v.field("node_storage")?)?,
+            edges: Vec::from_value(v.field("edges")?)?,
+            out_adj: Vec::from_value(v.field("out_adj")?)?,
+            in_adj: Vec::from_value(v.field("in_adj")?)?,
+            labels: Vec::from_value(v.field("labels")?)?,
+        };
+        // Reject structurally inconsistent input instead of panicking later.
+        // Range checks first (check_well_formed indexes the edge arena),
+        // then the full adjacency/arena agreement check every algorithm
+        // relies on.
+        let n = g.node_storage.len();
+        if g.out_adj.len() != n || g.in_adj.len() != n {
+            return Err(Error::new("adjacency lists do not match node count"));
+        }
+        for e in &g.edges {
+            if e.src.index() >= n || e.dst.index() >= n {
+                return Err(Error::new("edge endpoint out of range"));
+            }
+        }
+        for id in g.out_adj.iter().chain(g.in_adj.iter()).flatten() {
+            if id.index() >= g.edges.len() {
+                return Err(Error::new("adjacency references missing edge"));
+            }
+        }
+        crate::validate::check_well_formed(&g).map_err(Error::new)?;
+        Ok(g)
+    }
 }
 
 impl VersionGraph {
@@ -123,7 +191,10 @@ impl VersionGraph {
 
     /// Label of a node, if one was assigned.
     pub fn label(&self, v: NodeId) -> Option<&str> {
-        self.labels.get(v.index()).map(|s| s.as_str()).filter(|s| !s.is_empty())
+        self.labels
+            .get(v.index())
+            .map(|s| s.as_str())
+            .filter(|s| !s.is_empty())
     }
 
     /// Edge payload by id.
@@ -215,8 +286,7 @@ impl VersionGraph {
     /// True if for every edge `(u,v)` the reverse edge `(v,u)` also exists.
     pub fn is_bidirectional(&self) -> bool {
         use std::collections::HashSet;
-        let pairs: HashSet<(NodeId, NodeId)> =
-            self.edges.iter().map(|e| (e.src, e.dst)).collect();
+        let pairs: HashSet<(NodeId, NodeId)> = self.edges.iter().map(|e| (e.src, e.dst)).collect();
         self.edges.iter().all(|e| pairs.contains(&(e.dst, e.src)))
     }
 
@@ -292,7 +362,10 @@ mod tests {
         assert_eq!(g.in_degree(NodeId(3)), 2);
         assert_eq!(g.node_storage(NodeId(2)), 120);
         let e = g.edge(EdgeId(2));
-        assert_eq!((e.src, e.dst, e.storage, e.retrieval), (NodeId(1), NodeId(3), 30, 31));
+        assert_eq!(
+            (e.src, e.dst, e.storage, e.retrieval),
+            (NodeId(1), NodeId(3), 30, 31)
+        );
     }
 
     #[test]

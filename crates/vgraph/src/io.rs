@@ -134,7 +134,9 @@ mod tests {
     #[test]
     fn text_errors_are_reported_with_line_numbers() {
         assert!(from_text("v 0 1").unwrap_err().contains("'v' before 'n'"));
-        assert!(from_text("n 1\ne 0 5 1 1").unwrap_err().contains("out of range"));
+        assert!(from_text("n 1\ne 0 5 1 1")
+            .unwrap_err()
+            .contains("out of range"));
         assert!(from_text("n 1\nq").unwrap_err().contains("unknown tag"));
         assert!(from_text("").unwrap_err().contains("no 'n' line"));
     }

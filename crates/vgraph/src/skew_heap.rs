@@ -226,8 +226,10 @@ mod tests {
                     arena.add_all(h, d);
                     // We track the aggregate shift externally: conceptually
                     // every key moved by d.
-                    let shifted: Vec<i64> =
-                        reference.drain().map(|std::cmp::Reverse(k)| k + d).collect();
+                    let shifted: Vec<i64> = reference
+                        .drain()
+                        .map(|std::cmp::Reverse(k)| k + d)
+                        .collect();
                     for k in shifted {
                         reference.push(std::cmp::Reverse(k));
                     }

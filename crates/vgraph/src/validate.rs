@@ -43,31 +43,40 @@ pub fn analyze(g: &VersionGraph) -> InstanceReport {
     }
 }
 
-/// Basic well-formedness: adjacency lists agree with the edge arena.
+/// Basic well-formedness: adjacency lists agree with the edge arena —
+/// every edge appears exactly once in its source's out-list and exactly
+/// once in its destination's in-list (duplicates would make traversals
+/// double-count; omissions would hide edges from them).
 pub fn check_well_formed(g: &VersionGraph) -> Result<(), String> {
+    let mut seen_out = vec![false; g.m()];
+    let mut seen_in = vec![false; g.m()];
     for v in g.node_ids() {
         for &e in g.out_edges(v) {
             if g.edge(e).src != v {
-                return Err(format!("out-adjacency of {v} lists edge {e} not leaving it"));
+                return Err(format!(
+                    "out-adjacency of {v} lists edge {e} not leaving it"
+                ));
+            }
+            if std::mem::replace(&mut seen_out[e.index()], true) {
+                return Err(format!("edge {e} listed twice in out-adjacency"));
             }
         }
         for &e in g.in_edges(v) {
             if g.edge(e).dst != v {
-                return Err(format!("in-adjacency of {v} lists edge {e} not entering it"));
+                return Err(format!(
+                    "in-adjacency of {v} lists edge {e} not entering it"
+                ));
+            }
+            if std::mem::replace(&mut seen_in[e.index()], true) {
+                return Err(format!("edge {e} listed twice in in-adjacency"));
             }
         }
     }
-    let mut seen_out = 0usize;
-    let mut seen_in = 0usize;
-    for v in g.node_ids() {
-        seen_out += g.out_degree(v);
-        seen_in += g.in_degree(v);
+    if let Some(e) = seen_out.iter().position(|&s| !s) {
+        return Err(format!("edge e{e} missing from out-adjacency"));
     }
-    if seen_out != g.m() || seen_in != g.m() {
-        return Err(format!(
-            "degree sums ({seen_out} out, {seen_in} in) disagree with edge count {}",
-            g.m()
-        ));
+    if let Some(e) = seen_in.iter().position(|&s| !s) {
+        return Err(format!("edge e{e} missing from in-adjacency"));
     }
     Ok(())
 }
@@ -102,5 +111,24 @@ mod tests {
     fn well_formedness_holds_for_generated_graphs() {
         let g = bidirectional_path(20, &CostModel::default(), 2);
         check_well_formed(&g).expect("well formed");
+    }
+
+    #[test]
+    fn duplicated_adjacency_entries_are_rejected() {
+        // A graph whose out-adjacency lists edge 0 twice and edge 1 never:
+        // per-entry checks and degree sums both pass, so only the
+        // exactly-once check can catch it.
+        let mut g = VersionGraph::with_nodes(2);
+        *g.node_storage_mut(NodeId(0)) = 1;
+        *g.node_storage_mut(NodeId(1)) = 1;
+        g.add_edge(NodeId(0), NodeId(1), 1, 1); // edge 0
+        g.add_edge(NodeId(0), NodeId(1), 2, 2); // edge 1 (parallel)
+
+        // Corrupt via the JSON surface: out_adj [[0,1],[]] -> [[0,0],[]].
+        let clean = crate::io::to_json(&g);
+        let json = clean.replace("\"out_adj\":[[0,1],[]]", "\"out_adj\":[[0,0],[]]");
+        assert_ne!(json, clean, "corruption must apply");
+        let err = crate::io::from_json(&json).expect_err("duplicate adjacency must be rejected");
+        assert!(err.contains("twice"), "{err}");
     }
 }

@@ -35,7 +35,7 @@ fn build_catalog_history(days: usize, seed: u64) -> VersionGraph {
         } else {
             (size as f64 * rng.gen_range(0.001..0.01)) as u64
         };
-        size = size + churn / 10; // catalogs grow slowly
+        size += churn / 10; // catalogs grow slowly
         let v = g.add_labelled_node(size, format!("day{day:03}"));
         if let Some(p) = prev {
             // Forward delta: the new/changed rows; backward: the old rows.
@@ -61,12 +61,15 @@ fn main() {
         g.total_node_storage() as f64 / 1e9
     );
     let smin = min_storage_value(&g);
-    println!("minimum storage (one materialization + deltas): {:.1} MB\n", mb(smin));
+    println!(
+        "minimum storage (one materialization + deltas): {:.1} MB\n",
+        mb(smin)
+    );
 
     // 1. The MSR frontier.
     let budgets: Vec<Cost> = (0..6).map(|i| smin + smin * i * 2 / 5).collect();
-    let sweep = dp_msr_sweep(&g, NodeId(0), &budgets, &DpMsrConfig::default())
-        .expect("chain is connected");
+    let sweep =
+        dp_msr_sweep(&g, NodeId(0), &budgets, &DpMsrConfig::default()).expect("chain is connected");
     println!("DP-MSR frontier:");
     for (b, c) in budgets.iter().zip(&sweep) {
         match c {
@@ -76,21 +79,35 @@ fn main() {
                 mb(c.storage),
                 mb(c.total_retrieval) / g.n() as f64
             ),
-            None => println!("  S <= {:>7.1} MB -> infeasible on the extracted tree", mb(*b)),
+            None => println!(
+                "  S <= {:>7.1} MB -> infeasible on the extracted tree",
+                mb(*b)
+            ),
         }
     }
 
-    // 2. Bounded rebuild time: BMR vs the greedy MP baseline.
+    // 2. Bounded rebuild time: BMR through the engine — DP-BMR wins the
+    //    dispatch order, MP is requested by name as the baseline.
+    let engine = Engine::with_default_solvers();
+    let opts = SolveOptions::default();
     let bound: Cost = 2_000_000; // <= 2 MB of delta replay per rebuild
-    let dp = dp_bmr_on_graph(&g, NodeId(0), bound).expect("connected");
-    let mp = modified_prims(&g, bound);
+    let bmr = ProblemKind::Bmr {
+        retrieval_budget: bound,
+    };
+    let dp = engine
+        .solve(&g, bmr, &opts)
+        .expect("BMR is always feasible");
+    let mp = engine
+        .solve_with("MP", &g, bmr, &opts)
+        .expect("BMR is always feasible");
     println!(
-        "\nBMR, rebuild bound {:.1} MB: DP-BMR stores {:.1} MB ({} checkpoints); MP stores {:.1} MB ({} checkpoints)",
+        "\nBMR, rebuild bound {:.1} MB: {} stores {:.1} MB ({} checkpoints); MP stores {:.1} MB ({} checkpoints)",
         mb(bound),
-        mb(dp.storage),
+        dp.meta.solver,
+        mb(dp.costs.storage),
         dp.plan.materialized_count(),
-        mb(mp.storage_cost(&g)),
-        mp.materialized_count(),
+        mb(mp.costs.storage),
+        mp.plan.materialized_count(),
     );
 
     // 3. Naive periodic checkpointing at the same worst-case rebuild cost.

@@ -33,25 +33,27 @@ fn main() {
         "c/b", "LMG", "LMG-All", "DP-MSR", "OPT", "LMG/OPT"
     );
     println!("{}", "-".repeat(78));
+    let engine = Engine::with_default_solvers();
+    let opts = SolveOptions::default();
     for ratio in [10u64, 100, 1_000, 10_000, 100_000] {
         // b must stay >= ratio so that ε = b/c survives integer rounding.
         let b = 1_000u64.max(ratio);
         let c = b * ratio;
         let (g, budget) = adversarial_chain(b, c);
-
-        let lmg_obj = lmg(&g, budget).expect("feasible").costs(&g).total_retrieval;
-        let all_obj = lmg_all(&g, budget)
-            .expect("feasible")
-            .costs(&g)
-            .total_retrieval;
-        let dp_obj = dp_msr_on_graph(&g, NodeId(0), budget, &DpMsrConfig::default())
-            .expect("feasible")
-            .1
-            .total_retrieval;
-        let opt = brute_force(&g, ProblemKind::Msr { storage_budget: budget })
-            .expect("feasible")
-            .costs
-            .total_retrieval;
+        let problem = ProblemKind::Msr {
+            storage_budget: budget,
+        };
+        let objective = |solver: &str| {
+            engine
+                .solve_with(solver, &g, problem, &opts)
+                .expect("feasible")
+                .costs
+                .total_retrieval
+        };
+        let lmg_obj = objective("LMG");
+        let all_obj = objective("LMG-All");
+        let dp_obj = objective("DP-MSR");
+        let opt = objective("BruteForce");
         println!(
             "{:>8} | {:>12} {:>12} {:>12} {:>12} | {:>9.1}",
             ratio,

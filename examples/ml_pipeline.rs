@@ -106,7 +106,10 @@ fn main() {
     let sweep = dp_msr_sweep(&g, NodeId(0), &budgets, &DpMsrConfig::default())
         .expect("lineage is connected");
     println!("DP-MSR storage/retrieval frontier:");
-    println!("  {:>12} {:>14} {:>16}", "budget(MiB)", "storage(MiB)", "avg checkout(MiB)");
+    println!(
+        "  {:>12} {:>14} {:>16}",
+        "budget(MiB)", "storage(MiB)", "avg checkout(MiB)"
+    );
     for (b, c) in budgets.iter().zip(&sweep) {
         match c {
             Some(c) => println!(
@@ -119,24 +122,34 @@ fn main() {
         }
     }
 
-    // BMR: bound the worst checkout (e.g. 64 MiB of delta replay).
+    // BMR: bound the worst checkout (e.g. 64 MiB of delta replay). The
+    // engine's portfolio runs DP-BMR and MP and keeps the cheaper plan.
+    let engine = Engine::with_default_solvers();
     let bound: Cost = 64 << 20;
-    let dp = dp_bmr_on_graph(&g, NodeId(0), bound).expect("connected");
-    let c = dp.plan.costs(&g);
+    let bmr = ProblemKind::Bmr {
+        retrieval_budget: bound,
+    };
+    let portfolio = engine
+        .portfolio(&g, bmr, &SolveOptions::default())
+        .expect("BMR is always feasible");
+    let best = &portfolio.best;
     println!(
-        "\nBMR with worst-checkout bound {:.0} MiB: storage {:.0} MiB, {} of {} versions materialized (max retrieval {:.1} MiB)",
+        "\nBMR with worst-checkout bound {:.0} MiB: {} wins — storage {:.0} MiB, {} of {} versions materialized (max retrieval {:.1} MiB)",
         mib(bound),
-        mib(c.storage),
-        dp.plan.materialized_count(),
+        best.meta.solver,
+        mib(best.costs.storage),
+        best.plan.materialized_count(),
         g.n(),
-        mib(c.max_retrieval)
+        mib(best.costs.max_retrieval)
     );
-
-    // Compare against the MP baseline.
-    let mp = modified_prims(&g, bound);
-    println!(
-        "Modified Prim's at the same bound: storage {:.0} MiB  (DP-BMR saves {:.1}%)",
-        mib(mp.storage_cost(&g)),
-        100.0 * (mp.storage_cost(&g) as f64 - c.storage as f64) / mp.storage_cost(&g) as f64
-    );
+    for attempt in &portfolio.attempts {
+        if let Ok(costs) = &attempt.outcome {
+            println!(
+                "  {:>8}: storage {:>6.0} MiB in {:.1} ms",
+                attempt.solver,
+                mib(costs.storage),
+                attempt.wall_time.as_secs_f64() * 1e3
+            );
+        }
+    }
 }

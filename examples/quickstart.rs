@@ -1,9 +1,11 @@
-//! Quickstart: the Figure-1 version graph from the paper, solved end to end.
+//! Quickstart: the Figure-1 version graph from the paper, solved end to end
+//! through the unified solver engine.
 //!
 //! Five dataset versions with annotated `<storage, retrieval>` costs. We
 //! compare the two trivial extremes (store everything / minimum storage)
 //! against the paper's algorithms at an intermediate budget — reproducing
-//! the (i)–(iv) storage options of Figure 1.
+//! the (i)–(iv) storage options of Figure 1 — then let the engine's
+//! portfolio mode pick the best solver for each of the four problems.
 //!
 //! Run with: `cargo run --example quickstart`
 
@@ -42,28 +44,33 @@ fn main() {
         c.storage, c.total_retrieval, c.max_retrieval
     );
 
-    // Figure 1(iv): materializing v3 as well shortens v3 and v5.
+    // Figure 1(iv): materializing v3 as well shortens v3 and v5. One engine
+    // serves every algorithm; pick them by name.
+    let engine = Engine::with_default_solvers();
+    let opts = SolveOptions::default();
     let smin = min_storage_value(&g);
     let budget = smin + g.node_storage(v3);
-    for (name, plan) in [
-        ("LMG", lmg(&g, budget)),
-        ("LMG-All", lmg_all(&g, budget)),
-    ] {
-        let plan = plan.expect("budget is above minimum storage");
-        let c = plan.costs(&g);
+    let msr = ProblemKind::Msr {
+        storage_budget: budget,
+    };
+    for name in ["LMG", "LMG-All"] {
+        let sol = engine
+            .solve_with(name, &g, msr, &opts)
+            .expect("budget is above minimum storage");
         println!(
-            "(iv) {name:<8} S<={budget}: storage {:>6}, total retrieval {:>6}, max {:>5}, {} materialized",
-            c.storage,
-            c.total_retrieval,
-            c.max_retrieval,
-            plan.materialized_count()
+            "(iv) {name:<8} S<={budget}: storage {:>6}, total retrieval {:>6}, max {:>5}, {} materialized, {} moves",
+            sol.costs.storage,
+            sol.costs.total_retrieval,
+            sol.costs.max_retrieval,
+            sol.plan.materialized_count(),
+            sol.meta.iterations
         );
     }
 
     // DP-MSR gives the whole storage/retrieval frontier in one run.
     let budgets: Vec<Cost> = (0..6).map(|i| smin + i * 5_000).collect();
-    let sweep = dp_msr_sweep(&g, v1, &budgets, &DpMsrConfig::default())
-        .expect("graph is connected");
+    let sweep =
+        dp_msr_sweep(&g, v1, &budgets, &DpMsrConfig::default()).expect("graph is connected");
     println!("\nDP-MSR frontier (storage budget -> achieved storage/retrieval):");
     for (b, costs) in budgets.iter().zip(sweep) {
         match costs {
@@ -75,10 +82,41 @@ fn main() {
         }
     }
 
-    // And the exact optimum via the Appendix-D ILP (graph is tiny).
-    let opt = msr_opt(&g, budget, 50_000, None).expect("feasible");
-    println!(
-        "\nILP OPT at S <= {budget}: total retrieval {} (proven optimal: {})",
-        opt.total_retrieval, opt.proven_optimal
-    );
+    // The portfolio mode runs every applicable solver — including the
+    // Appendix-D ILP on this tiny graph — and returns the best feasible
+    // plan for each of the paper's four problems.
+    println!("\nengine portfolio across all four problems:");
+    let rmax = g.max_edge_retrieval();
+    for problem in [
+        msr,
+        ProblemKind::Mmr {
+            storage_budget: budget,
+        },
+        ProblemKind::Bsr {
+            retrieval_budget: rmax * 2,
+        },
+        ProblemKind::Bmr {
+            retrieval_budget: rmax,
+        },
+    ] {
+        match engine.portfolio(&g, problem, &opts) {
+            Ok(p) => {
+                let feasible = p.attempts.iter().filter(|a| a.outcome.is_ok()).count();
+                println!(
+                    "  {:<3} budget {:>6} -> {:>8} wins with objective {:>6} ({feasible}/{} solvers feasible{})",
+                    problem.name(),
+                    problem.budget(),
+                    p.best.meta.solver,
+                    p.best.objective(problem),
+                    p.attempts.len(),
+                    if p.best.meta.proven_optimal {
+                        ", proven optimal"
+                    } else {
+                        ""
+                    },
+                );
+            }
+            Err(e) => println!("  {:<3} -> {e}", problem.name()),
+        }
+    }
 }

@@ -12,6 +12,14 @@
 //! * **MMR** — minimize the worst retrieval cost under a storage budget;
 //! * **BSR/BMR** — minimize storage under retrieval budgets.
 //!
+//! All four problems are served by one entry point: the solver
+//! [`core::engine::Engine`]. It dispatches a
+//! [`ProblemKind`](core::problem::ProblemKind) to registered solvers (LMG,
+//! LMG-All, Modified Prim's, DP-MSR, DP-BMR, DP-BTW, ILP, brute force),
+//! validates and budget-checks every plan before returning it, and offers a
+//! portfolio mode that runs every applicable solver and keeps the best
+//! feasible answer.
+//!
 //! ## Quickstart
 //!
 //! ```
@@ -26,9 +34,21 @@
 //!
 //! // Budget: 1.2x the storage-minimal plan.
 //! let smin = min_storage_value(&g);
-//! let plan = lmg_all(&g, smin * 12 / 10).expect("feasible");
-//! let costs = plan.costs(&g);
-//! assert!(costs.storage <= smin * 12 / 10);
+//! let problem = ProblemKind::Msr { storage_budget: smin * 12 / 10 };
+//!
+//! // One engine serves every problem kind.
+//! let engine = Engine::with_default_solvers();
+//! let solution = engine
+//!     .solve(&g, problem, &SolveOptions::default())
+//!     .expect("feasible");
+//! assert!(solution.costs.storage <= smin * 12 / 10);
+//! println!("solved by {}", solution.meta.solver);
+//!
+//! // Portfolio mode: run all applicable solvers, keep the best plan.
+//! let best = engine
+//!     .portfolio(&g, problem, &SolveOptions::default())
+//!     .expect("feasible");
+//! assert!(best.best.costs.total_retrieval <= solution.costs.total_retrieval);
 //! ```
 //!
 //! ## Crate map
@@ -38,8 +58,14 @@
 //! | [`dsv_vgraph`] | graph container + arborescences, Dijkstra, MST, generators |
 //! | [`dsv_delta`] | Myers diff, chunk sketches, synthetic corpora (Table 4) |
 //! | [`dsv_treewidth`] | tree decompositions, nice decompositions |
-//! | [`dsv_core`] | LMG, LMG-All, MP, DP-BMR, DP-MSR, FPTAS, reductions, ILP |
+//! | [`dsv_core`] | the [`Engine`](core::engine::Engine) + the algorithms under it: LMG, LMG-All, MP, DP-BMR, DP-MSR, FPTAS, DP-BTW, reductions, ILP |
 //! | [`dsv_solver`] | simplex + branch & bound (the Gurobi stand-in) |
+//!
+//! The free algorithm functions ([`prelude::lmg_all`],
+//! [`prelude::dp_msr_on_graph`], …) remain exported for direct use and for
+//! benchmarking individual algorithms; the engine is a thin validated
+//! dispatch layer over exactly those functions, as the parity tests in
+//! `tests/engine.rs` verify.
 
 #![warn(missing_docs)]
 
@@ -55,6 +81,9 @@ pub mod prelude {
         checkpoint_plan, min_storage_plan, min_storage_value, shortest_path_plan,
     };
     pub use dsv_core::btw::{btw_msr, btw_msr_value, BtwConfig};
+    pub use dsv_core::engine::{
+        Engine, Portfolio, PortfolioAttempt, Solution, SolveError, SolveOptions, Solver, SolverMeta,
+    };
     pub use dsv_core::exact::{brute_force, msr_opt};
     pub use dsv_core::heuristics::{lmg, lmg_all, modified_prims};
     pub use dsv_core::plan::{Parent, PlanCosts, StoragePlan};

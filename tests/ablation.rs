@@ -9,15 +9,12 @@ use dataset_versioning::prelude::*;
 use dsv_core::tree::msr_engine::{run_tree_msr, GammaGrid, TreeDpConfig};
 use dsv_vgraph::generators::{caterpillar, random_tree, CostModel};
 
-fn quality_at(
-    g: &VersionGraph,
-    cfg: TreeDpConfig,
-    budget: Cost,
-) -> Option<u64> {
+fn quality_at(g: &VersionGraph, cfg: TreeDpConfig, budget: Cost) -> Option<u64> {
     let t = extract_tree(g, NodeId(0))?;
     let dp = run_tree_msr(g, &t, cfg);
     // Reconstruct and re-cost exactly, like the experiments do.
-    dp.plan_under(budget).map(|(plan, _)| plan.costs(g).total_retrieval)
+    dp.plan_under(budget)
+        .map(|(plan, _)| plan.costs(g).total_retrieval)
 }
 
 #[test]

@@ -104,10 +104,15 @@ fn directed_only_chains_have_no_upward_deltas() {
     // The optimum can only materialize prefixes' heads: verify DP and brute
     // force agree despite missing reverse edges (INF handling).
     let budget = smin + 2_000;
-    let want = brute_force(&g, ProblemKind::Msr { storage_budget: budget })
-        .expect("feasible")
-        .costs
-        .total_retrieval;
+    let want = brute_force(
+        &g,
+        ProblemKind::Msr {
+            storage_budget: budget,
+        },
+    )
+    .expect("feasible")
+    .costs
+    .total_retrieval;
     let t = extract_tree(&g, nodes[0]).expect("forward chain is reachable");
     let got = dsv_core::tree::msr_tree_exact(&g, &t)
         .best_under(budget)
@@ -116,6 +121,30 @@ fn directed_only_chains_have_no_upward_deltas() {
     assert_eq!(got, want);
     let btw = btw_msr_value(&g, budget).expect("feasible");
     assert_eq!(btw, want);
+}
+
+#[test]
+fn engine_falls_through_to_greedy_on_disconnected_graphs() {
+    // DP-MSR (first in dispatch order) needs spanning reachability from the
+    // root and reports Infeasible here; the engine must fall through to
+    // LMG-All, which materializes the isolated node.
+    let mut g = VersionGraph::with_nodes(3);
+    for v in 0..3 {
+        *g.node_storage_mut(NodeId(v)) = 10;
+    }
+    g.add_bidirectional_edge(NodeId(0), NodeId(1), 1, 1);
+    let engine = Engine::with_default_solvers();
+    let sol = engine
+        .solve(
+            &g,
+            ProblemKind::Msr {
+                storage_budget: 100,
+            },
+            &SolveOptions::default(),
+        )
+        .expect("greedy fallback succeeds");
+    assert_eq!(sol.meta.solver, "LMG-All");
+    assert_eq!(sol.plan.parent[2], Parent::Materialized);
 }
 
 #[test]
