@@ -3,11 +3,10 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dsv_bench::sweep::msr_budgets;
+use dsv_core::engine::{Engine, SolveOptions};
 use dsv_core::heuristics::{lmg, lmg_all};
-use dsv_core::tree::{dp_msr_sweep, DpMsrConfig};
 use dsv_delta::corpus::{corpus, CorpusName};
 use dsv_delta::transforms::random_compression;
-use dsv_vgraph::NodeId;
 use std::hint::black_box;
 
 fn bench_fig11(c: &mut Criterion) {
@@ -15,6 +14,8 @@ fn bench_fig11(c: &mut Criterion) {
     group.sample_size(10);
     group.measurement_time(std::time::Duration::from_secs(2));
     group.warm_up_time(std::time::Duration::from_millis(500));
+    let engine = Engine::with_default_solvers();
+    let opts = SolveOptions::default();
     for (name, scale) in [
         (CorpusName::Datasharing, 1.0),
         (CorpusName::Styleguide, 0.4),
@@ -31,16 +32,7 @@ fn bench_fig11(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::new("DP-MSR-sweep", name.as_str()),
             &g,
-            |b, g| {
-                b.iter(|| {
-                    black_box(dp_msr_sweep(
-                        g,
-                        NodeId(0),
-                        &budgets,
-                        &DpMsrConfig::default(),
-                    ))
-                })
-            },
+            |b, g| b.iter(|| black_box(engine.solve_sweep(g, &budgets, &opts))),
         );
     }
     group.finish();

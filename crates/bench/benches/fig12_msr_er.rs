@@ -6,11 +6,10 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dsv_bench::sweep::msr_budgets;
+use dsv_core::engine::{Engine, SolveOptions};
 use dsv_core::heuristics::{lmg, lmg_all};
-use dsv_core::tree::{dp_msr_sweep, DpMsrConfig};
 use dsv_delta::corpus::{corpus_with_sketches, CorpusName};
 use dsv_delta::transforms::{erdos_renyi_from_sketches, random_compression};
-use dsv_vgraph::NodeId;
 use std::hint::black_box;
 
 fn bench_fig12(c: &mut Criterion) {
@@ -18,6 +17,8 @@ fn bench_fig12(c: &mut Criterion) {
     group.sample_size(10);
     group.measurement_time(std::time::Duration::from_secs(2));
     group.warm_up_time(std::time::Duration::from_millis(500));
+    let engine = Engine::with_default_solvers();
+    let opts = SolveOptions::default();
     let lc = corpus_with_sketches(CorpusName::LeetCodeAnimation, 0.35, 2024, true);
     let sketches = lc.sketches.expect("sketch corpus");
     for p in [0.05f64, 0.2, 1.0] {
@@ -33,14 +34,7 @@ fn bench_fig12(c: &mut Criterion) {
             b.iter(|| black_box(lmg_all(g, mid)))
         });
         group.bench_with_input(BenchmarkId::new("DP-MSR-sweep", &label), &g, |b, g| {
-            b.iter(|| {
-                black_box(dp_msr_sweep(
-                    g,
-                    NodeId(0),
-                    &budgets,
-                    &DpMsrConfig::default(),
-                ))
-            })
+            b.iter(|| black_box(engine.solve_sweep(g, &budgets, &opts)))
         });
     }
     group.finish();

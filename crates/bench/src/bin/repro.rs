@@ -8,6 +8,12 @@
 //! Experiments: `table4`, `fig10`, `fig11`, `fig12`, `fig13`, `thm1`,
 //! `btw`, `portfolio`, `treewidth`, `all`. Output: Markdown to stdout plus one CSV per
 //! report under `--out` (default `results/`).
+//!
+//! The `portfolio` experiment additionally writes the machine-readable
+//! `BENCH_portfolio.json` (per-solver wall times, parallel-vs-sequential
+//! speedup, thread count) so the perf trajectory is tracked across PRs;
+//! `--assert-speedup X` turns it into a CI gate (exit 1 when the measured
+//! speedup on a multi-threaded pool falls below `X`).
 
 use dsv_bench::experiments::{self, ExperimentOptions};
 use dsv_bench::Report;
@@ -17,12 +23,14 @@ struct Args {
     experiment: String,
     out: PathBuf,
     opts: ExperimentOptions,
+    assert_speedup: Option<f64>,
 }
 
 fn parse_args() -> Result<Args, String> {
     let mut experiment = "all".to_string();
     let mut out = PathBuf::from("results");
     let mut opts = ExperimentOptions::default();
+    let mut assert_speedup = None;
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         let mut value = |name: &str| it.next().ok_or_else(|| format!("missing value for {name}"));
@@ -54,11 +62,18 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("bad --opt-limit: {e}"))?
             }
+            "--assert-speedup" => {
+                assert_speedup = Some(
+                    value("--assert-speedup")?
+                        .parse()
+                        .map_err(|e| format!("bad --assert-speedup: {e}"))?,
+                )
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: repro [--experiment all|table4|fig10|fig11|fig12|fig13|thm1|btw|portfolio|treewidth]\n\
                      \x20            [--scale F] [--max-nodes N] [--seed N] [--points N]\n\
-                     \x20            [--opt-limit N] [--out DIR]"
+                     \x20            [--opt-limit N] [--out DIR] [--assert-speedup X]"
                 );
                 std::process::exit(0);
             }
@@ -69,6 +84,7 @@ fn parse_args() -> Result<Args, String> {
         experiment,
         out,
         opts,
+        assert_speedup,
     })
 }
 
@@ -135,4 +151,33 @@ fn main() {
         reports.len(),
         args.out.display()
     );
+
+    // The portfolio experiments also track raw engine performance.
+    if matches!(args.experiment.as_str(), "portfolio" | "all") {
+        let bench = experiments::portfolio_bench(&args.opts);
+        println!("{}", bench.report.to_markdown());
+        let path = args.out.join("BENCH_portfolio.json");
+        if let Err(e) = std::fs::write(&path, &bench.json) {
+            eprintln!("error writing {}: {e}", path.display());
+            std::process::exit(1);
+        }
+        eprintln!("# wrote {}", path.display());
+        if let Some(min) = args.assert_speedup {
+            if bench.threads <= 1 {
+                eprintln!("# --assert-speedup skipped: pool width is 1 (set DSV_NUM_THREADS > 1)");
+            } else if bench.speedup < min {
+                eprintln!(
+                    "error: portfolio speedup {:.2}x below the asserted minimum {min:.2}x \
+                     ({} threads)",
+                    bench.speedup, bench.threads
+                );
+                std::process::exit(1);
+            } else {
+                eprintln!(
+                    "# speedup assertion passed: {:.2}x >= {min:.2}x on {} threads",
+                    bench.speedup, bench.threads
+                );
+            }
+        }
+    }
 }

@@ -306,6 +306,148 @@ pub fn portfolio_report(opts: &ExperimentOptions) -> Report {
     r
 }
 
+/// Machine-readable portfolio performance benchmark, written by `repro` as
+/// `BENCH_portfolio.json` so the perf trajectory is tracked across PRs.
+#[derive(Clone, Debug)]
+pub struct PortfolioBench {
+    /// Human-readable rendering of the same data.
+    pub report: Report,
+    /// The JSON document (per-solver wall times, speedup vs sequential,
+    /// thread count).
+    pub json: String,
+    /// Parallel speedup: sequential portfolio wall / parallel portfolio
+    /// wall (best of [`PORTFOLIO_BENCH_ITERS`] each).
+    pub speedup: f64,
+    /// Thread-pool width the parallel run used.
+    pub threads: usize,
+}
+
+/// Iterations per timing mode in [`portfolio_bench`] (min is reported, so
+/// one cold pool start cannot masquerade as a regression).
+pub const PORTFOLIO_BENCH_ITERS: usize = 3;
+
+/// Time `Engine::portfolio` parallel vs sequential on the **largest**
+/// corpus fixture at the configured scale, and emit both a report and the
+/// machine-readable JSON. Also sanity-checks that both modes return the
+/// same winner at the same objective (the determinism contract).
+pub fn portfolio_bench(opts: &ExperimentOptions) -> PortfolioBench {
+    use dsv_core::baselines::min_storage_value;
+    use dsv_core::engine::{Engine, SolveOptions};
+    use dsv_core::problem::ProblemKind;
+    use serde_json::Value;
+    use std::collections::BTreeMap;
+    use std::time::Instant;
+
+    // Largest fixture by scaled node count (no need to build all corpora).
+    let name = CorpusName::ALL
+        .into_iter()
+        .max_by_key(|n| (n.paper_nodes() as f64 * opts.scale_for(*n)) as usize)
+        .expect("corpora exist");
+    let c = corpus(name, opts.scale_for(name), opts.seed);
+    let g = &c.graph;
+    let smin = min_storage_value(g);
+    let problem = ProblemKind::Msr {
+        storage_budget: smin * 2,
+    };
+    let engine = Engine::with_default_solvers();
+    let threads = rayon::current_num_threads();
+
+    let time_mode = |parallel: bool| {
+        let mut best_ms = f64::INFINITY;
+        let mut last = None;
+        for _ in 0..PORTFOLIO_BENCH_ITERS {
+            // Fresh options per run: no shared-work carry-over between
+            // timed iterations (sharing *within* one call still applies).
+            let solve_opts = SolveOptions {
+                parallel,
+                ..Default::default()
+            };
+            let t0 = Instant::now();
+            let result = engine.portfolio(g, problem, &solve_opts);
+            best_ms = best_ms.min(t0.elapsed().as_secs_f64() * 1e3);
+            last = Some(result);
+        }
+        (best_ms, last.expect("at least one iteration"))
+    };
+    let (parallel_ms, parallel_run) = time_mode(true);
+    let (sequential_ms, sequential_run) = time_mode(false);
+    let speedup = sequential_ms / parallel_ms.max(1e-9);
+
+    let winner = match (&parallel_run, &sequential_run) {
+        (Ok(p), Ok(s)) => {
+            assert_eq!(
+                p.best.plan, s.best.plan,
+                "parallel and sequential portfolios must return the same best plan"
+            );
+            Some((p.best.meta.solver, p.best.costs.total_retrieval))
+        }
+        _ => None,
+    };
+
+    let mut r = Report::new("portfolio-bench", &["solver", "wall_ms", "outcome"]);
+    let mut attempts_json = Vec::new();
+    if let Ok(p) = &parallel_run {
+        for a in &p.attempts {
+            let outcome = match &a.outcome {
+                dsv_core::engine::AttemptOutcome::Solved(_) => "solved",
+                dsv_core::engine::AttemptOutcome::Failed(_) => "failed",
+                dsv_core::engine::AttemptOutcome::Skipped => "skipped",
+            };
+            let wall_ms = a.wall_time.as_secs_f64() * 1e3;
+            r.push_row(vec![
+                a.solver.to_string(),
+                fmt_f(wall_ms),
+                outcome.to_string(),
+            ]);
+            let mut m = BTreeMap::new();
+            m.insert("solver".to_string(), Value::Str(a.solver.to_string()));
+            m.insert("wall_ms".to_string(), Value::Float(wall_ms));
+            m.insert("outcome".to_string(), Value::Str(outcome.to_string()));
+            attempts_json.push(Value::Map(m));
+        }
+    }
+    r.note(format!(
+        "corpus {} ({} nodes), threads {threads}: parallel {parallel_ms:.1} ms vs sequential {sequential_ms:.1} ms — speedup {speedup:.2}x; winner {:?}",
+        name.as_str(),
+        g.n(),
+        winner,
+    ));
+
+    let mut doc = BTreeMap::new();
+    doc.insert(
+        "experiment".to_string(),
+        Value::Str("portfolio-bench".to_string()),
+    );
+    doc.insert("corpus".to_string(), Value::Str(name.as_str().to_string()));
+    doc.insert("nodes".to_string(), Value::UInt(g.n() as u64));
+    doc.insert("edges".to_string(), Value::UInt(g.m() as u64));
+    doc.insert("threads".to_string(), Value::UInt(threads as u64));
+    doc.insert("parallel_ms".to_string(), Value::Float(parallel_ms));
+    doc.insert("sequential_ms".to_string(), Value::Float(sequential_ms));
+    doc.insert("speedup".to_string(), Value::Float(speedup));
+    doc.insert(
+        "winner".to_string(),
+        match winner {
+            Some((solver, obj)) => {
+                let mut m = BTreeMap::new();
+                m.insert("solver".to_string(), Value::Str(solver.to_string()));
+                m.insert("objective".to_string(), Value::UInt(obj));
+                Value::Map(m)
+            }
+            None => Value::Null,
+        },
+    );
+    doc.insert("attempts".to_string(), Value::Seq(attempts_json));
+    let json = serde_json::to_string(&Value::Map(doc)).expect("value tree serializes");
+
+    PortfolioBench {
+        report: r,
+        json,
+        speedup,
+        threads,
+    }
+}
+
 /// Section 5.3 extension experiment: DP-BTW (exact on bounded-width
 /// graphs) against the tree-restricted DP and LMG-All on series-parallel
 /// graphs — the class the paper singles out as "highly resembl[ing] the

@@ -2,17 +2,16 @@
 //! recording objective values and wall-clock times — the data behind every
 //! performance/runtime figure pair in Section 7.
 //!
-//! All per-budget solves dispatch through the [`Engine`], so every plan a
-//! figure reports has been validated and budget-checked. The only direct
-//! algorithm call left is [`dp_msr_sweep`]: one DP run covers a whole
-//! budget sweep (which is how the paper reports DP-MSR's runtime), and the
-//! per-request engine intentionally has no such amortized entry point yet.
+//! Every solve dispatches through the [`Engine`] — including the DP-MSR
+//! budget sweep, which goes through the batched [`Engine::solve_sweep`]
+//! entry point: one DP run covers the whole sweep (which is how the paper
+//! reports DP-MSR's runtime), with every per-budget plan validated and
+//! budget-checked like any other engine output.
 
 use dsv_core::baselines::min_storage_value;
 use dsv_core::engine::{Engine, SolveOptions};
 use dsv_core::problem::ProblemKind;
-use dsv_core::tree::{dp_msr_sweep, DpMsrConfig};
-use dsv_vgraph::{Cost, NodeId, VersionGraph};
+use dsv_vgraph::{Cost, VersionGraph};
 use std::time::Instant;
 
 /// One measured point of a sweep.
@@ -80,22 +79,23 @@ pub fn msr_sweep(g: &VersionGraph, budgets: &[Cost]) -> Vec<SweepPoint> {
             });
         }
     }
-    // DP-MSR: one run for the whole sweep.
+    // DP-MSR: one engine sweep call — a single DP run — for all budgets.
     let t0 = Instant::now();
-    let dp = dp_msr_sweep(g, NodeId(0), budgets, &DpMsrConfig::default());
+    let sweep = engine.solve_sweep(g, budgets, &opts);
     let dp_ms = t0.elapsed().as_secs_f64() * 1e3;
-    match dp {
-        Some(results) => {
-            for (&b, c) in budgets.iter().zip(results) {
+    match sweep {
+        Ok(sweep) => {
+            debug_assert_eq!(sweep.dp_runs, 1, "sweep amortization regressed");
+            for (&b, sol) in budgets.iter().zip(&sweep.solutions) {
                 out.push(SweepPoint {
                     algorithm: "DP-MSR",
                     budget: b,
-                    objective: c.map(|c| c.total_retrieval),
+                    objective: sol.as_ref().map(|s| s.costs.total_retrieval),
                     time_ms: dp_ms,
                 });
             }
         }
-        None => {
+        Err(_) => {
             for &b in budgets {
                 out.push(SweepPoint {
                     algorithm: "DP-MSR",

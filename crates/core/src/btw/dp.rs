@@ -26,6 +26,7 @@
 //! exceeded.
 
 use super::order::{separation_order, SeparationOrder};
+use crate::cancel::CancelToken;
 use crate::plan::StoragePlan;
 use dsv_vgraph::{cost_add, Cost, EdgeId, VersionGraph, INF};
 use std::collections::HashMap;
@@ -55,6 +56,11 @@ pub struct BtwConfig {
     pub max_states: usize,
     /// Drop partial solutions whose storage exceeds this.
     pub storage_prune: Option<Cost>,
+    /// Cooperative cancellation, polled once per introduced vertex (the
+    /// default inert token never fires). A fired token makes [`btw_msr`]
+    /// return `None`; callers that need to distinguish preemption from a
+    /// state-count blow-up re-check the token afterwards.
+    pub cancel: CancelToken,
 }
 
 impl Default for BtwConfig {
@@ -62,6 +68,7 @@ impl Default for BtwConfig {
         BtwConfig {
             max_states: 2_000_000,
             storage_prune: None,
+            cancel: CancelToken::inert(),
         }
     }
 }
@@ -179,6 +186,9 @@ pub fn btw_msr(g: &VersionGraph, cfg: &BtwConfig) -> Option<BtwResult> {
     let mut peak = 1usize;
 
     for (step, &v) in so.order.iter().enumerate() {
+        if cfg.cancel.is_cancelled() {
+            return None;
+        }
         let vid = v.0;
         // ---- introduce v: choose its storage decision.
         let mut next: StateMap = HashMap::new();
@@ -485,7 +495,7 @@ mod tests {
         let g = erdos_renyi_bidirectional(16, 0.9, &CostModel::default(), 3);
         let cfg = BtwConfig {
             max_states: 50,
-            storage_prune: None,
+            ..Default::default()
         };
         assert!(btw_msr(&g, &cfg).is_none());
     }

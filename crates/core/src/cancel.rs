@@ -1,0 +1,172 @@
+//! Cooperative cancellation for long-running solvers.
+//!
+//! A [`CancelToken`] combines an explicit flag, an optional wall-clock
+//! deadline, and an optional parent token (cancellation flows downward:
+//! cancelling a parent fires every descendant). Long solver loops poll
+//! [`CancelToken::is_cancelled`] between coarse steps — per DP node, per
+//! branch-and-bound relaxation — so the engine can preempt work mid-run
+//! instead of only between solvers.
+//!
+//! The default token is **inert**: it carries no state, never fires, and
+//! polling it is a branch on a `None`. Every algorithm therefore accepts a
+//! token unconditionally and pays nothing when cancellation is unused.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+#[derive(Debug)]
+struct Inner {
+    flag: AtomicBool,
+    deadline: Option<Instant>,
+    parent: Option<Arc<Inner>>,
+}
+
+impl Inner {
+    fn is_cancelled(&self) -> bool {
+        if self.flag.load(Ordering::Relaxed) {
+            return true;
+        }
+        if let Some(deadline) = self.deadline {
+            if Instant::now() >= deadline {
+                // Latch so later polls skip the clock read.
+                self.flag.store(true, Ordering::Relaxed);
+                return true;
+            }
+        }
+        self.parent.as_ref().is_some_and(|p| p.is_cancelled())
+    }
+
+    fn deadline_exceeded(&self) -> bool {
+        let own = self
+            .deadline
+            .is_some_and(|deadline| Instant::now() >= deadline);
+        own || self.parent.as_ref().is_some_and(|p| p.deadline_exceeded())
+    }
+}
+
+/// A cloneable cancellation handle (clones share the same signal).
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken {
+    inner: Option<Arc<Inner>>,
+}
+
+impl CancelToken {
+    /// An inert token: never fires, zero polling cost. Same as `default()`.
+    pub const fn inert() -> Self {
+        CancelToken { inner: None }
+    }
+
+    /// A manually fired token (see [`CancelToken::cancel`]).
+    pub fn new() -> Self {
+        CancelToken {
+            inner: Some(Arc::new(Inner {
+                flag: AtomicBool::new(false),
+                deadline: None,
+                parent: None,
+            })),
+        }
+    }
+
+    /// A token that fires `limit` from now.
+    pub fn with_deadline(limit: Duration) -> Self {
+        CancelToken::inert().child_with_deadline(Some(limit))
+    }
+
+    /// A child token: fires when cancelled itself **or** when `self` fires.
+    pub fn child(&self) -> Self {
+        self.child_with_deadline(None)
+    }
+
+    /// A child token with its own deadline `limit` from now (`None` = no
+    /// own deadline). With an inert parent and no deadline this stays a
+    /// plain manual token.
+    pub fn child_with_deadline(&self, limit: Option<Duration>) -> Self {
+        CancelToken {
+            inner: Some(Arc::new(Inner {
+                flag: AtomicBool::new(false),
+                deadline: limit.map(|l| Instant::now() + l),
+                parent: self.inner.clone(),
+            })),
+        }
+    }
+
+    /// Whether this token carries no state at all (cannot ever fire).
+    pub fn is_inert(&self) -> bool {
+        self.inner.is_none()
+    }
+
+    /// Fire the token. Inert tokens ignore this (there is nothing to
+    /// share); descendants of this token observe the cancellation.
+    pub fn cancel(&self) {
+        if let Some(inner) = &self.inner {
+            inner.flag.store(true, Ordering::Relaxed);
+        }
+    }
+
+    /// Poll: has this token (or any ancestor) fired, or a deadline passed?
+    #[inline]
+    pub fn is_cancelled(&self) -> bool {
+        match &self.inner {
+            None => false,
+            Some(inner) => inner.is_cancelled(),
+        }
+    }
+
+    /// Whether a *deadline* (own or inherited) has passed — distinguishes
+    /// a timeout from a manual/short-circuit cancellation when reporting.
+    pub fn deadline_exceeded(&self) -> bool {
+        self.inner.as_ref().is_some_and(|i| i.deadline_exceeded())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inert_token_never_fires() {
+        let t = CancelToken::default();
+        assert!(t.is_inert());
+        t.cancel();
+        assert!(!t.is_cancelled());
+        assert!(!t.deadline_exceeded());
+    }
+
+    #[test]
+    fn manual_cancel_fires_self_and_children() {
+        let t = CancelToken::new();
+        let c = t.child();
+        assert!(!t.is_cancelled() && !c.is_cancelled());
+        t.cancel();
+        assert!(t.is_cancelled());
+        assert!(c.is_cancelled(), "children inherit cancellation");
+        assert!(!t.deadline_exceeded(), "manual fire is not a deadline");
+    }
+
+    #[test]
+    fn child_cancel_does_not_fire_the_parent() {
+        let t = CancelToken::new();
+        let c = t.child();
+        c.cancel();
+        assert!(c.is_cancelled());
+        assert!(!t.is_cancelled());
+    }
+
+    #[test]
+    fn deadline_fires_and_is_distinguishable() {
+        let t = CancelToken::with_deadline(Duration::ZERO);
+        assert!(t.is_cancelled());
+        assert!(t.deadline_exceeded());
+        let far = CancelToken::with_deadline(Duration::from_secs(3600));
+        assert!(!far.is_cancelled());
+    }
+
+    #[test]
+    fn clones_share_the_signal() {
+        let t = CancelToken::new();
+        let c = t.clone();
+        c.cancel();
+        assert!(t.is_cancelled());
+    }
+}

@@ -14,12 +14,35 @@
 //!   objective);
 //! * [`Engine`] — a registry dispatching a [`ProblemKind`] to registered
 //!   solvers, in preference order, plus a [`Engine::portfolio`] mode that
-//!   runs every applicable solver and returns the best feasible plan.
+//!   runs every applicable solver and returns the best feasible plan, and
+//!   a batched [`Engine::solve_sweep`] that answers a whole MSR budget
+//!   sweep from **one** DP-MSR run (the paper's "whole spectrum of
+//!   solutions at once").
 //!
 //! Every solution handed out is validated ([`StoragePlan::validate`]) and
 //! budget-checked against its problem before it leaves the engine, so a
 //! buggy or heuristic solver can never silently return an infeasible plan
 //! — it becomes a [`SolveError::BudgetExceeded`] instead.
+//!
+//! ## Parallel dispatch, preemption, and shared work
+//!
+//! With a multi-threaded pool (see the `rayon` shim; width from
+//! `DSV_NUM_THREADS`), [`Engine::solve`] and [`Engine::portfolio`] fan the
+//! supporting solvers out across threads: portfolio wall time approaches
+//! the slowest single solver instead of the sum. `solve` races with
+//! first-feasible short-circuiting — as soon as a solver succeeds, every
+//! *lower-preference* solver is cancelled through its [`CancelToken`],
+//! which long DPs poll mid-run (cooperative preemption; the same mechanism
+//! enforces [`SolveOptions::time_limit`] inside running solvers, not just
+//! between them). Results are **deterministic**: attempts are recorded in
+//! registry order and every combination step is order-stable, so the
+//! parallel paths return byte-identical plans to sequential execution
+//! ([`SolveOptions::parallel`]` = false`).
+//!
+//! Within one call, heuristic results that several solvers want (LMG-All
+//! plans, DP-MSR frontier plans — used standalone, as DP-BTW's witness and
+//! as the ILP's incumbent) are computed once and shared through a
+//! [`SharedWork`] memo keyed by graph fingerprint and budget.
 //!
 //! The legacy free functions ([`crate::heuristics::lmg`],
 //! [`crate::tree::dp_msr_on_graph`], …) remain available and are what the
@@ -43,12 +66,17 @@
 //! assert!(sol.costs.storage <= 1_100);
 //! ```
 
+pub mod shared;
 pub mod solvers;
 
+pub use shared::SharedWork;
+
+use crate::cancel::CancelToken;
 use crate::plan::{PlanCosts, StoragePlan};
 use crate::problem::{Objective, ProblemKind};
 use crate::tree::DpMsrConfig;
 use dsv_vgraph::{Cost, NodeId, VersionGraph};
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 /// Options shared by every solver invocation.
@@ -57,9 +85,9 @@ pub struct SolveOptions {
     /// Root used by tree-extraction based solvers (DP-MSR, DP-BMR, the
     /// MMR/BSR reductions).
     pub root: NodeId,
-    /// Wall-clock limit. Enforced at solver granularity: the engine will
-    /// not *start* a solver past the deadline (running solvers are not
-    /// preempted).
+    /// Wall-clock limit, enforced cooperatively: solvers are not *started*
+    /// past the deadline (recorded as skipped in portfolios), and running
+    /// DPs/branch & bound poll a deadline token mid-run and abort early.
     pub time_limit: Option<Duration>,
     /// Configuration for the DP-MSR tree engine.
     pub dp_msr: DpMsrConfig,
@@ -72,6 +100,21 @@ pub struct SolveOptions {
     /// [`SolveError::ResourceLimit`] instead of an unbounded solve. The
     /// paper only computes OPT on its smallest corpus (~200 variables).
     pub ilp_max_vars: usize,
+    /// External cooperative cancellation. The engine derives per-call (and
+    /// per-solver, when racing) child tokens from this, so firing it
+    /// preempts everything downstream; solvers invoked directly poll it
+    /// too. Inert by default.
+    pub cancel: CancelToken,
+    /// Per-call memo of heuristic results shared between solvers (LMG-All
+    /// plans, DP-MSR frontier plans). The engine validates it against the
+    /// graph's fingerprint and swaps in a fresh memo on mismatch, so a
+    /// default value is always safe — and reusing one `SolveOptions`
+    /// across calls on the *same* graph carries the warm cache forward.
+    pub shared: SharedWork,
+    /// Dispatch racing/portfolio solvers onto the thread pool when it is
+    /// wider than one thread. `false` forces the sequential path (same
+    /// results, one solver at a time).
+    pub parallel: bool,
 }
 
 impl Default for SolveOptions {
@@ -83,6 +126,9 @@ impl Default for SolveOptions {
             btw: crate::btw::BtwConfig::default(),
             ilp_max_nodes: 100_000,
             ilp_max_vars: 4_096,
+            cancel: CancelToken::inert(),
+            shared: SharedWork::default(),
+            parallel: true,
         }
     }
 }
@@ -123,6 +169,13 @@ pub enum SolveError {
         solver: &'static str,
         /// The configured limit.
         limit: Duration,
+    },
+    /// The solver was preempted mid-run through [`SolveOptions::cancel`] —
+    /// by the cooperative deadline, a racing sibling's short-circuit, or an
+    /// external caller firing the token.
+    Cancelled {
+        /// The preempted solver.
+        solver: &'static str,
     },
     /// The solver gave up within its resource bounds (state-count caps,
     /// branch-and-bound node limits, enumeration-space limits).
@@ -168,6 +221,9 @@ impl std::fmt::Display for SolveError {
             } => write!(f, "{solver} exceeded the budget: {achieved} > {budget}"),
             SolveError::Timeout { solver, limit } => {
                 write!(f, "{solver}: time limit {limit:?} expired")
+            }
+            SolveError::Cancelled { solver } => {
+                write!(f, "{solver}: cancelled mid-run")
             }
             SolveError::ResourceLimit { solver, detail } => {
                 write!(f, "{solver}: resource limit: {detail}")
@@ -320,14 +376,55 @@ pub trait Solver: Send + Sync {
     ) -> Result<Solution, SolveError>;
 }
 
+/// How one solver fared within a [`Portfolio`] run.
+#[derive(Clone, Debug)]
+pub enum AttemptOutcome {
+    /// The solver produced a feasible validated plan with these costs.
+    Solved(PlanCosts),
+    /// The solver ran and failed with this error.
+    Failed(SolveError),
+    /// The solver was never started: the deadline had already expired (or
+    /// the call was cancelled) before its turn.
+    Skipped,
+}
+
+impl AttemptOutcome {
+    /// Whether the attempt produced a feasible plan.
+    pub fn is_ok(&self) -> bool {
+        matches!(self, AttemptOutcome::Solved(_))
+    }
+
+    /// The plan costs on success.
+    pub fn ok(&self) -> Option<&PlanCosts> {
+        match self {
+            AttemptOutcome::Solved(costs) => Some(costs),
+            _ => None,
+        }
+    }
+
+    /// The error of a failed attempt.
+    pub fn err(&self) -> Option<&SolveError> {
+        match self {
+            AttemptOutcome::Failed(e) => Some(e),
+            _ => None,
+        }
+    }
+
+    /// Whether the solver was skipped without being started.
+    pub fn is_skipped(&self) -> bool {
+        matches!(self, AttemptOutcome::Skipped)
+    }
+}
+
 /// One solver's result within a [`Portfolio`] run.
 #[derive(Clone, Debug)]
 pub struct PortfolioAttempt {
     /// Which solver ran.
     pub solver: &'static str,
-    /// Its costs on success, or why it failed.
-    pub outcome: Result<PlanCosts, SolveError>,
-    /// Wall-clock time of the attempt.
+    /// Its costs on success, why it failed, or that it was skipped.
+    pub outcome: AttemptOutcome,
+    /// Wall-clock time of the attempt ([`Duration::ZERO`] for skipped
+    /// attempts, which never ran).
     pub wall_time: Duration,
 }
 
@@ -401,7 +498,10 @@ impl Engine {
             .collect()
     }
 
-    /// Solve with one specific solver by name.
+    /// Solve with one specific solver by name. Goes through the same
+    /// per-call preparation as [`Engine::solve`]: the shared-work memo is
+    /// validated against the graph's fingerprint and the cooperative
+    /// deadline token is derived from [`SolveOptions::time_limit`].
     pub fn solve_with(
         &self,
         name: &str,
@@ -422,91 +522,198 @@ impl Engine {
                 problem: problem.name(),
             });
         }
-        solver.solve(g, problem, opts)
+        let (eff, _token) = self.prepare_call(g, opts);
+        solver.solve(g, problem, &eff)
     }
 
-    /// Solve `problem`, trying supporting solvers in preference order and
-    /// returning the first success. On total failure, returns the most
-    /// informative error (an [`SolveError::Infeasible`] if any solver
-    /// reported one, otherwise the first error).
+    /// Effective per-call options: the shared-work memo claimed for this
+    /// graph and a call-level token combining the caller's token with the
+    /// cooperative deadline.
+    fn prepare_call(&self, g: &VersionGraph, opts: &SolveOptions) -> (SolveOptions, CancelToken) {
+        let mut eff = opts.clone();
+        eff.shared = opts.shared.for_graph(g);
+        let token = if opts.time_limit.is_some() {
+            opts.cancel.child_with_deadline(opts.time_limit)
+        } else {
+            opts.cancel.clone()
+        };
+        eff.cancel = token.clone();
+        (eff, token)
+    }
+
+    /// Run `solvers` against `problem`, sequentially or fanned out on the
+    /// thread pool, returning per-solver results **in input order**
+    /// (`None` = skipped: the call token had fired before the start).
+    ///
+    /// `race` enables first-feasible short-circuiting: a success at
+    /// preference `i` cancels every solver after `i` (sequentially, the
+    /// tail is simply skipped).
+    #[allow(clippy::type_complexity)]
+    fn run_attempts(
+        &self,
+        g: &VersionGraph,
+        problem: ProblemKind,
+        solvers: &[&dyn Solver],
+        eff: &SolveOptions,
+        token: &CancelToken,
+        race: bool,
+    ) -> Vec<(Option<Result<Solution, SolveError>>, Duration)> {
+        let parallel = eff.parallel && solvers.len() > 1 && rayon::current_num_threads() > 1;
+        if !parallel {
+            let mut out = Vec::with_capacity(solvers.len());
+            let mut short_circuited = false;
+            for solver in solvers {
+                if short_circuited || token.is_cancelled() {
+                    out.push((None, Duration::ZERO));
+                    continue;
+                }
+                let t0 = Instant::now();
+                let result = solver.solve(g, problem, eff);
+                let wall = t0.elapsed();
+                if race && result.is_ok() {
+                    short_circuited = true;
+                }
+                out.push((Some(result), wall));
+            }
+            return out;
+        }
+
+        // Parallel dispatch: every solver gets its own child token so a
+        // race short-circuit can cancel lower-preference solvers without
+        // touching higher-preference ones; slots keep registry order.
+        let tokens: Vec<CancelToken> = solvers.iter().map(|_| token.child()).collect();
+        let slots: Vec<Mutex<Option<(Option<Result<Solution, SolveError>>, Duration)>>> =
+            solvers.iter().map(|_| Mutex::new(None)).collect();
+        rayon::scope(|scope| {
+            for (i, solver) in solvers.iter().enumerate() {
+                let mut opts_i = eff.clone();
+                opts_i.cancel = tokens[i].clone();
+                let solver: &dyn Solver = *solver;
+                let (tokens, slots) = (&tokens, &slots);
+                scope.spawn(move || {
+                    if opts_i.cancel.is_cancelled() {
+                        *slots[i].lock().expect("attempt slot") = Some((None, Duration::ZERO));
+                        return;
+                    }
+                    let t0 = Instant::now();
+                    let result = solver.solve(g, problem, &opts_i);
+                    let wall = t0.elapsed();
+                    if race && result.is_ok() {
+                        for t in &tokens[i + 1..] {
+                            t.cancel();
+                        }
+                    }
+                    *slots[i].lock().expect("attempt slot") = Some((Some(result), wall));
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("attempt slot")
+                    .expect("every spawned attempt reports")
+            })
+            .collect()
+    }
+
+    /// Fold attempt errors into the most informative failure, mirroring
+    /// the sequential engine's historical preference: an
+    /// [`SolveError::Infeasible`] if any solver reported one, else the
+    /// first error in preference order, else a timeout when everything was
+    /// skipped past the deadline.
+    fn aggregate_failure(
+        problem: ProblemKind,
+        opts: &SolveOptions,
+        attempts: impl IntoIterator<Item = Option<SolveError>>,
+    ) -> SolveError {
+        let mut infeasible: Option<SolveError> = None;
+        let mut first_err: Option<SolveError> = None;
+        let mut any_skipped = false;
+        for outcome in attempts {
+            match outcome {
+                Some(e) => {
+                    if matches!(e, SolveError::Infeasible { .. }) && infeasible.is_none() {
+                        infeasible = Some(e.clone());
+                    }
+                    first_err.get_or_insert(e);
+                }
+                None => any_skipped = true,
+            }
+        }
+        infeasible
+            .or(first_err)
+            .unwrap_or_else(|| match (any_skipped, opts.time_limit) {
+                (true, Some(limit)) => SolveError::Timeout {
+                    solver: "engine",
+                    limit,
+                },
+                (true, None) => SolveError::Cancelled { solver: "engine" },
+                (false, _) => SolveError::NoSolver {
+                    problem: problem.name(),
+                },
+            })
+    }
+
+    /// Solve `problem`: supporting solvers race in preference order with
+    /// first-feasible short-circuiting — the result is the success of the
+    /// most-preferred succeeding solver, exactly as sequential dispatch,
+    /// but lower-preference solvers run concurrently and are cancelled as
+    /// soon as a better-preferred one succeeds. On total failure, returns
+    /// the most informative error (an [`SolveError::Infeasible`] if any
+    /// solver reported one, otherwise the first error).
     pub fn solve(
         &self,
         g: &VersionGraph,
         problem: ProblemKind,
         opts: &SolveOptions,
     ) -> Result<Solution, SolveError> {
-        let deadline = opts.time_limit.map(|l| (Instant::now(), l));
-        let mut first_err: Option<SolveError> = None;
-        let mut infeasible: Option<SolveError> = None;
-        let mut tried = 0usize;
-        for solver in self.solvers.iter().filter(|s| s.supports(problem)) {
-            tried += 1;
-            if let Some((t0, limit)) = deadline {
-                if t0.elapsed() > limit {
-                    return Err(SolveError::Timeout {
-                        solver: solver.name(),
-                        limit,
-                    });
-                }
-            }
-            match solver.solve(g, problem, opts) {
-                Ok(sol) => return Ok(sol),
-                Err(e) => {
-                    if matches!(e, SolveError::Infeasible { .. }) && infeasible.is_none() {
-                        infeasible = Some(e.clone());
-                    }
-                    first_err.get_or_insert(e);
-                }
-            }
-        }
-        if tried == 0 {
+        let solvers = self.solvers_for(problem);
+        if solvers.is_empty() {
             return Err(SolveError::NoSolver {
                 problem: problem.name(),
             });
         }
-        Err(infeasible
-            .or(first_err)
-            .expect("tried > 0 implies an error was recorded"))
+        let (eff, token) = self.prepare_call(g, opts);
+        let results = self.run_attempts(g, problem, &solvers, &eff, &token, true);
+        let mut errors = Vec::with_capacity(results.len());
+        for (result, _) in results {
+            match result {
+                Some(Ok(sol)) => return Ok(sol),
+                Some(Err(e)) => errors.push(Some(e)),
+                None => errors.push(None),
+            }
+        }
+        Err(Self::aggregate_failure(problem, opts, errors))
     }
 
-    /// Run every supporting solver and return the best feasible solution
-    /// (minimum objective; ties broken by the smaller constrained cost),
-    /// plus the full scoreboard.
+    /// Run every supporting solver — concurrently when the pool allows —
+    /// and return the best feasible solution (minimum objective; ties
+    /// broken by the smaller constrained cost), plus the full scoreboard
+    /// in registry order. Solvers not started before the deadline are
+    /// marked [`AttemptOutcome::Skipped`].
     pub fn portfolio(
         &self,
         g: &VersionGraph,
         problem: ProblemKind,
         opts: &SolveOptions,
     ) -> Result<Portfolio, SolveError> {
-        let deadline = opts.time_limit.map(|l| (Instant::now(), l));
-        let mut attempts = Vec::new();
+        let solvers = self.solvers_for(problem);
+        if solvers.is_empty() {
+            return Err(SolveError::NoSolver {
+                problem: problem.name(),
+            });
+        }
+        let (eff, token) = self.prepare_call(g, opts);
+        let results = self.run_attempts(g, problem, &solvers, &eff, &token, false);
+
+        let mut attempts = Vec::with_capacity(results.len());
         let mut best: Option<Solution> = None;
-        let mut infeasible: Option<SolveError> = None;
-        let mut first_err: Option<SolveError> = None;
-        for solver in self.solvers.iter().filter(|s| s.supports(problem)) {
-            if let Some((t0, limit)) = deadline {
-                if t0.elapsed() > limit {
-                    attempts.push(PortfolioAttempt {
-                        solver: solver.name(),
-                        outcome: Err(SolveError::Timeout {
-                            solver: solver.name(),
-                            limit,
-                        }),
-                        wall_time: Duration::ZERO,
-                    });
-                    continue;
-                }
-            }
-            let t0 = Instant::now();
-            let result = solver.solve(g, problem, opts);
-            let wall_time = t0.elapsed();
-            match result {
-                Ok(sol) => {
-                    attempts.push(PortfolioAttempt {
-                        solver: solver.name(),
-                        outcome: Ok(sol.costs),
-                        wall_time,
-                    });
+        let mut errors = Vec::with_capacity(results.len());
+        for (solver, (result, wall_time)) in solvers.iter().zip(results) {
+            let outcome = match result {
+                Some(Ok(sol)) => {
+                    let costs = sol.costs;
                     let better = match &best {
                         None => true,
                         Some(b) => {
@@ -517,27 +724,101 @@ impl Engine {
                     if better {
                         best = Some(sol);
                     }
+                    AttemptOutcome::Solved(costs)
                 }
-                Err(e) => {
-                    if matches!(e, SolveError::Infeasible { .. }) && infeasible.is_none() {
-                        infeasible = Some(e.clone());
-                    }
-                    first_err.get_or_insert(e.clone());
-                    attempts.push(PortfolioAttempt {
-                        solver: solver.name(),
-                        outcome: Err(e),
-                        wall_time,
-                    });
+                Some(Err(e)) => {
+                    errors.push(Some(e.clone()));
+                    AttemptOutcome::Failed(e)
                 }
-            }
+                None => {
+                    errors.push(None);
+                    AttemptOutcome::Skipped
+                }
+            };
+            attempts.push(PortfolioAttempt {
+                solver: solver.name(),
+                outcome,
+                wall_time,
+            });
         }
         match best {
             Some(best) => Ok(Portfolio { best, attempts }),
-            None => Err(infeasible.or(first_err).unwrap_or(SolveError::NoSolver {
-                problem: problem.name(),
-            })),
+            None => Err(Self::aggregate_failure(problem, opts, errors)),
         }
     }
+
+    /// Answer a whole MSR budget sweep from **one** DP-MSR run: the DP's
+    /// storage/retrieval frontier already contains every trade-off point,
+    /// so an `N`-budget sweep costs one DP instead of `N` solves (how the
+    /// paper reports DP-MSR's runtime in Figures 10–12).
+    ///
+    /// Every returned [`Solution`] is validated and budget-checked like any
+    /// other engine output; `None` entries are budgets below the frontier.
+    /// The deadline/cancellation in `opts` preempts the underlying DP.
+    pub fn solve_sweep(
+        &self,
+        g: &VersionGraph,
+        budgets: &[Cost],
+        opts: &SolveOptions,
+    ) -> Result<MsrSweep, SolveError> {
+        const SOLVER: &str = "DP-MSR";
+        let started = Instant::now();
+        let (eff, token) = self.prepare_call(g, opts);
+        let t = crate::tree::extract_tree(g, eff.root).ok_or_else(|| SolveError::Infeasible {
+            solver: SOLVER,
+            detail: format!("graph is not spanning-reachable from root {}", eff.root),
+        })?;
+        let mut cfg = eff.dp_msr.clone();
+        cfg.cancel = token.clone();
+        let max_budget = budgets.iter().copied().max().unwrap_or(0);
+        cfg.storage_prune = Some(cfg.storage_prune.unwrap_or(max_budget).max(max_budget));
+        let state = crate::tree::dp_msr::dp_msr(g, &t, &cfg).ok_or_else(|| {
+            if token.deadline_exceeded() {
+                SolveError::Timeout {
+                    solver: SOLVER,
+                    limit: opts.time_limit.unwrap_or_default(),
+                }
+            } else {
+                SolveError::Cancelled { solver: SOLVER }
+            }
+        })?;
+        let iterations = state.state_count();
+        let mut solutions = Vec::with_capacity(budgets.len());
+        for &budget in budgets {
+            match state.plan_under(g, budget) {
+                // A budget below the frontier is genuinely infeasible.
+                None => solutions.push(None),
+                Some((plan, costs)) => {
+                    let mut meta = SolverMeta::new(SOLVER);
+                    meta.iterations = iterations;
+                    meta.reported_objective = Some(costs.total_retrieval);
+                    let problem = ProblemKind::Msr {
+                        storage_budget: budget,
+                    };
+                    // An invalid or over-budget reconstruction is a DP bug:
+                    // surface it as an error, never as a fake infeasibility.
+                    solutions.push(Some(Solution::checked(g, problem, plan, meta, started)?));
+                }
+            }
+        }
+        Ok(MsrSweep {
+            solutions,
+            dp_runs: 1,
+        })
+    }
+}
+
+/// Result of [`Engine::solve_sweep`]: one validated solution per requested
+/// budget, all answered from a single DP run.
+#[derive(Clone, Debug)]
+pub struct MsrSweep {
+    /// Per-budget solutions, aligned with the input budgets (`None` =
+    /// infeasible at that budget). All share one DP run: their
+    /// [`SolverMeta::iterations`] carry the same single-run state count.
+    pub solutions: Vec<Option<Solution>>,
+    /// Number of DP-MSR runs the sweep performed — always `1`, surfaced so
+    /// callers and tests can assert the amortization holds.
+    pub dp_runs: usize,
 }
 
 #[cfg(test)]
@@ -598,7 +879,7 @@ mod tests {
         let successes: Vec<Cost> = portfolio
             .attempts
             .iter()
-            .filter_map(|a| a.outcome.as_ref().ok())
+            .filter_map(|a| a.outcome.ok())
             .map(|c| c.total_retrieval)
             .collect();
         assert!(

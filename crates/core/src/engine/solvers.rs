@@ -15,14 +15,13 @@
 
 use super::{Solution, SolveError, SolveOptions, Solver, SolverMeta};
 use crate::baselines::min_storage_value;
-use crate::exact::brute::{brute_force, enumeration_space, ENUMERATION_LIMIT};
-use crate::exact::msr_opt;
+use crate::exact::brute::{brute_force_cancellable, enumeration_space, ENUMERATION_LIMIT};
+use crate::exact::msr_opt_cancellable;
 use crate::heuristics::lmg::lmg_with_stats;
-use crate::heuristics::lmg_all::lmg_all_with_stats;
 use crate::heuristics::mp::modified_prims;
 use crate::problem::ProblemKind;
-use crate::reductions::{bsr_via_msr, mmr_on_graph};
-use crate::tree::{dp_bmr_on_graph, dp_msr_on_graph, extract_tree};
+use crate::reductions::{bsr_via_msr, mmr_via_bmr_cancellable};
+use crate::tree::{dp_bmr_cancellable, extract_tree};
 use dsv_vgraph::VersionGraph;
 use std::time::Instant;
 
@@ -57,7 +56,10 @@ impl Solver for LmgSolver {
     }
 }
 
-/// LMG-All (Algorithm 7) for MSR.
+/// LMG-All (Algorithm 7) for MSR. The plan is produced through the
+/// per-call [`SharedWork`](super::SharedWork) memo, so a portfolio that
+/// also wants it as DP-BTW's witness or the ILP's incumbent computes it
+/// exactly once.
 pub struct LmgAllSolver;
 
 impl Solver for LmgAllSolver {
@@ -73,14 +75,17 @@ impl Solver for LmgAllSolver {
         &self,
         g: &VersionGraph,
         problem: ProblemKind,
-        _opts: &SolveOptions,
+        opts: &SolveOptions,
     ) -> Result<Solution, SolveError> {
         let started = Instant::now();
         let ProblemKind::Msr { storage_budget } = problem else {
             return Err(unsupported(self.name(), problem));
         };
-        let (plan, stats) =
-            lmg_all_with_stats(g, storage_budget).ok_or_else(|| below_min_storage(self.name()))?;
+        let (plan, stats) = opts
+            .shared
+            .lmg_all(g, storage_budget, &opts.cancel)
+            .ok_or_else(|| cancelled(self.name(), opts))?
+            .ok_or_else(|| below_min_storage(self.name()))?;
         let mut meta = SolverMeta::new(self.name());
         meta.iterations = stats.moves;
         meta.reported_objective = Some(stats.total_retrieval);
@@ -145,16 +150,23 @@ impl Solver for DpMsrSolver {
         let mut meta = SolverMeta::new(self.name());
         let plan = match problem {
             ProblemKind::Msr { storage_budget } => {
-                let (plan, costs) = dp_msr_on_graph(g, opts.root, storage_budget, &opts.dp_msr)
+                let (plan, costs) = opts
+                    .shared
+                    .dp_msr(g, opts.root, storage_budget, &opts.dp_msr, &opts.cancel)
+                    .ok_or_else(|| cancelled(self.name(), opts))?
                     .ok_or_else(|| below_min_storage(self.name()))?;
                 meta.reported_objective = Some(costs.total_retrieval);
                 plan
             }
             ProblemKind::Bsr { retrieval_budget } => {
-                let (plan, storage) = bsr_via_msr(g, opts.root, retrieval_budget, &opts.dp_msr)
-                    .ok_or_else(|| SolveError::Infeasible {
-                        solver: self.name(),
-                        detail: "no frontier point fits the retrieval budget".into(),
+                let mut cfg = opts.dp_msr.clone();
+                cfg.cancel = opts.cancel.clone();
+                let (plan, storage) = bsr_via_msr(g, opts.root, retrieval_budget, &cfg)
+                    .ok_or_else(|| {
+                        cancelled_or(self.name(), opts, || SolveError::Infeasible {
+                            solver: self.name(),
+                            detail: "no frontier point fits the retrieval budget".into(),
+                        })
                     })?;
                 meta.reported_objective = Some(storage);
                 plan
@@ -187,19 +199,23 @@ impl Solver for DpBmrSolver {
     ) -> Result<Solution, SolveError> {
         let started = Instant::now();
         let mut meta = SolverMeta::new(self.name());
+        // One extraction serves both classification (unreachable is an
+        // error distinct from cancellation) and the DP itself.
+        let Some(t) = extract_tree(g, opts.root) else {
+            return Err(not_reachable(self.name(), opts));
+        };
         let plan = match problem {
             ProblemKind::Bmr { retrieval_budget } => {
-                let r = dp_bmr_on_graph(g, opts.root, retrieval_budget)
-                    .ok_or_else(|| not_reachable(self.name(), opts))?;
+                let r = dp_bmr_cancellable(g, &t, retrieval_budget, &opts.cancel)
+                    .ok_or_else(|| cancelled(self.name(), opts))?;
                 meta.reported_objective = Some(r.storage);
                 r.plan
             }
             ProblemKind::Mmr { storage_budget } => {
-                if extract_tree(g, opts.root).is_none() {
-                    return Err(not_reachable(self.name(), opts));
-                }
-                let (plan, max_r) = mmr_on_graph(g, opts.root, storage_budget)
-                    .ok_or_else(|| below_min_storage(self.name()))?;
+                let (plan, max_r) = mmr_via_bmr_cancellable(g, &t, storage_budget, &opts.cancel)
+                    .ok_or_else(|| {
+                        cancelled_or(self.name(), opts, || below_min_storage(self.name()))
+                    })?;
                 meta.reported_objective = Some(max_r);
                 plan
             }
@@ -240,18 +256,30 @@ impl Solver for BtwSolver {
         // for MSR, while any tighter caller-supplied prune would truncate
         // the plan set and invalidate the lower-bound certificate below.
         cfg.storage_prune = Some(storage_budget);
-        let result = crate::btw::btw_msr(g, &cfg).ok_or_else(|| SolveError::ResourceLimit {
-            solver: self.name(),
-            detail: format!("state count exceeded max_states = {}", cfg.max_states),
+        cfg.cancel = opts.cancel.clone();
+        let result = crate::btw::btw_msr(g, &cfg).ok_or_else(|| {
+            cancelled_or(self.name(), opts, || SolveError::ResourceLimit {
+                solver: self.name(),
+                detail: format!("state count exceeded max_states = {}", cfg.max_states),
+            })
         })?;
         let bound = result
             .best_under(storage_budget)
             .ok_or_else(|| below_min_storage(self.name()))?;
 
         // Witness plan: best of the plan-producing heuristics at this budget
-        // (each candidate costed once).
-        let lmg_all_plan = lmg_all_with_stats(g, storage_budget).map(|(p, _)| p);
-        let dp_plan = dp_msr_on_graph(g, opts.root, storage_budget, &opts.dp_msr).map(|(p, _)| p);
+        // (each candidate costed once, shared with the rest of the call
+        // through the per-call memo).
+        let lmg_all_plan = opts
+            .shared
+            .lmg_all(g, storage_budget, &opts.cancel)
+            .ok_or_else(|| cancelled(self.name(), opts))?
+            .map(|(p, _)| p);
+        let dp_plan = opts
+            .shared
+            .dp_msr(g, opts.root, storage_budget, &opts.dp_msr, &opts.cancel)
+            .ok_or_else(|| cancelled(self.name(), opts))?
+            .map(|(p, _)| p);
         let (plan, witness_retrieval) = [lmg_all_plan, dp_plan]
             .into_iter()
             .flatten()
@@ -314,25 +342,37 @@ impl Solver for IlpSolver {
         }
         // Prime branch & bound with the best cheap upper bound available:
         // LMG-All and the DP-MSR frontier plan (the DP is usually tighter
-        // on tree-like graphs, which prunes far more of the search).
+        // on tree-like graphs, which prunes far more of the search). Both
+        // come from the per-call memo, shared with the rest of the call.
         let incumbent = [
-            lmg_all_with_stats(g, storage_budget).map(|(p, _)| p.costs(g).total_retrieval),
-            dp_msr_on_graph(g, opts.root, storage_budget, &opts.dp_msr)
+            opts.shared
+                .lmg_all(g, storage_budget, &opts.cancel)
+                .ok_or_else(|| cancelled(self.name(), opts))?
+                .map(|(p, _)| p.costs(g).total_retrieval),
+            opts.shared
+                .dp_msr(g, opts.root, storage_budget, &opts.dp_msr, &opts.cancel)
+                .ok_or_else(|| cancelled(self.name(), opts))?
                 .map(|(_, c)| c.total_retrieval),
         ]
         .into_iter()
         .flatten()
         .min();
-        let outcome =
-            msr_opt(g, storage_budget, opts.ilp_max_nodes, incumbent).ok_or_else(|| {
-                SolveError::ResourceLimit {
-                    solver: self.name(),
-                    detail: format!(
-                        "branch & bound hit the {}-node limit without an improving solution",
-                        opts.ilp_max_nodes
-                    ),
-                }
-            })?;
+        let outcome = msr_opt_cancellable(
+            g,
+            storage_budget,
+            opts.ilp_max_nodes,
+            incumbent,
+            &opts.cancel,
+        )
+        .ok_or_else(|| {
+            cancelled_or(self.name(), opts, || SolveError::ResourceLimit {
+                solver: self.name(),
+                detail: format!(
+                    "branch & bound hit the {}-node limit without an improving solution",
+                    opts.ilp_max_nodes
+                ),
+            })
+        })?;
         let mut meta = SolverMeta::new(self.name());
         meta.iterations = outcome.nodes;
         meta.proven_optimal = outcome.proven_optimal;
@@ -361,7 +401,7 @@ impl Solver for BruteForceSolver {
         &self,
         g: &VersionGraph,
         problem: ProblemKind,
-        _opts: &SolveOptions,
+        opts: &SolveOptions,
     ) -> Result<Solution, SolveError> {
         let started = Instant::now();
         let space = enumeration_space(g);
@@ -371,9 +411,11 @@ impl Solver for BruteForceSolver {
                 detail: format!("enumeration space {space} exceeds {ENUMERATION_LIMIT}"),
             });
         }
-        let result = brute_force(g, problem).ok_or_else(|| SolveError::Infeasible {
-            solver: self.name(),
-            detail: "no plan satisfies the constraint".into(),
+        let result = brute_force_cancellable(g, problem, &opts.cancel).ok_or_else(|| {
+            cancelled_or(self.name(), opts, || SolveError::Infeasible {
+                solver: self.name(),
+                detail: "no plan satisfies the constraint".into(),
+            })
         })?;
         let mut meta = SolverMeta::new(self.name());
         meta.iterations = usize::try_from(space).unwrap_or(usize::MAX);
@@ -389,6 +431,31 @@ fn unsupported(solver: &'static str, problem: ProblemKind) -> SolveError {
     SolveError::UnsupportedProblem {
         solver,
         problem: problem.name(),
+    }
+}
+
+/// The error for a solve preempted through [`SolveOptions::cancel`]: a
+/// [`SolveError::Timeout`] when the cooperative deadline fired, otherwise a
+/// [`SolveError::Cancelled`] (external token or a racing sibling's
+/// short-circuit).
+fn cancelled(solver: &'static str, opts: &SolveOptions) -> SolveError {
+    match opts.time_limit {
+        Some(limit) if opts.cancel.deadline_exceeded() => SolveError::Timeout { solver, limit },
+        _ => SolveError::Cancelled { solver },
+    }
+}
+
+/// Classify a `None` from a cancellable algorithm: preemption if the token
+/// fired, otherwise the algorithm-specific `fallback` error.
+fn cancelled_or(
+    solver: &'static str,
+    opts: &SolveOptions,
+    fallback: impl FnOnce() -> SolveError,
+) -> SolveError {
+    if opts.cancel.is_cancelled() {
+        cancelled(solver, opts)
+    } else {
+        fallback()
     }
 }
 

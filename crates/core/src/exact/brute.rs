@@ -6,6 +6,7 @@
 //! tool — it exists to give the property tests exact optima for all four
 //! problems at once.
 
+use crate::cancel::CancelToken;
 use crate::plan::{Parent, PlanCosts, StoragePlan};
 use crate::problem::ProblemKind;
 use dsv_vgraph::{Cost, NodeId, VersionGraph};
@@ -33,7 +34,22 @@ pub fn enumeration_space(g: &VersionGraph) -> u128 {
 }
 
 /// Enumerate every valid plan, calling `f` with each plan and its costs.
-pub fn for_each_plan(g: &VersionGraph, mut f: impl FnMut(&StoragePlan, &PlanCosts)) {
+pub fn for_each_plan(g: &VersionGraph, f: impl FnMut(&StoragePlan, &PlanCosts)) {
+    for_each_plan_cancellable(g, &CancelToken::inert(), f);
+}
+
+/// How many visited assignments pass between cancellation polls.
+const CANCEL_POLL_STRIDE: u64 = 4_096;
+
+/// [`for_each_plan`] with cooperative cancellation, polled every
+/// [`CANCEL_POLL_STRIDE`] visited assignments. Returns `true` iff the
+/// enumeration ran to completion (`false` = preempted mid-way, so any
+/// aggregate the callback built is partial and must be discarded).
+pub fn for_each_plan_cancellable(
+    g: &VersionGraph,
+    cancel: &CancelToken,
+    mut f: impl FnMut(&StoragePlan, &PlanCosts),
+) -> bool {
     let n = g.n();
     let space: u128 = enumeration_space(g);
     assert!(
@@ -43,35 +59,58 @@ pub fn for_each_plan(g: &VersionGraph, mut f: impl FnMut(&StoragePlan, &PlanCost
     let mut plan = StoragePlan {
         parent: vec![Parent::Materialized; n],
     };
+    let mut visited = 0u64;
     fn rec(
         g: &VersionGraph,
         v: usize,
         plan: &mut StoragePlan,
+        cancel: &CancelToken,
+        visited: &mut u64,
         f: &mut impl FnMut(&StoragePlan, &PlanCosts),
-    ) {
+    ) -> bool {
         if v == g.n() {
+            *visited += 1;
+            if (*visited).is_multiple_of(CANCEL_POLL_STRIDE) && cancel.is_cancelled() {
+                return false;
+            }
             if plan.validate(g).is_ok() {
                 let costs = plan.costs(g);
                 f(plan, &costs);
             }
-            return;
+            return true;
         }
         plan.parent[v] = Parent::Materialized;
-        rec(g, v + 1, plan, f);
+        if !rec(g, v + 1, plan, cancel, visited, f) {
+            return false;
+        }
         for &e in g.in_edges(NodeId::new(v)) {
             plan.parent[v] = Parent::Delta(e);
-            rec(g, v + 1, plan, f);
+            if !rec(g, v + 1, plan, cancel, visited, f) {
+                return false;
+            }
         }
         plan.parent[v] = Parent::Materialized;
+        true
     }
-    rec(g, 0, &mut plan, &mut f);
+    rec(g, 0, &mut plan, cancel, &mut visited, &mut f)
 }
 
 /// Solve one of the four problems exactly. Returns `None` when no plan
 /// satisfies the constraint.
 pub fn brute_force(g: &VersionGraph, problem: ProblemKind) -> Option<BruteForceResult> {
+    brute_force_cancellable(g, problem, &CancelToken::inert())
+}
+
+/// [`brute_force`] with cooperative cancellation. A preempted enumeration
+/// returns `None` (never a partial best, so results stay deterministic);
+/// callers distinguish that from infeasibility by re-checking the token.
+pub fn brute_force_cancellable(
+    g: &VersionGraph,
+    problem: ProblemKind,
+    cancel: &CancelToken,
+) -> Option<BruteForceResult> {
     let mut best: Option<BruteForceResult> = None;
-    for_each_plan(g, |plan, costs| {
+    let complete = for_each_plan_cancellable(g, cancel, |plan, costs| {
         let (feasible, objective) = match problem {
             ProblemKind::Msr { storage_budget } => {
                 (costs.storage <= storage_budget, costs.total_retrieval)
@@ -107,7 +146,11 @@ pub fn brute_force(g: &VersionGraph, problem: ProblemKind) -> Option<BruteForceR
             });
         }
     });
-    best
+    if complete {
+        best
+    } else {
+        None
+    }
 }
 
 /// Exact MSR objective (convenience for tests).

@@ -114,6 +114,25 @@ pub fn msr_opt(
     max_nodes: usize,
     incumbent: Option<Cost>,
 ) -> Option<MsrIlpOutcome> {
+    msr_opt_cancellable(
+        g,
+        storage_budget,
+        max_nodes,
+        incumbent,
+        &crate::cancel::CancelToken::inert(),
+    )
+}
+
+/// [`msr_opt`] with cooperative cancellation: `cancel` is polled before
+/// every LP relaxation; a fired token aborts the search and returns `None`
+/// (never a partial incumbent, so results stay deterministic).
+pub fn msr_opt_cancellable(
+    g: &VersionGraph,
+    storage_budget: Cost,
+    max_nodes: usize,
+    incumbent: Option<Cost>,
+    cancel: &crate::cancel::CancelToken,
+) -> Option<MsrIlpOutcome> {
     if crate::baselines::min_storage_value(g) > storage_budget {
         return None;
     }
@@ -123,13 +142,22 @@ pub fn msr_opt(
         .iter()
         .map(|e| e.retrieval as f64)
         .fold(1.0_f64, f64::max);
+    let should_abort = (!cancel.is_inert()).then(|| {
+        let token = cancel.clone();
+        std::sync::Arc::new(move || token.is_cancelled())
+            as std::sync::Arc<dyn Fn() -> bool + Send + Sync>
+    });
     let opts = MilpOptions {
         max_nodes,
         // A known-feasible objective prunes; add a whisker for scaling slop.
         incumbent: incumbent.map(|c| c as f64 / r_scale * 1.0 + 1e-6),
+        should_abort,
         ..Default::default()
     };
     let result = solve_milp(&lp, &ints, &opts);
+    if cancel.is_cancelled() {
+        return None;
+    }
     let solution = result.solution?;
 
     // Reconstruct: each version keeps its largest-flow incoming edge.

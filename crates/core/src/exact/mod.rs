@@ -4,5 +4,5 @@
 pub mod brute;
 pub mod ilp;
 
-pub use brute::{brute_force, BruteForceResult};
-pub use ilp::{msr_ilp, msr_opt, MsrIlpOutcome};
+pub use brute::{brute_force, brute_force_cancellable, BruteForceResult};
+pub use ilp::{msr_ilp, msr_opt, msr_opt_cancellable, MsrIlpOutcome};

@@ -33,6 +33,7 @@
 
 pub mod baselines;
 pub mod btw;
+pub mod cancel;
 pub mod engine;
 pub mod exact;
 pub mod heuristics;
@@ -41,6 +42,7 @@ pub mod problem;
 pub mod reductions;
 pub mod tree;
 
+pub use cancel::CancelToken;
 pub use engine::{Engine, Portfolio, Solution, SolveError, SolveOptions, Solver, SolverMeta};
 pub use plan::{Parent, StoragePlan};
 pub use problem::{Objective, ProblemKind};

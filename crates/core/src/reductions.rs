@@ -12,10 +12,11 @@
 //!   point, so the "binary search" degenerates into a frontier lookup,
 //!   giving the `(1, 1+ε)` bicriteria guarantee of Table 3.
 
+use crate::cancel::CancelToken;
 use crate::plan::StoragePlan;
 use crate::tree::dp_msr::{dp_msr, DpMsrConfig};
 use crate::tree::extract::extract_tree;
-use crate::tree::{dp_bmr, BidirTree};
+use crate::tree::{dp_bmr_cancellable, BidirTree};
 use dsv_vgraph::{Cost, NodeId, VersionGraph};
 
 /// MinMax Retrieval on the extracted tree: the smallest max-retrieval bound
@@ -27,21 +28,32 @@ pub fn mmr_via_bmr(
     t: &BidirTree,
     storage_budget: Cost,
 ) -> Option<(StoragePlan, Cost)> {
+    mmr_via_bmr_cancellable(g, t, storage_budget, &CancelToken::inert())
+}
+
+/// [`mmr_via_bmr`] with cooperative cancellation threaded through every
+/// DP-BMR probe of the binary search. `None` also when the token fired.
+pub fn mmr_via_bmr_cancellable(
+    g: &VersionGraph,
+    t: &BidirTree,
+    storage_budget: Cost,
+    cancel: &CancelToken,
+) -> Option<(StoragePlan, Cost)> {
     // Upper limit: the largest finite path retrieval is at most n * r_max.
     let hi_limit = (g.n() as u64).saturating_mul(g.max_edge_retrieval());
-    if dp_bmr(g, t, hi_limit).storage > storage_budget {
+    if dp_bmr_cancellable(g, t, hi_limit, cancel)?.storage > storage_budget {
         return None;
     }
     let (mut lo, mut hi) = (0u64, hi_limit);
     while lo < hi {
         let mid = lo + (hi - lo) / 2;
-        if dp_bmr(g, t, mid).storage <= storage_budget {
+        if dp_bmr_cancellable(g, t, mid, cancel)?.storage <= storage_budget {
             hi = mid;
         } else {
             lo = mid + 1;
         }
     }
-    let result = dp_bmr(g, t, lo);
+    let result = dp_bmr_cancellable(g, t, lo, cancel)?;
     debug_assert!(result.storage <= storage_budget);
     Some((result.plan, lo))
 }
@@ -52,8 +64,18 @@ pub fn mmr_on_graph(
     root: NodeId,
     storage_budget: Cost,
 ) -> Option<(StoragePlan, Cost)> {
+    mmr_on_graph_cancellable(g, root, storage_budget, &CancelToken::inert())
+}
+
+/// [`mmr_on_graph`] with cooperative cancellation.
+pub fn mmr_on_graph_cancellable(
+    g: &VersionGraph,
+    root: NodeId,
+    storage_budget: Cost,
+    cancel: &CancelToken,
+) -> Option<(StoragePlan, Cost)> {
     let t = extract_tree(g, root)?;
-    mmr_via_bmr(g, &t, storage_budget)
+    mmr_via_bmr_cancellable(g, &t, storage_budget, cancel)
 }
 
 /// BoundedSum Retrieval through the DP-MSR frontier: minimum storage whose
@@ -66,7 +88,7 @@ pub fn bsr_via_msr(
     cfg: &DpMsrConfig,
 ) -> Option<(StoragePlan, Cost)> {
     let t = extract_tree(g, root)?;
-    let state = dp_msr(g, &t, cfg);
+    let state = dp_msr(g, &t, cfg)?;
     let (s, _) = state
         .frontier()
         .into_iter()

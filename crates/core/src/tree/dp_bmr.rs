@@ -13,6 +13,7 @@
 //! and runs on rayon.
 
 use super::extract::{extract_tree, BidirTree};
+use crate::cancel::CancelToken;
 use crate::plan::{Parent, StoragePlan};
 use dsv_vgraph::{cost_add, Cost, NodeId, VersionGraph, INF};
 use rayon::prelude::*;
@@ -65,6 +66,18 @@ fn retrieval_ball(g: &VersionGraph, t: &BidirTree, v: NodeId, budget: Cost) -> V
 /// Run DP-BMR on an extracted tree. Exact over plans restricted to tree
 /// deltas; always feasible (materializing everything has retrieval 0).
 pub fn dp_bmr(g: &VersionGraph, t: &BidirTree, retrieval_budget: Cost) -> DpBmrResult {
+    dp_bmr_cancellable(g, t, retrieval_budget, &CancelToken::inert())
+        .expect("inert token never cancels")
+}
+
+/// [`dp_bmr`] with cooperative cancellation: `cancel` is polled once per
+/// processed node; `None` iff it fired before the DP completed.
+pub fn dp_bmr_cancellable(
+    g: &VersionGraph,
+    t: &BidirTree,
+    retrieval_budget: Cost,
+    cancel: &CancelToken,
+) -> Option<DpBmrResult> {
     let n = t.n();
     // Balls in parallel: each is an independent bounded DFS.
     let balls: Vec<Vec<(u32, Cost)>> = (0..n)
@@ -77,6 +90,9 @@ pub fn dp_bmr(g: &VersionGraph, t: &BidirTree, retrieval_budget: Cost) -> DpBmrR
     let mut opt_arg: Vec<u32> = vec![u32::MAX; n];
 
     for v in t.post_order() {
+        if cancel.is_cancelled() {
+            return None;
+        }
         let vi = v.index();
         let mut map = HashMap::with_capacity(balls[vi].len());
         for &(u, _) in &balls[vi] {
@@ -167,10 +183,10 @@ pub fn dp_bmr(g: &VersionGraph, t: &BidirTree, retrieval_budget: Cost) -> DpBmrR
             }
         }
     }
-    DpBmrResult {
+    Some(DpBmrResult {
         storage: opt[ri],
         plan,
-    }
+    })
 }
 
 /// Extract the tree rooted at `root` and run DP-BMR (the full Section-6.2
@@ -180,8 +196,19 @@ pub fn dp_bmr_on_graph(
     root: NodeId,
     retrieval_budget: Cost,
 ) -> Option<DpBmrResult> {
+    dp_bmr_on_graph_cancellable(g, root, retrieval_budget, &CancelToken::inert())
+}
+
+/// [`dp_bmr_on_graph`] with cooperative cancellation. `None` when the graph
+/// is not spanning-reachable from `root` **or** the token fired mid-run.
+pub fn dp_bmr_on_graph_cancellable(
+    g: &VersionGraph,
+    root: NodeId,
+    retrieval_budget: Cost,
+    cancel: &CancelToken,
+) -> Option<DpBmrResult> {
     let t = extract_tree(g, root)?;
-    Some(dp_bmr(g, &t, retrieval_budget))
+    dp_bmr_cancellable(g, &t, retrieval_budget, cancel)
 }
 
 #[cfg(test)]

@@ -11,7 +11,8 @@
 //! whole sweep costs one DP.
 
 use super::extract::{extract_tree, BidirTree};
-use super::msr_engine::{run_tree_msr, Pair, TreeDpConfig, TreeMsrDp};
+use super::msr_engine::{try_run_tree_msr, Pair, TreeDpConfig, TreeMsrDp};
+use crate::cancel::CancelToken;
 use crate::plan::{PlanCosts, StoragePlan};
 use dsv_vgraph::{Cost, NodeId, VersionGraph};
 
@@ -23,13 +24,21 @@ pub struct DpMsrConfig {
     pub storage_prune: Option<Cost>,
     /// Override the engine configuration entirely (advanced).
     pub engine: Option<TreeDpConfig>,
+    /// Cooperative cancellation, polled per DP node (inert by default). A
+    /// non-inert token here overrides the one in an `engine` override.
+    pub cancel: CancelToken,
 }
 
 impl DpMsrConfig {
     fn engine_config(&self, g: &VersionGraph) -> TreeDpConfig {
-        self.engine
+        let mut cfg = self
+            .engine
             .clone()
-            .unwrap_or_else(|| TreeDpConfig::heuristic(g, self.storage_prune))
+            .unwrap_or_else(|| TreeDpConfig::heuristic(g, self.storage_prune));
+        if !self.cancel.is_inert() {
+            cfg.cancel = self.cancel.clone();
+        }
+        cfg
     }
 }
 
@@ -52,18 +61,26 @@ impl<'a> DpMsr<'a> {
         let costs = plan.costs(g);
         Some((plan, costs))
     }
+
+    /// Total DP state count of this run (see
+    /// [`TreeMsrDp::state_count`]).
+    pub fn state_count(&self) -> usize {
+        self.dp.state_count()
+    }
 }
 
-/// Run DP-MSR on a pre-extracted tree.
-pub fn dp_msr<'a>(g: &'a VersionGraph, t: &'a BidirTree, cfg: &DpMsrConfig) -> DpMsr<'a> {
-    DpMsr {
-        dp: run_tree_msr(g, t, cfg.engine_config(g)),
-    }
+/// Run DP-MSR on a pre-extracted tree. Returns `None` iff the config's
+/// cancellation token fired before the pass completed.
+pub fn dp_msr<'a>(g: &'a VersionGraph, t: &'a BidirTree, cfg: &DpMsrConfig) -> Option<DpMsr<'a>> {
+    Some(DpMsr {
+        dp: try_run_tree_msr(g, t, cfg.engine_config(g))?,
+    })
 }
 
 /// Full pipeline for a single budget: extract the tree rooted at `root`,
 /// run the DP, reconstruct the plan. `None` when the graph is not spanning-
-/// reachable from `root` or the budget is below the tree's minimum storage.
+/// reachable from `root`, the budget is below the tree's minimum storage,
+/// or the config's cancellation token fired mid-run.
 pub fn dp_msr_on_graph(
     g: &VersionGraph,
     root: NodeId,
@@ -73,7 +90,7 @@ pub fn dp_msr_on_graph(
     let t = extract_tree(g, root)?;
     let mut cfg = cfg.clone();
     cfg.storage_prune = Some(cfg.storage_prune.unwrap_or(budget).max(budget));
-    let state = dp_msr(g, &t, &cfg);
+    let state = dp_msr(g, &t, &cfg)?;
     state.plan_under(g, budget)
 }
 
@@ -89,7 +106,7 @@ pub fn dp_msr_sweep(
     let mut cfg = cfg.clone();
     let max_budget = budgets.iter().copied().max().unwrap_or(0);
     cfg.storage_prune = Some(cfg.storage_prune.unwrap_or(max_budget).max(max_budget));
-    let state = dp_msr(g, &t, &cfg);
+    let state = dp_msr(g, &t, &cfg)?;
     Some(
         budgets
             .iter()

@@ -40,6 +40,7 @@
 //! the exact arithmetic that produced the chosen pair.
 
 use super::extract::BidirTree;
+use crate::cancel::CancelToken;
 use crate::plan::{Parent, StoragePlan};
 use dsv_vgraph::{cost_add, Cost, NodeId, VersionGraph, INF};
 use std::collections::HashMap;
@@ -70,6 +71,9 @@ pub struct TreeDpConfig {
     /// has smaller-or-equal γ, storage, and retrieval, so dominance pruning
     /// is lossless; only this cap is lossy).
     pub up_cross_cap: usize,
+    /// Cooperative cancellation, polled once per processed node by
+    /// [`try_run_tree_msr`] (the default inert token never fires).
+    pub cancel: CancelToken,
 }
 
 /// How root-retrieval values are rounded (always upward, so estimates stay
@@ -135,6 +139,7 @@ impl TreeDpConfig {
             storage_prune: None,
             gamma_prune: None,
             up_cross_cap: usize::MAX,
+            cancel: CancelToken::inert(),
         }
     }
 
@@ -189,6 +194,7 @@ impl TreeDpConfig {
             storage_prune,
             gamma_prune: Some(gamma_top),
             up_cross_cap: if small { 512 } else { 96 },
+            cancel: CancelToken::inert(),
         }
     }
 
@@ -527,11 +533,32 @@ pub struct TreeMsrDp<'a> {
     tables: Vec<NodeTable>,
 }
 
-/// Run the bottom-up pass over the whole tree.
-pub fn run_tree_msr<'a>(g: &'a VersionGraph, t: &'a BidirTree, cfg: TreeDpConfig) -> TreeMsrDp<'a> {
+/// Run the bottom-up pass over the whole tree, ignoring cancellation (the
+/// token in `cfg` is stripped). For preemptible runs use
+/// [`try_run_tree_msr`].
+pub fn run_tree_msr<'a>(
+    g: &'a VersionGraph,
+    t: &'a BidirTree,
+    mut cfg: TreeDpConfig,
+) -> TreeMsrDp<'a> {
+    cfg.cancel = CancelToken::inert();
+    try_run_tree_msr(g, t, cfg).expect("inert token never cancels")
+}
+
+/// Run the bottom-up pass over the whole tree, polling
+/// [`TreeDpConfig::cancel`] once per node. Returns `None` iff the token
+/// fired before the pass completed.
+pub fn try_run_tree_msr<'a>(
+    g: &'a VersionGraph,
+    t: &'a BidirTree,
+    cfg: TreeDpConfig,
+) -> Option<TreeMsrDp<'a>> {
     let n = t.n();
     let mut tables: Vec<NodeTable> = vec![NodeTable::default(); n];
     for v in t.post_order() {
+        if cfg.cancel.is_cancelled() {
+            return None;
+        }
         let mut acc = init_acc(g, v, &cfg);
         for &c in &t.children[v.index()] {
             let closed = closed_frontier(&tables[c.index()], &cfg);
@@ -545,7 +572,7 @@ pub fn run_tree_msr<'a>(g: &'a VersionGraph, t: &'a BidirTree, cfg: TreeDpConfig
         }
         tables[v.index()] = finalize(acc);
     }
-    TreeMsrDp { g, t, cfg, tables }
+    Some(TreeMsrDp { g, t, cfg, tables })
 }
 
 impl<'a> TreeMsrDp<'a> {
@@ -553,6 +580,19 @@ impl<'a> TreeMsrDp<'a> {
     /// the "whole spectrum of solutions at once" of Section 7.2.
     pub fn frontier(&self) -> Vec<Pair> {
         closed_frontier(&self.tables[self.t.root.index()], &self.cfg)
+    }
+
+    /// Total number of `(storage, retrieval)` entries across all per-node
+    /// tables — the work/metadata counter a DP run reports (one run, one
+    /// count, however many budgets are answered from it).
+    pub fn state_count(&self) -> usize {
+        self.tables
+            .iter()
+            .map(|t| {
+                t.dep.values().map(Vec::len).sum::<usize>()
+                    + t.up.values().map(Vec::len).sum::<usize>()
+            })
+            .sum()
     }
 
     /// Best total retrieval under a storage budget.

@@ -10,7 +10,7 @@ use crate::lp::{ConstraintOp, LinearProgram};
 use crate::simplex::{solve_lp, LpOutcome};
 
 /// Options controlling the search.
-#[derive(Clone, Debug)]
+#[derive(Clone)]
 pub struct MilpOptions {
     /// Give up after this many LP relaxations.
     pub max_nodes: usize,
@@ -19,6 +19,22 @@ pub struct MilpOptions {
     /// Optional initial incumbent objective (e.g. from a heuristic); nodes
     /// whose relaxation cannot beat it are pruned.
     pub incumbent: Option<f64>,
+    /// Cooperative preemption: polled before every LP relaxation; when it
+    /// returns `true` the search stops early with
+    /// [`MilpStatus::NodeLimit`]. Lets callers enforce deadlines without
+    /// this crate knowing about clocks or cancellation tokens.
+    pub should_abort: Option<std::sync::Arc<dyn Fn() -> bool + Send + Sync>>,
+}
+
+impl std::fmt::Debug for MilpOptions {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MilpOptions")
+            .field("max_nodes", &self.max_nodes)
+            .field("int_eps", &self.int_eps)
+            .field("incumbent", &self.incumbent)
+            .field("should_abort", &self.should_abort.as_ref().map(|_| "<fn>"))
+            .finish()
+    }
 }
 
 impl Default for MilpOptions {
@@ -27,6 +43,7 @@ impl Default for MilpOptions {
             max_nodes: 200_000,
             int_eps: 1e-6,
             incumbent: None,
+            should_abort: None,
         }
     }
 }
@@ -71,6 +88,10 @@ pub fn solve_milp(lp: &LinearProgram, integer_vars: &[usize], opts: &MilpOptions
 
     while let Some(node) = stack.pop() {
         if nodes >= opts.max_nodes {
+            exhausted = false;
+            break;
+        }
+        if opts.should_abort.as_ref().is_some_and(|f| f()) {
             exhausted = false;
             break;
         }

@@ -143,7 +143,7 @@ fn main() {
         mib(best.costs.max_retrieval)
     );
     for attempt in &portfolio.attempts {
-        if let Ok(costs) = &attempt.outcome {
+        if let Some(costs) = attempt.outcome.ok() {
             println!(
                 "  {:>8}: storage {:>6.0} MiB in {:.1} ms",
                 attempt.solver,

@@ -18,7 +18,12 @@
 //! LMG-All, Modified Prim's, DP-MSR, DP-BMR, DP-BTW, ILP, brute force),
 //! validates and budget-checks every plan before returning it, and offers a
 //! portfolio mode that runs every applicable solver and keeps the best
-//! feasible answer.
+//! feasible answer. Racing/portfolio dispatch fans out across a
+//! work-stealing thread pool (cooperatively preemptible via
+//! [`CancelToken`](core::cancel::CancelToken), deterministic: byte-identical
+//! results to sequential execution), and the batched
+//! [`solve_sweep`](core::engine::Engine::solve_sweep) answers a whole MSR
+//! budget sweep from a single DP run.
 //!
 //! ## Quickstart
 //!
@@ -81,8 +86,10 @@ pub mod prelude {
         checkpoint_plan, min_storage_plan, min_storage_value, shortest_path_plan,
     };
     pub use dsv_core::btw::{btw_msr, btw_msr_value, BtwConfig};
+    pub use dsv_core::cancel::CancelToken;
     pub use dsv_core::engine::{
-        Engine, Portfolio, PortfolioAttempt, Solution, SolveError, SolveOptions, Solver, SolverMeta,
+        AttemptOutcome, Engine, MsrSweep, Portfolio, PortfolioAttempt, SharedWork, Solution,
+        SolveError, SolveOptions, Solver, SolverMeta,
     };
     pub use dsv_core::exact::{brute_force, msr_opt};
     pub use dsv_core::heuristics::{lmg, lmg_all, modified_prims};
