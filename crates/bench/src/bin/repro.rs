@@ -6,14 +6,17 @@
 //! ```
 //!
 //! Experiments: `table4`, `fig10`, `fig11`, `fig12`, `fig13`, `thm1`,
-//! `btw`, `portfolio`, `treewidth`, `all`. Output: Markdown to stdout plus one CSV per
-//! report under `--out` (default `results/`).
+//! `btw`, `portfolio`, `lmg`, `treewidth`, `all`. Output: Markdown to
+//! stdout plus one CSV per report under `--out` (default `results/`).
 //!
 //! The `portfolio` experiment additionally writes the machine-readable
 //! `BENCH_portfolio.json` (per-solver wall times, parallel-vs-sequential
 //! speedup, thread count) so the perf trajectory is tracked across PRs;
 //! `--assert-speedup X` turns it into a CI gate (exit 1 when the measured
-//! speedup on a multi-threaded pool falls below `X`).
+//! speedup on a multi-threaded pool falls below `X`). The `lmg` experiment
+//! likewise writes `BENCH_lmg.json` (incremental vs from-scratch LMG-All
+//! wall times on ER graphs, with byte-identical plans asserted); there
+//! `--assert-speedup X` gates on the n = 4000 speedup.
 
 use dsv_bench::experiments::{self, ExperimentOptions};
 use dsv_bench::Report;
@@ -71,7 +74,7 @@ fn parse_args() -> Result<Args, String> {
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: repro [--experiment all|table4|fig10|fig11|fig12|fig13|thm1|btw|portfolio|treewidth]\n\
+                    "usage: repro [--experiment all|table4|fig10|fig11|fig12|fig13|thm1|btw|portfolio|lmg|treewidth]\n\
                      \x20            [--scale F] [--max-nodes N] [--seed N] [--points N]\n\
                      \x20            [--opt-limit N] [--out DIR] [--assert-speedup X]"
                 );
@@ -99,6 +102,9 @@ fn run(experiment: &str, opts: &ExperimentOptions) -> Result<Vec<Report>, String
         "treewidth" => vec![experiments::treewidth_report(opts)],
         "btw" => vec![experiments::btw_report(opts)],
         "portfolio" => vec![experiments::portfolio_report(opts)],
+        // The lmg experiment is a pure perf benchmark; its report is
+        // produced (and BENCH_lmg.json written) in the bench section.
+        "lmg" => Vec::new(),
         "all" => {
             let mut all = vec![experiments::table4(opts)];
             all.extend(experiments::fig10(opts));
@@ -151,6 +157,38 @@ fn main() {
         reports.len(),
         args.out.display()
     );
+
+    // The lmg experiments track greedy-loop performance (incremental vs
+    // from-scratch LMG-All, byte-identical plans asserted inside).
+    if matches!(args.experiment.as_str(), "lmg" | "all") {
+        let bench = experiments::lmg_bench(&args.opts);
+        println!("{}", bench.report.to_markdown());
+        let csv_path = args.out.join(format!("{}.csv", bench.report.name));
+        if let Err(e) = std::fs::write(&csv_path, bench.report.to_csv()) {
+            eprintln!("error writing {}: {e}", csv_path.display());
+            std::process::exit(1);
+        }
+        let path = args.out.join("BENCH_lmg.json");
+        if let Err(e) = std::fs::write(&path, &bench.json) {
+            eprintln!("error writing {}: {e}", path.display());
+            std::process::exit(1);
+        }
+        eprintln!("# wrote {}", path.display());
+        if let Some(min) = args.assert_speedup {
+            if bench.speedup_4k < min {
+                eprintln!(
+                    "error: incremental LMG-All speedup {:.2}x below the asserted minimum \
+                     {min:.2}x on the n = 4000 ER graph",
+                    bench.speedup_4k
+                );
+                std::process::exit(1);
+            }
+            eprintln!(
+                "# speedup assertion passed: {:.2}x >= {min:.2}x (n = 4000)",
+                bench.speedup_4k
+            );
+        }
+    }
 
     // The portfolio experiments also track raw engine performance.
     if matches!(args.experiment.as_str(), "portfolio" | "all") {

@@ -448,6 +448,135 @@ pub fn portfolio_bench(opts: &ExperimentOptions) -> PortfolioBench {
     }
 }
 
+/// Machine-readable LMG-All performance benchmark, written by `repro` as
+/// `BENCH_lmg.json` so the greedy-loop perf trajectory is tracked across
+/// PRs (introduced with the incremental LMG-All rewrite).
+#[derive(Clone, Debug)]
+pub struct LmgBench {
+    /// Human-readable rendering of the same data.
+    pub report: Report,
+    /// The JSON document (per-size wall times of the from-scratch oracle
+    /// vs the incremental loop, and the speedups).
+    pub json: String,
+    /// Incremental speedup on the n = 4000 ER benchmark graph (the
+    /// acceptance gate): scratch wall / incremental wall.
+    pub speedup_4k: f64,
+}
+
+/// Iterations per timing mode in [`lmg_bench`] (min is reported).
+pub const LMG_BENCH_ITERS: usize = 3;
+
+/// Time incremental vs from-scratch LMG-All on Erdős–Rényi graphs of
+/// increasing size (average total degree ≈ 8, budget = 2× the minimum
+/// storage). Asserts that both loops return **byte-identical plans and
+/// stats** on every instance; the reported speedup is therefore a
+/// like-for-like measurement of the incremental machinery alone.
+///
+/// Unlike the corpus experiments, the benchmark sizes are **fixed**
+/// (exempt from `--scale`/`--max-nodes` capping): n = 1k and 4k always
+/// run — the 4k row is the cross-PR acceptance gate, so it must exist in
+/// every BENCH_lmg.json — and n = 16k is opt-in via `--max-nodes 16000`
+/// because the from-scratch oracle costs `O(moves · (n + m))` there.
+pub fn lmg_bench(opts: &ExperimentOptions) -> LmgBench {
+    use dsv_core::baselines::min_storage_value;
+    use dsv_core::heuristics::lmg_all::{
+        lmg_all_incremental_with_stats, lmg_all_scratch_with_stats,
+    };
+    use dsv_vgraph::generators::{erdos_renyi_bidirectional, CostModel};
+    use serde_json::Value;
+    use std::collections::BTreeMap;
+    use std::time::Instant;
+
+    let mut sizes = vec![1_000usize, 4_000];
+    if opts.max_nodes >= 16_000 {
+        sizes.push(16_000);
+    }
+
+    let mut r = Report::new(
+        "lmg-bench",
+        &["n", "m", "moves", "scratch_ms", "incremental_ms", "speedup"],
+    );
+    let mut rows_json = Vec::new();
+    let mut speedup_4k = 0.0f64;
+    for &n in &sizes {
+        // Average total degree ~8 regardless of n, so the candidate set
+        // grows linearly while density stays corpus-like.
+        let p = 4.0 / n as f64;
+        let g = erdos_renyi_bidirectional(n, p, &CostModel::default(), opts.seed);
+        let budget = min_storage_value(&g) * 2;
+
+        let time_best = |f: &dyn Fn() -> Option<(
+            dsv_core::plan::StoragePlan,
+            dsv_core::heuristics::lmg_all::LmgAllStats,
+        )>| {
+            let mut best_ms = f64::INFINITY;
+            let mut last = None;
+            for _ in 0..LMG_BENCH_ITERS {
+                let t0 = Instant::now();
+                let result = f();
+                best_ms = best_ms.min(t0.elapsed().as_secs_f64() * 1e3);
+                last = Some(result);
+            }
+            (best_ms, last.expect("at least one iteration"))
+        };
+        let (scratch_ms, scratch) = time_best(&|| lmg_all_scratch_with_stats(&g, budget));
+        let (incremental_ms, incremental) =
+            time_best(&|| lmg_all_incremental_with_stats(&g, budget));
+        let (scratch, incremental) = (
+            scratch.expect("budget 2x smin is feasible"),
+            incremental.expect("budget 2x smin is feasible"),
+        );
+        assert_eq!(
+            scratch, incremental,
+            "incremental LMG-All must return a byte-identical plan (n = {n})"
+        );
+        let moves = incremental.1.moves;
+        let speedup = scratch_ms / incremental_ms.max(1e-9);
+        if n == 4_000 {
+            speedup_4k = speedup;
+        }
+        r.push_row(vec![
+            n.to_string(),
+            g.m().to_string(),
+            moves.to_string(),
+            fmt_f(scratch_ms),
+            fmt_f(incremental_ms),
+            fmt_f(speedup),
+        ]);
+        let mut m = BTreeMap::new();
+        m.insert("n".to_string(), Value::UInt(n as u64));
+        m.insert("m".to_string(), Value::UInt(g.m() as u64));
+        m.insert("moves".to_string(), Value::UInt(moves as u64));
+        m.insert("scratch_ms".to_string(), Value::Float(scratch_ms));
+        m.insert("incremental_ms".to_string(), Value::Float(incremental_ms));
+        m.insert("speedup".to_string(), Value::Float(speedup));
+        rows_json.push(Value::Map(m));
+    }
+    r.note(format!(
+        "incremental vs from-scratch LMG-All on ER graphs (avg degree ~8, budget 2x smin), \
+         best of {LMG_BENCH_ITERS}; plans byte-identical (asserted); \
+         n=4k speedup {speedup_4k:.2}x"
+    ));
+
+    let mut doc = BTreeMap::new();
+    doc.insert(
+        "experiment".to_string(),
+        Value::Str("lmg-bench".to_string()),
+    );
+    doc.insert("iters".to_string(), Value::UInt(LMG_BENCH_ITERS as u64));
+    doc.insert("seed".to_string(), Value::UInt(opts.seed));
+    doc.insert("plans_identical".to_string(), Value::Bool(true));
+    doc.insert("speedup_4k".to_string(), Value::Float(speedup_4k));
+    doc.insert("sizes".to_string(), Value::Seq(rows_json));
+    let json = serde_json::to_string(&Value::Map(doc)).expect("value tree serializes");
+
+    LmgBench {
+        report: r,
+        json,
+        speedup_4k,
+    }
+}
+
 /// Section 5.3 extension experiment: DP-BTW (exact on bounded-width
 /// graphs) against the tree-restricted DP and LMG-All on series-parallel
 /// graphs — the class the paper singles out as "highly resembl[ing] the

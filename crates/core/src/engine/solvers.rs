@@ -267,26 +267,24 @@ impl Solver for BtwSolver {
             .best_under(storage_budget)
             .ok_or_else(|| below_min_storage(self.name()))?;
 
-        // Witness plan: best of the plan-producing heuristics at this budget
-        // (each candidate costed once, shared with the rest of the call
-        // through the per-call memo).
+        // Witness plan: best of the plan-producing heuristics at this
+        // budget, each carrying the final costs its own run already
+        // tracked (LMG-All's incremental aggregates, the DP's frontier
+        // costs) — no re-costing pass, and the plans themselves come from
+        // the per-call memo shared with the rest of the call.
         let lmg_all_plan = opts
             .shared
             .lmg_all(g, storage_budget, &opts.cancel)
             .ok_or_else(|| cancelled(self.name(), opts))?
-            .map(|(p, _)| p);
+            .map(|(p, stats)| (p, stats.total_retrieval));
         let dp_plan = opts
             .shared
             .dp_msr(g, opts.root, storage_budget, &opts.dp_msr, &opts.cancel)
             .ok_or_else(|| cancelled(self.name(), opts))?
-            .map(|(p, _)| p);
+            .map(|(p, costs)| (p, costs.total_retrieval));
         let (plan, witness_retrieval) = [lmg_all_plan, dp_plan]
             .into_iter()
             .flatten()
-            .map(|p| {
-                let r = p.costs(g).total_retrieval;
-                (p, r)
-            })
             .min_by_key(|&(_, r)| r)
             .ok_or_else(|| below_min_storage(self.name()))?;
 
@@ -343,12 +341,14 @@ impl Solver for IlpSolver {
         // Prime branch & bound with the best cheap upper bound available:
         // LMG-All and the DP-MSR frontier plan (the DP is usually tighter
         // on tree-like graphs, which prunes far more of the search). Both
-        // come from the per-call memo, shared with the rest of the call.
+        // come from the per-call memo, shared with the rest of the call,
+        // and both report the final retrieval their own run tracked — no
+        // re-costing pass.
         let incumbent = [
             opts.shared
                 .lmg_all(g, storage_budget, &opts.cancel)
                 .ok_or_else(|| cancelled(self.name(), opts))?
-                .map(|(p, _)| p.costs(g).total_retrieval),
+                .map(|(_, stats)| stats.total_retrieval),
             opts.shared
                 .dp_msr(g, opts.root, storage_budget, &opts.dp_msr, &opts.cancel)
                 .ok_or_else(|| cancelled(self.name(), opts))?

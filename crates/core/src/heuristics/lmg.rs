@@ -9,23 +9,35 @@
 //!
 //! Materializing `v` sets `R(v) = 0` and shortens the retrieval of all
 //! versions below `v` in the stored-delta forest by exactly `R(v)`, so the
-//! reduction `Δ` of Algorithm 1 line 16 equals `R(v) · |subtree(v)|` — this
-//! implementation computes it that way instead of re-walking the tree,
-//! which keeps one greedy pass at `O(n)` after the `O(n)` view rebuild.
+//! reduction `Δ` of Algorithm 1 line 16 equals `R(v) · |subtree(v)|`.
+//!
+//! Like LMG-All, the default inner loop is **incremental**: an
+//! [`IncrementalPlanView`] absorbs each materialization with
+//! subtree-local updates, and a lazy max-heap re-scores only the
+//! candidates the move dirtied (the moved subtree and its old ancestor
+//! path) — `O(Δ + log n)` amortized per move instead of the from-scratch
+//! `O(n + m)` rebuild-and-rescan, which is kept as the differential oracle
+//! ([`lmg_scratch_with_stats`], `DSV_LMG_MODE=scratch`). Both loops pick
+//! byte-identical move sequences; ties break to the **lowest** node id
+//! (the oracle scans ids in order and replaces only on strict
+//! improvement).
 
-use super::{PlanView, Ratio};
+use super::{scratch_mode, IncrementalPlanView, LazyCandidateHeap, PlanView, Ratio, Scored};
 use crate::baselines::min_storage_plan;
 use crate::plan::{Parent, StoragePlan};
 use dsv_vgraph::{Cost, NodeId, VersionGraph};
+use std::cmp::Reverse;
 
 /// Diagnostics of an LMG run.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct LmgStats {
     /// Number of materialization moves applied.
     pub moves: usize,
     /// Total retrieval of the final plan as tracked by the greedy's own
-    /// [`PlanView`] (no extra costing pass).
+    /// view (no extra costing pass).
     pub total_retrieval: Cost,
+    /// Total storage of the final plan, likewise tracked by the view.
+    pub storage: Cost,
 }
 
 /// Run LMG under a storage budget. Returns `None` when even the
@@ -34,8 +46,57 @@ pub fn lmg(g: &VersionGraph, storage_budget: Cost) -> Option<StoragePlan> {
     lmg_with_stats(g, storage_budget).map(|(p, _)| p)
 }
 
-/// [`lmg`] plus run diagnostics.
+/// [`lmg`] plus run diagnostics. Dispatches to the incremental loop unless
+/// `DSV_LMG_MODE=scratch` selects the from-scratch oracle.
 pub fn lmg_with_stats(g: &VersionGraph, storage_budget: Cost) -> Option<(StoragePlan, LmgStats)> {
+    if scratch_mode() {
+        lmg_scratch_with_stats(g, storage_budget)
+    } else {
+        lmg_incremental_with_stats(g, storage_budget)
+    }
+}
+
+/// The incremental loop (default).
+pub fn lmg_incremental_with_stats(
+    g: &VersionGraph,
+    storage_budget: Cost,
+) -> Option<(StoragePlan, LmgStats)> {
+    run_incremental(g, storage_budget, |_, _| {})
+}
+
+/// The from-scratch oracle loop.
+pub fn lmg_scratch_with_stats(
+    g: &VersionGraph,
+    storage_budget: Cost,
+) -> Option<(StoragePlan, LmgStats)> {
+    run_scratch(g, storage_budget, |_, _| {})
+}
+
+/// [`lmg_incremental_with_stats`] invoking `observe` with every
+/// materialized node and the plan right after the move.
+pub fn lmg_incremental_traced(
+    g: &VersionGraph,
+    storage_budget: Cost,
+    observe: impl FnMut(u32, &StoragePlan),
+) -> Option<(StoragePlan, LmgStats)> {
+    run_incremental(g, storage_budget, observe)
+}
+
+/// [`lmg_scratch_with_stats`] invoking `observe` with every materialized
+/// node and the plan right after the move.
+pub fn lmg_scratch_traced(
+    g: &VersionGraph,
+    storage_budget: Cost,
+    observe: impl FnMut(u32, &StoragePlan),
+) -> Option<(StoragePlan, LmgStats)> {
+    run_scratch(g, storage_budget, observe)
+}
+
+fn run_scratch(
+    g: &VersionGraph,
+    storage_budget: Cost,
+    mut observe: impl FnMut(u32, &StoragePlan),
+) -> Option<(StoragePlan, LmgStats)> {
     let mut plan = min_storage_plan(g);
     if plan.storage_cost(g) > storage_budget {
         return None;
@@ -83,11 +144,108 @@ pub fn lmg_with_stats(g: &VersionGraph, storage_budget: Cost) -> Option<(Storage
         }
         let Some((_, v)) = best else {
             stats.total_retrieval = view.total_retrieval;
+            stats.storage = view.storage;
             return Some((plan, stats));
         };
         plan.parent[v] = Parent::Materialized;
         eligible[v] = false;
         stats.moves += 1;
+        observe(v as u32, &plan);
+    }
+}
+
+/// Score materializing `v` against current state, mirroring the oracle's
+/// scan body with the budget test split out for parking. The park
+/// threshold is exact because `paid[v]` cannot change while `v` is
+/// eligible (only `v`'s own materialization would change it).
+fn score(
+    g: &VersionGraph,
+    view: &mut IncrementalPlanView,
+    eligible: &[bool],
+    storage_budget: Cost,
+    v: usize,
+) -> Scored {
+    if !eligible[v] {
+        return Scored::Skip;
+    }
+    let sv = g.node_storage(NodeId::new(v));
+    let paid = view.paid[v];
+    // Feasible iff storage - paid + sv <= budget, i.e. storage <= max.
+    let max_storage = storage_budget as u128 + paid as u128;
+    let Some(max_storage) = max_storage.checked_sub(sv as u128) else {
+        return Scored::Skip; // sv alone exceeds budget + paid: never fits
+    };
+    let over_budget = view.storage() as u128 > max_storage;
+    let dr = view.r[v] as u128 * view.size[v] as u128;
+    if dr == 0 {
+        return Scored::Skip;
+    }
+    if over_budget {
+        return Scored::Park { max_storage };
+    }
+    Scored::Push(if sv <= paid {
+        Ratio::Infinite {
+            dr,
+            ds: (paid - sv) as u128,
+        }
+    } else {
+        Ratio::Finite {
+            dr,
+            ds: (sv - paid) as u128,
+        }
+    })
+}
+
+fn run_incremental(
+    g: &VersionGraph,
+    storage_budget: Cost,
+    mut observe: impl FnMut(u32, &StoragePlan),
+) -> Option<(StoragePlan, LmgStats)> {
+    let mut plan = min_storage_plan(g);
+    if plan.storage_cost(g) > storage_budget {
+        return None;
+    }
+    let mut stats = LmgStats::default();
+    let mut view = IncrementalPlanView::new(g, &plan);
+    let mut eligible: Vec<bool> = plan
+        .parent
+        .iter()
+        .map(|p| matches!(p, Parent::Delta(_)))
+        .collect();
+    // Payload `Reverse(node)`: ties break to the lowest id, matching the
+    // oracle's ascending scan with strict-improvement replacement.
+    let mut cands: LazyCandidateHeap<Reverse<u32>> = LazyCandidateHeap::with_capacity(g.n());
+    for v in 0..g.n() as u32 {
+        let sc = score(g, &mut view, &eligible, storage_budget, v as usize);
+        cands.push_scored(sc, Reverse(v));
+    }
+
+    loop {
+        let chosen = {
+            let storage_now = view.storage();
+            let mut rescore = |Reverse(v): Reverse<u32>| {
+                score(g, &mut view, &eligible, storage_budget, v as usize)
+            };
+            cands.revive(storage_now, &mut rescore);
+            cands.select(&mut rescore)
+        };
+        let Some(Reverse(v)) = chosen else {
+            stats.total_retrieval = view.total_retrieval();
+            stats.storage = view.storage();
+            return Some((plan, stats));
+        };
+
+        let effect = view.apply(g, &mut plan, v as usize, Parent::Materialized);
+        eligible[v as usize] = false;
+        stats.moves += 1;
+        observe(v, &plan);
+
+        // Dirty region: the subtree's `r` changed and the old ancestor
+        // path's `size` changed (materialization has no new parent path).
+        for &x in effect.subtree.iter().chain(effect.path.iter()) {
+            let sc = score(g, &mut view, &eligible, storage_budget, x as usize);
+            cands.push_scored(sc, Reverse(x));
+        }
     }
 }
 
@@ -95,7 +253,9 @@ pub fn lmg_with_stats(g: &VersionGraph, storage_budget: Cost) -> Option<(Storage
 mod tests {
     use super::*;
     use crate::baselines::min_storage_value;
-    use dsv_vgraph::generators::{bidirectional_path, random_tree, CostModel};
+    use dsv_vgraph::generators::{
+        bidirectional_path, erdos_renyi_bidirectional, random_tree, CostModel,
+    };
 
     #[test]
     fn infeasible_budget_returns_none() {
@@ -153,5 +313,21 @@ mod tests {
         let smin = min_storage_value(&g);
         let (_, stats) = lmg_with_stats(&g, smin * 2).expect("feasible");
         assert!(stats.moves >= 1);
+    }
+
+    #[test]
+    fn incremental_and_scratch_agree_move_by_move() {
+        for seed in 0..6u64 {
+            let g = erdos_renyi_bidirectional(20, 0.3, &CostModel::default(), seed);
+            let smin = min_storage_value(&g);
+            for budget in [smin, smin * 2, smin * 5] {
+                let mut scratch_moves = Vec::new();
+                let scratch = lmg_scratch_traced(&g, budget, |v, _| scratch_moves.push(v));
+                let mut inc_moves = Vec::new();
+                let inc = lmg_incremental_traced(&g, budget, |v, _| inc_moves.push(v));
+                assert_eq!(scratch_moves, inc_moves, "seed {seed} budget {budget}");
+                assert_eq!(scratch, inc, "seed {seed} budget {budget}");
+            }
+        }
     }
 }

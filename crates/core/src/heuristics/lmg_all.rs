@@ -7,37 +7,92 @@
 //! do not increase storage get ratio `∞` as in the paper; otherwise the
 //! ratio is retrieval-reduction per storage-increase.
 //!
-//! The candidate scan is the hot loop (`O(E)` per move). It is data-parallel
-//! and runs on rayon when the graph is large enough to amortize the fork —
-//! this is the "parallelizable heuristics" point the paper makes when
-//! comparing against the inherently sequential LMG.
+//! Two interchangeable inner loops produce **byte-identical move
+//! sequences** (asserted by `tests/lmg_incremental.rs`):
+//!
+//! * [`lmg_all_incremental_with_stats`] — the default: an
+//!   [`IncrementalPlanView`] maintains retrieval/size/paid state with
+//!   subtree-local updates, and a **lazy max-heap** of stale-checked
+//!   candidates replaces the per-iteration rescan. After a move only the
+//!   candidates touched by its dirty region are re-scored; budget-blocked
+//!   candidates are *parked* keyed by the largest total storage at which
+//!   they fit and revived when storage drops. Amortized cost per move is
+//!   `O(Δ·deg + log m)` instead of `O(n + m)`.
+//! * [`lmg_all_scratch_with_stats`] — the from-scratch oracle (rebuild the
+//!   view, rescan all candidates each iteration), kept alive behind
+//!   `DSV_LMG_MODE=scratch` for differential testing. Its candidate scan
+//!   covers edges *and* materializations in one data-parallel pass on
+//!   rayon when the graph is large enough to amortize the fork — this is
+//!   the "parallelizable heuristics" point the paper makes when comparing
+//!   against the inherently sequential LMG.
+//!
+//! Selection tie-breaking (identical in both loops): higher [`Ratio`]
+//! first, then edge replacements beat materializations, then the higher
+//! index wins.
 
-use super::{PlanView, Ratio};
+use super::{scratch_mode, IncrementalPlanView, LazyCandidateHeap, PlanView, Ratio, Scored};
 use crate::baselines::min_storage_plan;
 use crate::plan::{Parent, StoragePlan};
 use dsv_vgraph::{Cost, EdgeId, NodeId, VersionGraph};
 use rayon::prelude::*;
 
-/// Candidate move: change `node`'s parent.
+/// One greedy move: change `node`'s parent in the stored-delta forest.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
-enum Move {
-    Materialize { node: u32 },
-    Reparent { edge: u32 },
+pub enum Move {
+    /// Materialize the node (store it in full).
+    Materialize {
+        /// The node to materialize.
+        node: u32,
+    },
+    /// Store this delta edge for its destination node.
+    Reparent {
+        /// The edge (by id) to store.
+        edge: u32,
+    },
+}
+
+impl Move {
+    /// Tie-break key matching the oracle scan: edge moves beat
+    /// materializations at equal ratio, then the higher index wins.
+    #[inline]
+    fn tie_key(self) -> (u8, u32) {
+        match self {
+            Move::Materialize { node } => (0, node),
+            Move::Reparent { edge } => (1, edge),
+        }
+    }
+}
+
+// The tie-break key is the move's total order (used by the lazy heap to
+// replicate the oracle's selection among equal ratios).
+impl Ord for Move {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.tie_key().cmp(&other.tie_key())
+    }
+}
+
+impl PartialOrd for Move {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
 }
 
 /// Diagnostics of an LMG-All run.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct LmgAllStats {
     /// Number of moves applied.
     pub moves: usize,
     /// Of which, materializations.
     pub materializations: usize,
     /// Total retrieval of the final plan as tracked by the greedy's own
-    /// [`PlanView`] (no extra costing pass).
+    /// view (no extra costing pass).
     pub total_retrieval: Cost,
+    /// Total storage of the final plan, likewise tracked by the view.
+    pub storage: Cost,
 }
 
-/// Threshold (edge count) above which the candidate scan uses rayon.
+/// Threshold (candidate count, edges + nodes) above which the oracle's
+/// candidate scan uses rayon.
 const PAR_THRESHOLD: usize = 8_192;
 
 /// Run LMG-All under a storage budget. Returns `None` when the
@@ -46,10 +101,61 @@ pub fn lmg_all(g: &VersionGraph, storage_budget: Cost) -> Option<StoragePlan> {
     lmg_all_with_stats(g, storage_budget).map(|(p, _)| p)
 }
 
-/// [`lmg_all`] plus run diagnostics.
+/// [`lmg_all`] plus run diagnostics. Dispatches to the incremental loop
+/// unless `DSV_LMG_MODE=scratch` selects the from-scratch oracle.
 pub fn lmg_all_with_stats(
     g: &VersionGraph,
     storage_budget: Cost,
+) -> Option<(StoragePlan, LmgAllStats)> {
+    if scratch_mode() {
+        lmg_all_scratch_with_stats(g, storage_budget)
+    } else {
+        lmg_all_incremental_with_stats(g, storage_budget)
+    }
+}
+
+/// The incremental loop (default).
+pub fn lmg_all_incremental_with_stats(
+    g: &VersionGraph,
+    storage_budget: Cost,
+) -> Option<(StoragePlan, LmgAllStats)> {
+    run_incremental(g, storage_budget, |_, _| {})
+}
+
+/// The from-scratch oracle loop.
+pub fn lmg_all_scratch_with_stats(
+    g: &VersionGraph,
+    storage_budget: Cost,
+) -> Option<(StoragePlan, LmgAllStats)> {
+    run_scratch(g, storage_budget, |_, _| {})
+}
+
+/// [`lmg_all_incremental_with_stats`] invoking `observe` with every applied
+/// move and the plan state right after it (differential-test hook).
+pub fn lmg_all_incremental_traced(
+    g: &VersionGraph,
+    storage_budget: Cost,
+    observe: impl FnMut(Move, &StoragePlan),
+) -> Option<(StoragePlan, LmgAllStats)> {
+    run_incremental(g, storage_budget, observe)
+}
+
+/// [`lmg_all_scratch_with_stats`] invoking `observe` with every applied
+/// move and the plan state right after it (differential-test hook).
+pub fn lmg_all_scratch_traced(
+    g: &VersionGraph,
+    storage_budget: Cost,
+    observe: impl FnMut(Move, &StoragePlan),
+) -> Option<(StoragePlan, LmgAllStats)> {
+    run_scratch(g, storage_budget, observe)
+}
+
+/// From-scratch greedy: rebuild the [`PlanView`] and rescan all `m + n`
+/// candidates (one parallel pass when large) every iteration.
+fn run_scratch(
+    g: &VersionGraph,
+    storage_budget: Cost,
+    mut observe: impl FnMut(Move, &StoragePlan),
 ) -> Option<(StoragePlan, LmgAllStats)> {
     let mut plan = min_storage_plan(g);
     if plan.storage_cost(g) > storage_budget {
@@ -132,22 +238,32 @@ pub fn lmg_all_with_stats(
             }
         };
 
-        let best_edge = if g.m() >= PAR_THRESHOLD {
-            (0..g.m())
-                .into_par_iter()
-                .filter_map(eval_edge)
-                .max_by(|a, b| a.0.cmp(&b.0))
-        } else {
-            (0..g.m()).filter_map(eval_edge).max_by_key(|c| c.0)
+        // One combined scan over edge + materialization candidates, so a
+        // large graph's O(n) materialization pass parallelizes with the
+        // edge pass instead of serializing after it. The key
+        // (ratio, tie_key) is a total order (indices are unique), so the
+        // maximum is independent of scan order.
+        let total = g.m() + g.n();
+        let eval = |idx: usize| -> Option<(Ratio, Move)> {
+            if idx < g.m() {
+                eval_edge(idx)
+            } else {
+                eval_mat(idx - g.m())
+            }
         };
-        let best_mat = (0..g.n()).filter_map(eval_mat).max_by_key(|c| c.0);
-        let best = match (best_edge, best_mat) {
-            (Some(a), Some(b)) => Some(if a.0 >= b.0 { a } else { b }),
-            (a, b) => a.or(b),
+        let key = |c: &(Ratio, Move)| (c.0, c.1.tie_key());
+        let best = if total >= PAR_THRESHOLD {
+            (0..total)
+                .into_par_iter()
+                .filter_map(eval)
+                .max_by(|a, b| key(a).cmp(&key(b)))
+        } else {
+            (0..total).filter_map(eval).max_by_key(key)
         };
 
         let Some((_, mv)) = best else {
             stats.total_retrieval = view.total_retrieval;
+            stats.storage = view.storage;
             return Some((plan, stats));
         };
         match mv {
@@ -161,6 +277,155 @@ pub fn lmg_all_with_stats(
             }
         }
         stats.moves += 1;
+        observe(mv, &plan);
+    }
+}
+
+/// Score one candidate move against the current incremental state.
+/// Mirrors the oracle's `eval_edge`/`eval_mat` exactly, with the budget
+/// test split out as [`Scored::Park`].
+fn score(
+    g: &VersionGraph,
+    plan: &StoragePlan,
+    view: &mut IncrementalPlanView,
+    storage_budget: Cost,
+    mv: Move,
+) -> Scored {
+    let (dr, paid, new_cost) = match mv {
+        Move::Reparent { edge } => {
+            let e = g.edge(EdgeId(edge));
+            let (u, v) = (e.src.index(), e.dst.index());
+            if plan.parent[v] == Parent::Delta(EdgeId(edge)) {
+                return Scored::Skip; // already stored
+            }
+            if view.is_ancestor(v, u) {
+                return Scored::Skip; // cycle guard
+            }
+            let Some(new_r) = view.r[u].checked_add(e.retrieval) else {
+                return Scored::Skip;
+            };
+            let old_r = view.r[v];
+            if new_r > old_r {
+                return Scored::Skip; // retrieval must not grow
+            }
+            let dr = (old_r - new_r) as u128 * view.size[v] as u128;
+            (dr, view.paid[v], e.storage)
+        }
+        Move::Materialize { node } => {
+            let v = node as usize;
+            if matches!(plan.parent[v], Parent::Materialized) {
+                return Scored::Skip;
+            }
+            let dr = view.r[v] as u128 * view.size[v] as u128;
+            (dr, view.paid[v], g.node_storage(NodeId::new(v)))
+        }
+    };
+    if new_cost <= paid {
+        let ds = (paid - new_cost) as u128;
+        if dr == 0 && ds == 0 {
+            return Scored::Skip;
+        }
+        Scored::Push(Ratio::Infinite { dr, ds })
+    } else {
+        let ds = new_cost - paid;
+        if dr == 0 {
+            return Scored::Skip;
+        }
+        match storage_budget.checked_sub(ds) {
+            // ds alone exceeds the budget: infeasible at any storage.
+            None => Scored::Skip,
+            Some(max_storage) if view.storage() > max_storage => Scored::Park {
+                max_storage: max_storage as u128,
+            },
+            Some(_) => Scored::Push(Ratio::Finite { dr, ds: ds as u128 }),
+        }
+    }
+}
+
+/// Incremental greedy: score all candidates once, then per move re-score
+/// only the dirty region and let the lazy heap pick the maximum.
+fn run_incremental(
+    g: &VersionGraph,
+    storage_budget: Cost,
+    mut observe: impl FnMut(Move, &StoragePlan),
+) -> Option<(StoragePlan, LmgAllStats)> {
+    let mut plan = min_storage_plan(g);
+    if plan.storage_cost(g) > storage_budget {
+        return None;
+    }
+    let mut stats = LmgAllStats::default();
+    let mut view = IncrementalPlanView::new(g, &plan);
+    let mut cands: LazyCandidateHeap<Move> = LazyCandidateHeap::with_capacity(g.m() + g.n());
+
+    for edge in 0..g.m() as u32 {
+        let mv = Move::Reparent { edge };
+        let sc = score(g, &plan, &mut view, storage_budget, mv);
+        cands.push_scored(sc, mv);
+    }
+    for node in 0..g.n() as u32 {
+        let mv = Move::Materialize { node };
+        let sc = score(g, &plan, &mut view, storage_budget, mv);
+        cands.push_scored(sc, mv);
+    }
+
+    loop {
+        let chosen = {
+            let storage_now = view.storage();
+            let mut rescore = |mv: Move| score(g, &plan, &mut view, storage_budget, mv);
+            cands.revive(storage_now, &mut rescore);
+            cands.select(&mut rescore)
+        };
+        let Some(mv) = chosen else {
+            stats.total_retrieval = view.total_retrieval();
+            stats.storage = view.storage();
+            return Some((plan, stats));
+        };
+
+        let (v, new_parent) = match mv {
+            Move::Materialize { node } => {
+                stats.materializations += 1;
+                (node as usize, Parent::Materialized)
+            }
+            Move::Reparent { edge } => (
+                g.edge(EdgeId(edge)).dst.index(),
+                Parent::Delta(EdgeId(edge)),
+            ),
+        };
+        stats.moves += 1;
+        let effect = view.apply(g, &mut plan, v, new_parent);
+        observe(mv, &plan);
+
+        // Re-score exactly the candidates whose evaluation inputs the move
+        // touched (see the dirty-region invariants in the module docs):
+        // all edges incident to the moved subtree plus its nodes'
+        // materializations, and the in-edges + materializations of the
+        // ancestor-path nodes whose subtree size changed.
+        for &x in &effect.subtree {
+            let mv = Move::Materialize { node: x };
+            let sc = score(g, &plan, &mut view, storage_budget, mv);
+            cands.push_scored(sc, mv);
+            let xv = NodeId(x);
+            for &e in g.in_edges(xv) {
+                let mv = Move::Reparent { edge: e.0 };
+                let sc = score(g, &plan, &mut view, storage_budget, mv);
+                cands.push_scored(sc, mv);
+            }
+            for &e in g.out_edges(xv) {
+                let mv = Move::Reparent { edge: e.0 };
+                let sc = score(g, &plan, &mut view, storage_budget, mv);
+                cands.push_scored(sc, mv);
+            }
+        }
+        for &x in &effect.path {
+            let mv = Move::Materialize { node: x };
+            let sc = score(g, &plan, &mut view, storage_budget, mv);
+            cands.push_scored(sc, mv);
+            for &e in g.in_edges(NodeId(x)) {
+                let mv = Move::Reparent { edge: e.0 };
+                let sc = score(g, &plan, &mut view, storage_budget, mv);
+                cands.push_scored(sc, mv);
+            }
+        }
     }
 }
 
@@ -195,6 +460,32 @@ mod tests {
             assert!(c.storage <= budget);
             assert!(c.total_retrieval <= base.total_retrieval);
         }
+    }
+
+    #[test]
+    fn incremental_and_scratch_agree_move_by_move() {
+        for seed in 0..6u64 {
+            let g = erdos_renyi_bidirectional(20, 0.3, &CostModel::default(), seed);
+            let smin = min_storage_value(&g);
+            for budget in [smin, smin * 2, smin * 5] {
+                let mut scratch_moves = Vec::new();
+                let scratch = lmg_all_scratch_traced(&g, budget, |mv, _| scratch_moves.push(mv));
+                let mut inc_moves = Vec::new();
+                let inc = lmg_all_incremental_traced(&g, budget, |mv, _| inc_moves.push(mv));
+                assert_eq!(scratch_moves, inc_moves, "seed {seed} budget {budget}");
+                assert_eq!(scratch, inc, "seed {seed} budget {budget}");
+            }
+        }
+    }
+
+    #[test]
+    fn stats_track_final_costs() {
+        let g = erdos_renyi_bidirectional(16, 0.3, &CostModel::default(), 4);
+        let budget = min_storage_value(&g) * 3;
+        let (plan, stats) = lmg_all_with_stats(&g, budget).expect("feasible");
+        let costs = plan.costs(&g);
+        assert_eq!(stats.total_retrieval, costs.total_retrieval);
+        assert_eq!(stats.storage, costs.storage);
     }
 
     #[test]

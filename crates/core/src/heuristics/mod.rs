@@ -1,4 +1,74 @@
 //! Greedy heuristics: LMG (prior work), LMG-All, and Modified Prim's.
+//!
+//! # Incremental plan maintenance
+//!
+//! Both greedy loops ([`lmg`] and [`lmg_all`]) repeatedly pick the
+//! best-ratio single move and apply it. The from-scratch formulation pays
+//! `O(n + m)` per move: rebuild [`PlanView`] (Euler tour, post-order,
+//! subtree sizes, full retrieval BFS), then rescan every candidate. The
+//! default implementations instead run on [`IncrementalPlanView`] plus a
+//! lazy candidate heap, with the from-scratch loop kept alive (env
+//! `DSV_LMG_MODE=scratch`, or the `*_scratch_with_stats` functions) as the
+//! differential-testing oracle — both must pick **byte-identical move
+//! sequences**.
+//!
+//! ## Dirty-region invariants
+//!
+//! Applying a move on node `v` (reparent or materialize) changes, relative
+//! to the stored-delta forest before the move:
+//!
+//! * `r[x]` and `depth[x]` only for `x ∈ subtree(v)` (the subtree itself is
+//!   structurally intact, so each descendant's retrieval shifts by the same
+//!   delta as `v`'s);
+//! * `size[x]` only for `x` on the old and new ancestor paths of `v`;
+//! * `paid[x]` only for `x = v`; `storage` and `total_retrieval` as running
+//!   aggregates;
+//! * ancestor-set membership only for nodes of `subtree(v)` (a node `u`
+//!   outside it keeps exactly the same ancestors, so `u ∈ subtree(w)` can
+//!   change only when `u ∈ subtree(v)`).
+//!
+//! [`IncrementalPlanView::apply`] performs exactly those updates and
+//! returns the dirty region as a [`MoveEffect`] (`subtree` + ancestor
+//! `path`), so a greedy loop re-scores only candidates whose evaluation
+//! inputs could have changed: edges incident to `subtree(v)`, edges into
+//! the ancestor paths, and the materialization moves of both node sets.
+//! The only *global* evaluation input is the current total `storage`
+//! (budget feasibility); candidate caches handle it by parking
+//! over-budget candidates keyed by the largest storage at which they fit
+//! (see the lazy heap in [`lmg_all`]).
+//!
+//! ## Lazy-heap staleness rule
+//!
+//! Candidate heaps are lazy (insert-only): every re-score pushes a fresh
+//! entry keyed by the ratio it was computed at, and popped entries are
+//! re-evaluated against current state — an entry whose stored ratio no
+//! longer matches is stale and is re-pushed at its current ratio (or
+//! parked/dropped) instead of being selected. The invariant making
+//! discards safe: whenever a candidate's evaluation changes, it is inside
+//! the dirty region of the move that changed it, so an accurate entry was
+//! pushed at that time.
+//!
+//! ## Ancestor tests
+//!
+//! The cycle guard needs `is u ∈ subtree(v)` queries. Euler timestamps
+//! give `O(1)` tests but a move invalidates them globally; re-stamping
+//! every move would cost `O(n)`. [`IncrementalPlanView`] therefore answers
+//! queries by a parent path-walk bounded by depth, and re-stamps the tour
+//! only when the walks since the last structural change exceed a `Θ(n)`
+//! budget — after which tests are `O(1)` again until the next move. Walk
+//! cost is thereby amortized against the tour rebuild it replaces.
+//!
+//! ## Amortized complexity per greedy move
+//!
+//! | component | from-scratch | incremental |
+//! |-----------|--------------|-------------|
+//! | view maintenance | `O(n + m)` rebuild | `O(|subtree(v)| + depth)` |
+//! | candidate scoring | `O(n + m)` rescan | `O(Σ deg(dirty) )` re-scores |
+//! | selection | `O(1)` (during scan) | `O(log m)` per heap op |
+//! | ancestor tests | `O(1)` (fresh tour) | `O(depth)` amortized, `O(1)` after re-stamp |
+//!
+//! With `Δ` the dirty-region size, one move costs `O(Δ·deg + log m)`
+//! amortized instead of `O(n + m)`.
 
 pub mod lmg;
 pub mod lmg_all;
@@ -8,8 +78,8 @@ pub use lmg::lmg;
 pub use lmg_all::lmg_all;
 pub use mp::modified_prims;
 
-use crate::plan::StoragePlan;
-use dsv_vgraph::{cost_add, Cost, VersionGraph};
+use crate::plan::{Parent, StoragePlan};
+use dsv_vgraph::{cost_add, Cost, NodeId, VersionGraph, INF};
 
 /// Per-iteration view of a plan: retrieval costs, dependency-subtree sizes,
 /// Euler timestamps (for ancestor tests), and currently-paid storage.
@@ -71,6 +141,345 @@ impl PlanView {
     #[inline]
     pub(crate) fn is_ancestor(&self, anc: usize, v: usize) -> bool {
         self.tin[anc] <= self.tin[v] && self.tout[v] <= self.tout[anc]
+    }
+}
+
+/// Whether `DSV_LMG_MODE=scratch` forces the from-scratch greedy loops
+/// (the differential-testing oracle) instead of the incremental default.
+/// Read once per process.
+pub(crate) fn scratch_mode() -> bool {
+    static MODE: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *MODE.get_or_init(|| {
+        std::env::var("DSV_LMG_MODE").is_ok_and(|v| v.eq_ignore_ascii_case("scratch"))
+    })
+}
+
+/// Sentinel for "no parent" (materialized root) in the packed parent array.
+pub(crate) const NO_PARENT: u32 = u32::MAX;
+
+/// Dirty region of one applied move: the nodes whose per-node state
+/// (`r`/`depth`/`paid`, or ancestor-set membership) changed, plus the
+/// ancestor-path nodes whose `size` changed. May contain duplicates (old
+/// and new ancestor paths can share a suffix); re-scoring twice is
+/// harmless with a lazy heap.
+pub(crate) struct MoveEffect {
+    /// `subtree(v)` of the moved node, `v` included.
+    pub subtree: Vec<u32>,
+    /// Old and new strict-ancestor paths of `v` (concatenated).
+    pub path: Vec<u32>,
+}
+
+/// Persistent, incrementally-maintained view of a plan: the same
+/// quantities as [`PlanView`], kept valid across moves by subtree-local
+/// delta propagation instead of full rebuilds. See the module docs for the
+/// dirty-region invariants.
+pub(crate) struct IncrementalPlanView {
+    /// Forest parent of each node ([`NO_PARENT`] = materialized root).
+    parent: Vec<u32>,
+    /// Children lists of the stored-delta forest (order irrelevant).
+    children: Vec<Vec<u32>>,
+    /// Retrieval cost per node.
+    pub r: Vec<Cost>,
+    /// Subtree size (including the node) in the stored-delta forest.
+    pub size: Vec<u32>,
+    /// Storage currently paid for each node.
+    pub paid: Vec<Cost>,
+    /// Depth in the stored-delta forest (roots at 0).
+    depth: Vec<u32>,
+    /// Exact running aggregates (clamped to [`INF`] on read, matching the
+    /// oracle's saturating folds).
+    storage_sum: u128,
+    retrieval_sum: u128,
+    /// Euler timestamps; valid only while `tour_valid`.
+    tin: Vec<u32>,
+    tout: Vec<u32>,
+    tour_valid: bool,
+    /// Remaining path-walk steps before the tour is re-stamped.
+    walk_budget: u64,
+}
+
+impl IncrementalPlanView {
+    pub(crate) fn new(g: &VersionGraph, plan: &StoragePlan) -> Self {
+        let n = g.n();
+        let pf = plan.parent_fn(g);
+        let parent: Vec<u32> = pf.iter().map(|p| p.map_or(NO_PARENT, |p| p.0)).collect();
+        let mut children: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for (v, p) in pf.iter().enumerate() {
+            if let Some(p) = p {
+                children[p.index()].push(v as u32);
+            }
+        }
+        let (tin, tout) = dsv_vgraph::traversal::euler_tour(&pf);
+        let post = dsv_vgraph::topo::forest_post_order(&pf);
+        let mut size = vec![1u32; n];
+        for &v in &post {
+            if let Some(p) = pf[v.index()] {
+                size[p.index()] += size[v.index()];
+            }
+        }
+        let mut depth = vec![0u32; n];
+        // Parents precede children in reverse post-order of a forest.
+        for &v in post.iter().rev() {
+            if let Some(p) = pf[v.index()] {
+                depth[v.index()] = depth[p.index()] + 1;
+            }
+        }
+        let r = plan.retrievals(g);
+        let paid: Vec<Cost> = plan
+            .parent
+            .iter()
+            .enumerate()
+            .map(|(v, p)| match p {
+                Parent::Materialized => g.node_storage(NodeId::new(v)),
+                Parent::Delta(e) => g.edge(*e).storage,
+            })
+            .collect();
+        let storage_sum = paid.iter().map(|&c| c as u128).sum();
+        let retrieval_sum = r.iter().map(|&c| c as u128).sum();
+        IncrementalPlanView {
+            parent,
+            children,
+            r,
+            size,
+            paid,
+            depth,
+            storage_sum,
+            retrieval_sum,
+            tin,
+            tout,
+            tour_valid: true,
+            walk_budget: 0,
+        }
+    }
+
+    /// Total storage, clamped exactly like the oracle's saturating fold.
+    #[inline]
+    pub(crate) fn storage(&self) -> Cost {
+        clamp_inf(self.storage_sum)
+    }
+
+    /// Total retrieval, clamped exactly like the oracle's saturating fold.
+    #[inline]
+    pub(crate) fn total_retrieval(&self) -> Cost {
+        clamp_inf(self.retrieval_sum)
+    }
+
+    /// Whether `anc` lies on the retrieval path of `v` (or is `v`).
+    ///
+    /// Uses the cached Euler tour when it is valid; otherwise a parent
+    /// path-walk bounded by the depth difference, with a tour re-stamp
+    /// once the accumulated walk work since the last move exceeds the
+    /// `Θ(n)` budget (see module docs).
+    pub(crate) fn is_ancestor(&mut self, anc: usize, v: usize) -> bool {
+        if !self.tour_valid {
+            let steps = match self.depth[v].checked_sub(self.depth[anc]) {
+                Some(s) => s as u64,
+                None => return false, // anc is deeper than v
+            };
+            if steps > self.walk_budget {
+                self.rebuild_tour();
+            } else {
+                self.walk_budget -= steps;
+                let mut x = v as u32;
+                for _ in 0..steps {
+                    x = self.parent[x as usize];
+                }
+                return x as usize == anc;
+            }
+        }
+        self.tin[anc] <= self.tin[v] && self.tout[v] <= self.tout[anc]
+    }
+
+    fn rebuild_tour(&mut self) {
+        let pf: Vec<Option<NodeId>> = self
+            .parent
+            .iter()
+            .map(|&p| (p != NO_PARENT).then_some(NodeId(p)))
+            .collect();
+        let (tin, tout) = dsv_vgraph::traversal::euler_tour(&pf);
+        self.tin = tin;
+        self.tout = tout;
+        self.tour_valid = true;
+    }
+
+    /// Apply the move "change `v`'s parent to `new_parent`" to both the
+    /// plan and the view, updating only `subtree(v)`, the old/new ancestor
+    /// paths, and the running aggregates. Returns the dirty region.
+    ///
+    /// The caller must have established the cycle guard (for a reparent
+    /// via edge `(u, v)`, `u ∉ subtree(v)`).
+    pub(crate) fn apply(
+        &mut self,
+        g: &VersionGraph,
+        plan: &mut StoragePlan,
+        v: usize,
+        new_parent: Parent,
+    ) -> MoveEffect {
+        let (np, new_paid) = match new_parent {
+            Parent::Materialized => (NO_PARENT, g.node_storage(NodeId::new(v))),
+            Parent::Delta(e) => {
+                let ed = g.edge(e);
+                debug_assert_eq!(ed.dst.index(), v, "delta edge must enter the node");
+                (ed.src.0, ed.storage)
+            }
+        };
+        let size_v = self.size[v];
+        let mut path = Vec::new();
+
+        // Detach from the old parent; sizes along the old ancestor path.
+        let op = self.parent[v];
+        if op != NO_PARENT {
+            let mut x = op;
+            while x != NO_PARENT {
+                path.push(x);
+                self.size[x as usize] -= size_v;
+                x = self.parent[x as usize];
+            }
+            let siblings = &mut self.children[op as usize];
+            let pos = siblings
+                .iter()
+                .position(|&c| c as usize == v)
+                .expect("child listed under its parent");
+            siblings.swap_remove(pos);
+        }
+
+        // Attach to the new parent; sizes along the new ancestor path.
+        self.parent[v] = np;
+        if np != NO_PARENT {
+            self.children[np as usize].push(v as u32);
+            let mut x = np;
+            while x != NO_PARENT {
+                path.push(x);
+                self.size[x as usize] += size_v;
+                x = self.parent[x as usize];
+            }
+        }
+
+        // Storage aggregate and the node's paid cost.
+        self.storage_sum = self.storage_sum - self.paid[v] as u128 + new_paid as u128;
+        self.paid[v] = new_paid;
+
+        // Retrieval and depth over subtree(v): each node recomputes from
+        // its (unchanged) stored delta on top of its parent's new value,
+        // exactly mirroring the oracle's BFS — so saturation behaves
+        // identically. Parents are processed before children.
+        let mut subtree = Vec::with_capacity(size_v as usize);
+        let mut stack = vec![v as u32];
+        while let Some(x) = stack.pop() {
+            let xi = x as usize;
+            self.retrieval_sum -= self.r[xi] as u128;
+            let p = self.parent[xi];
+            if p == NO_PARENT {
+                self.r[xi] = 0;
+                self.depth[xi] = 0;
+            } else {
+                let e = match plan.parent[xi] {
+                    Parent::Delta(e) if xi != v => e,
+                    _ => match new_parent {
+                        // `v` itself: its plan entry is updated below.
+                        Parent::Delta(e) => e,
+                        Parent::Materialized => unreachable!("roots have NO_PARENT"),
+                    },
+                };
+                self.r[xi] = cost_add(self.r[p as usize], g.edge(e).retrieval);
+                self.depth[xi] = self.depth[p as usize] + 1;
+            }
+            self.retrieval_sum += self.r[xi] as u128;
+            subtree.push(x);
+            stack.extend_from_slice(&self.children[xi]);
+        }
+
+        plan.parent[v] = new_parent;
+        self.tour_valid = false;
+        self.walk_budget = 2 * self.parent.len() as u64;
+        MoveEffect { subtree, path }
+    }
+}
+
+/// Clamp an exact aggregate the way repeated [`cost_add`] folding of
+/// non-negative terms would: `min(sum, INF)`.
+#[inline]
+fn clamp_inf(sum: u128) -> Cost {
+    if sum >= INF as u128 {
+        INF
+    } else {
+        sum as Cost
+    }
+}
+
+/// Scoring outcome of one greedy candidate against current state.
+pub(crate) enum Scored {
+    /// Structurally invalid or no progress — drop (a later state change
+    /// that could revive it dirties the candidate, which re-scores it).
+    Skip,
+    /// Valid and feasible at this ratio.
+    Push(Ratio),
+    /// Valid but over budget: feasible again once total storage is at
+    /// most `max_storage`.
+    Park {
+        /// Largest total storage at which the move fits the budget.
+        max_storage: u128,
+    },
+}
+
+/// Lazy max-heap of greedy candidates with budget parking, shared by the
+/// incremental [`lmg`] and [`lmg_all`] loops (see the module docs for the
+/// staleness rule it implements). `P` is the candidate payload; its `Ord`
+/// is the tie-break among equal ratios, so each loop encodes its oracle's
+/// tie-breaking in the payload type (LMG-All: edge-beats-mat then highest
+/// index; LMG: `Reverse(node)` for lowest id).
+pub(crate) struct LazyCandidateHeap<P: Copy + Ord> {
+    heap: std::collections::BinaryHeap<(Ratio, P)>,
+    parked: std::collections::BinaryHeap<(u128, P)>,
+}
+
+impl<P: Copy + Ord> LazyCandidateHeap<P> {
+    pub(crate) fn with_capacity(cap: usize) -> Self {
+        LazyCandidateHeap {
+            heap: std::collections::BinaryHeap::with_capacity(cap),
+            parked: std::collections::BinaryHeap::new(),
+        }
+    }
+
+    /// File a scored candidate: feasible entries into the ratio heap,
+    /// budget-blocked ones into the parked heap, `Skip`s nowhere.
+    pub(crate) fn push_scored(&mut self, sc: Scored, payload: P) {
+        match sc {
+            Scored::Push(ratio) => self.heap.push((ratio, payload)),
+            Scored::Park { max_storage } => self.parked.push((max_storage, payload)),
+            Scored::Skip => {}
+        }
+    }
+
+    /// Revive parked candidates that fit under the current total storage
+    /// (re-scored: a revived candidate may have gone stale while parked,
+    /// in which case its dirty-region re-score already pushed an accurate
+    /// twin and this copy re-sorts itself harmlessly). A re-parked entry
+    /// always gets a threshold below `storage`, so this terminates.
+    pub(crate) fn revive(&mut self, storage: Cost, rescore: &mut impl FnMut(P) -> Scored) {
+        while self
+            .parked
+            .peek()
+            .is_some_and(|&(max_storage, _)| max_storage >= storage as u128)
+        {
+            let (_, payload) = self.parked.pop().expect("peeked entry");
+            self.push_scored(rescore(payload), payload);
+        }
+    }
+
+    /// Lazy selection: pop until an entry's stored ratio matches its
+    /// re-evaluation against current state. Stale entries re-queue at
+    /// their current score; state is frozen between moves, so this
+    /// converges (every re-queued entry is accurate when next popped).
+    /// `None` means no valid feasible candidate remains.
+    pub(crate) fn select(&mut self, rescore: &mut impl FnMut(P) -> Scored) -> Option<P> {
+        while let Some((ratio, payload)) = self.heap.pop() {
+            match rescore(payload) {
+                Scored::Push(current) if current == ratio => return Some(payload),
+                sc => self.push_scored(sc, payload),
+            }
+        }
+        None
     }
 }
 
@@ -137,6 +546,70 @@ mod tests {
             .map(|v| view.size[v])
             .sum();
         assert_eq!(root_sum as usize, g.n());
+    }
+
+    /// Apply a pseudo-random legal move sequence through the incremental
+    /// view and after each move compare every maintained quantity against
+    /// a from-scratch [`PlanView`] rebuild.
+    #[test]
+    fn incremental_view_matches_rebuild_under_random_moves() {
+        use dsv_vgraph::generators::erdos_renyi_bidirectional;
+        for seed in 0..4u64 {
+            let g = erdos_renyi_bidirectional(18, 0.3, &CostModel::default(), seed);
+            let mut plan = min_storage_plan(&g);
+            let mut view = IncrementalPlanView::new(&g, &plan);
+            let mut state = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(1);
+            let mut rng = move || {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                state
+            };
+            let mut applied = 0;
+            for _ in 0..200 {
+                if applied >= 40 {
+                    break;
+                }
+                // Candidate: either materialize a random node or reparent
+                // along a random edge, skipping illegal (cyclic) moves.
+                let mv = if rng() % 4 == 0 {
+                    let v = (rng() % g.n() as u64) as usize;
+                    if matches!(plan.parent[v], Parent::Materialized) {
+                        continue;
+                    }
+                    (v, Parent::Materialized)
+                } else {
+                    let e = dsv_vgraph::EdgeId((rng() % g.m() as u64) as u32);
+                    let ed = g.edge(e);
+                    let (u, v) = (ed.src.index(), ed.dst.index());
+                    if plan.parent[v] == Parent::Delta(e) || view.is_ancestor(v, u) {
+                        continue;
+                    }
+                    (v, Parent::Delta(e))
+                };
+                view.apply(&g, &mut plan, mv.0, mv.1);
+                applied += 1;
+                plan.validate(&g).expect("moves keep the plan a forest");
+                let oracle = PlanView::new(&g, &plan);
+                assert_eq!(view.r, oracle.r, "retrievals diverge (seed {seed})");
+                assert_eq!(view.size, oracle.size, "sizes diverge (seed {seed})");
+                assert_eq!(view.paid, oracle.paid, "paid diverges (seed {seed})");
+                assert_eq!(view.storage(), oracle.storage);
+                assert_eq!(view.total_retrieval(), oracle.total_retrieval);
+                // Ancestor tests agree on every pair, regardless of
+                // whether the tour or the path-walk answers them.
+                for a in 0..g.n() {
+                    for b in 0..g.n() {
+                        assert_eq!(
+                            view.is_ancestor(a, b),
+                            oracle.is_ancestor(a, b),
+                            "ancestor({a}, {b}) diverges (seed {seed})"
+                        );
+                    }
+                }
+            }
+            assert!(applied > 10, "move generator too weak (seed {seed})");
+        }
     }
 
     #[test]

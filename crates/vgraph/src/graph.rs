@@ -2,13 +2,24 @@
 //!
 //! A directed multigraph with per-node materialization costs and per-edge
 //! (storage, retrieval) cost pairs, exactly the input model of Section 2.1
-//! of the paper. Adjacency is stored as per-node `Vec<EdgeId>` lists in both
-//! directions; edge payloads live in a single arena so that algorithms can
-//! index edges by [`EdgeId`] without pointer chasing.
+//! of the paper. Edge payloads live in a single arena so that algorithms can
+//! index edges by [`EdgeId`] without pointer chasing; adjacency is served
+//! from a **CSR index** (offset + arena arrays, one pair per direction)
+//! built lazily from the edge arena on first query and invalidated by
+//! mutation. `out_edges`/`in_edges` therefore hand out contiguous slices —
+//! "all edges incident to this node set" is a cache-friendly linear scan,
+//! which the incremental LMG-All dirty-region rescans rely on. Within one
+//! node's slice, edges appear in edge-id order (the same order the old
+//! per-node `Vec<EdgeId>` lists had), so traversal order is unchanged.
+//!
+//! The JSON wire format still carries explicit `out_adj`/`in_adj` lists for
+//! compatibility; they are validated on input (exactly-once, endpoint
+//! agreement) and re-derived canonically, not stored.
 
 use crate::ids::{EdgeId, NodeId};
 use crate::Cost;
 use serde::{object, Deserialize, Error, Serialize, Value};
+use std::sync::OnceLock;
 
 /// Payload of a directed delta edge `src → dst`.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -47,58 +58,149 @@ impl Deserialize for EdgeData {
     }
 }
 
+/// Compressed-sparse-row adjacency index over the edge arena: for each
+/// direction, `offsets` has `n + 1` entries and `list[offsets[v]..offsets[v+1]]`
+/// are the edge ids incident to `v`, in edge-id order (counting sort by
+/// endpoint is stable).
+#[derive(Clone, Debug, Default)]
+struct AdjCsr {
+    out_offsets: Vec<u32>,
+    out_list: Vec<EdgeId>,
+    in_offsets: Vec<u32>,
+    in_list: Vec<EdgeId>,
+}
+
+impl AdjCsr {
+    fn build(n: usize, edges: &[EdgeData]) -> AdjCsr {
+        let mut out_offsets = vec![0u32; n + 1];
+        let mut in_offsets = vec![0u32; n + 1];
+        for e in edges {
+            out_offsets[e.src.index() + 1] += 1;
+            in_offsets[e.dst.index() + 1] += 1;
+        }
+        for i in 1..=n {
+            out_offsets[i] += out_offsets[i - 1];
+            in_offsets[i] += in_offsets[i - 1];
+        }
+        let mut out_list = vec![EdgeId(0); edges.len()];
+        let mut in_list = vec![EdgeId(0); edges.len()];
+        let mut out_cursor = out_offsets.clone();
+        let mut in_cursor = in_offsets.clone();
+        for (i, e) in edges.iter().enumerate() {
+            let id = EdgeId::new(i);
+            let o = &mut out_cursor[e.src.index()];
+            out_list[*o as usize] = id;
+            *o += 1;
+            let c = &mut in_cursor[e.dst.index()];
+            in_list[*c as usize] = id;
+            *c += 1;
+        }
+        AdjCsr {
+            out_offsets,
+            out_list,
+            in_offsets,
+            in_list,
+        }
+    }
+}
+
 /// A directed version graph: nodes are dataset versions, edges are deltas.
 #[derive(Clone, Debug, Default)]
 pub struct VersionGraph {
     node_storage: Vec<Cost>,
     edges: Vec<EdgeData>,
-    out_adj: Vec<Vec<EdgeId>>,
-    in_adj: Vec<Vec<EdgeId>>,
+    /// Lazily-built CSR adjacency; reset by any structural mutation.
+    adj: OnceLock<AdjCsr>,
     /// Optional human-readable node labels (commit ids in the corpora).
     labels: Vec<String>,
 }
 
 impl Serialize for VersionGraph {
     fn to_value(&self) -> Value {
+        // The wire format keeps explicit adjacency lists (stable across the
+        // internal move to CSR); they are derived from the CSR slices.
+        let nested = |offsets: &[u32], list: &[EdgeId]| -> Vec<Vec<EdgeId>> {
+            (0..self.n())
+                .map(|v| list[offsets[v] as usize..offsets[v + 1] as usize].to_vec())
+                .collect()
+        };
+        let adj = self.adj();
         object([
             ("node_storage", self.node_storage.to_value()),
             ("edges", self.edges.to_value()),
-            ("out_adj", self.out_adj.to_value()),
-            ("in_adj", self.in_adj.to_value()),
+            (
+                "out_adj",
+                nested(&adj.out_offsets, &adj.out_list).to_value(),
+            ),
+            ("in_adj", nested(&adj.in_offsets, &adj.in_list).to_value()),
             ("labels", self.labels.to_value()),
         ])
     }
 }
 
+/// Exactly-once / endpoint-agreement check of one direction's explicit
+/// adjacency lists against the edge arena (deserialization only — the CSR
+/// built from the arena satisfies this by construction).
+fn check_adj_lists(edges: &[EdgeData], adj: &[Vec<EdgeId>], outgoing: bool) -> Result<(), String> {
+    let dir = if outgoing { "out" } else { "in" };
+    let mut seen = vec![false; edges.len()];
+    for (v, list) in adj.iter().enumerate() {
+        for &e in list {
+            let endpoint = if outgoing {
+                edges[e.index()].src
+            } else {
+                edges[e.index()].dst
+            };
+            if endpoint.index() != v {
+                let verb = if outgoing { "leaving" } else { "entering" };
+                return Err(format!(
+                    "{dir}-adjacency of v{v} lists edge {e} not {verb} it"
+                ));
+            }
+            if std::mem::replace(&mut seen[e.index()], true) {
+                return Err(format!("edge {e} listed twice in {dir}-adjacency"));
+            }
+        }
+    }
+    if let Some(e) = seen.iter().position(|&s| !s) {
+        return Err(format!("edge e{e} missing from {dir}-adjacency"));
+    }
+    Ok(())
+}
+
 impl Deserialize for VersionGraph {
     fn from_value(v: &Value) -> Result<Self, Error> {
-        let g = VersionGraph {
-            node_storage: Vec::from_value(v.field("node_storage")?)?,
-            edges: Vec::from_value(v.field("edges")?)?,
-            out_adj: Vec::from_value(v.field("out_adj")?)?,
-            in_adj: Vec::from_value(v.field("in_adj")?)?,
-            labels: Vec::from_value(v.field("labels")?)?,
-        };
-        // Reject structurally inconsistent input instead of panicking later.
-        // Range checks first (check_well_formed indexes the edge arena),
-        // then the full adjacency/arena agreement check every algorithm
-        // relies on.
-        let n = g.node_storage.len();
-        if g.out_adj.len() != n || g.in_adj.len() != n {
+        let node_storage: Vec<Cost> = Vec::from_value(v.field("node_storage")?)?;
+        let edges: Vec<EdgeData> = Vec::from_value(v.field("edges")?)?;
+        let out_adj: Vec<Vec<EdgeId>> = Vec::from_value(v.field("out_adj")?)?;
+        let in_adj: Vec<Vec<EdgeId>> = Vec::from_value(v.field("in_adj")?)?;
+        let labels: Vec<String> = Vec::from_value(v.field("labels")?)?;
+        // Reject structurally inconsistent input instead of panicking
+        // later. Range checks first (the list checks index the edge arena),
+        // then the full adjacency/arena agreement check; the validated
+        // lists are then dropped and the canonical CSR serves queries.
+        let n = node_storage.len();
+        if out_adj.len() != n || in_adj.len() != n {
             return Err(Error::new("adjacency lists do not match node count"));
         }
-        for e in &g.edges {
+        for e in &edges {
             if e.src.index() >= n || e.dst.index() >= n {
                 return Err(Error::new("edge endpoint out of range"));
             }
         }
-        for id in g.out_adj.iter().chain(g.in_adj.iter()).flatten() {
-            if id.index() >= g.edges.len() {
+        for id in out_adj.iter().chain(in_adj.iter()).flatten() {
+            if id.index() >= edges.len() {
                 return Err(Error::new("adjacency references missing edge"));
             }
         }
-        crate::validate::check_well_formed(&g).map_err(Error::new)?;
-        Ok(g)
+        check_adj_lists(&edges, &out_adj, true).map_err(Error::new)?;
+        check_adj_lists(&edges, &in_adj, false).map_err(Error::new)?;
+        Ok(VersionGraph {
+            node_storage,
+            edges,
+            adj: OnceLock::new(),
+            labels,
+        })
     }
 }
 
@@ -113,10 +215,22 @@ impl VersionGraph {
         VersionGraph {
             node_storage: vec![0; n],
             edges: Vec::new(),
-            out_adj: vec![Vec::new(); n],
-            in_adj: vec![Vec::new(); n],
+            adj: OnceLock::new(),
             labels: Vec::new(),
         }
+    }
+
+    /// The CSR adjacency index, built on first use after a mutation.
+    #[inline]
+    fn adj(&self) -> &AdjCsr {
+        self.adj
+            .get_or_init(|| AdjCsr::build(self.n(), &self.edges))
+    }
+
+    /// Drop the cached CSR (called by every structural mutation).
+    #[inline]
+    fn invalidate_adj(&mut self) {
+        self.adj = OnceLock::new();
     }
 
     /// Number of nodes.
@@ -135,8 +249,7 @@ impl VersionGraph {
     pub fn add_node(&mut self, storage: Cost) -> NodeId {
         let id = NodeId::new(self.node_storage.len());
         self.node_storage.push(storage);
-        self.out_adj.push(Vec::new());
-        self.in_adj.push(Vec::new());
+        self.invalidate_adj();
         id
     }
 
@@ -159,8 +272,7 @@ impl VersionGraph {
             storage,
             retrieval,
         });
-        self.out_adj[src.index()].push(id);
-        self.in_adj[dst.index()].push(id);
+        self.invalidate_adj();
         id
     }
 
@@ -203,9 +315,12 @@ impl VersionGraph {
         &self.edges[e.index()]
     }
 
-    /// Mutable edge payload by id (used by the cost transforms).
+    /// Mutable edge payload by id (used by the cost transforms). The CSR
+    /// index is invalidated because endpoints are reachable through the
+    /// returned reference.
     #[inline]
     pub fn edge_mut(&mut self, e: EdgeId) -> &mut EdgeData {
+        self.invalidate_adj();
         &mut self.edges[e.index()]
     }
 
@@ -215,16 +330,18 @@ impl VersionGraph {
         &self.edges
     }
 
-    /// Ids of edges leaving `v`.
+    /// Ids of edges leaving `v` (a contiguous CSR slice, edge-id order).
     #[inline]
     pub fn out_edges(&self, v: NodeId) -> &[EdgeId] {
-        &self.out_adj[v.index()]
+        let adj = self.adj();
+        &adj.out_list[adj.out_offsets[v.index()] as usize..adj.out_offsets[v.index() + 1] as usize]
     }
 
-    /// Ids of edges entering `v`.
+    /// Ids of edges entering `v` (a contiguous CSR slice, edge-id order).
     #[inline]
     pub fn in_edges(&self, v: NodeId) -> &[EdgeId] {
-        &self.in_adj[v.index()]
+        let adj = self.adj();
+        &adj.in_list[adj.in_offsets[v.index()] as usize..adj.in_offsets[v.index() + 1] as usize]
     }
 
     /// Iterator over all node ids.
@@ -248,13 +365,13 @@ impl VersionGraph {
     /// Out-degree of `v`.
     #[inline]
     pub fn out_degree(&self, v: NodeId) -> usize {
-        self.out_adj[v.index()].len()
+        self.out_edges(v).len()
     }
 
     /// In-degree of `v`.
     #[inline]
     pub fn in_degree(&self, v: NodeId) -> usize {
-        self.in_adj[v.index()].len()
+        self.in_edges(v).len()
     }
 
     /// Sum of all node materialization costs (the "store everything" plan).
@@ -424,6 +541,23 @@ mod tests {
         let b = g.add_node(6);
         assert_eq!(g.label(a), Some("commit-a"));
         assert_eq!(g.label(b), None);
+    }
+
+    #[test]
+    fn csr_adjacency_is_invalidated_by_mutation() {
+        let mut g = diamond();
+        // Force the CSR build, then mutate and re-query.
+        assert_eq!(g.out_edges(NodeId(0)), &[EdgeId(0), EdgeId(1)]);
+        let v4 = g.add_node(5);
+        let e = g.add_edge(NodeId(0), v4, 1, 2);
+        assert_eq!(g.out_edges(NodeId(0)), &[EdgeId(0), EdgeId(1), e]);
+        assert_eq!(g.in_edges(v4), &[e]);
+        assert_eq!(g.out_degree(NodeId(0)), 3);
+        // Slices stay in edge-id order per node.
+        for v in g.node_ids() {
+            assert!(g.out_edges(v).windows(2).all(|w| w[0] < w[1]));
+            assert!(g.in_edges(v).windows(2).all(|w| w[0] < w[1]));
+        }
     }
 
     #[test]

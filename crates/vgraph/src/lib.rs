@@ -7,6 +7,9 @@
 //! A [`VersionGraph`] is a directed multigraph whose vertices are dataset
 //! versions (each with a materialization cost `s_v`) and whose edges are
 //! deltas (each with a storage cost `s_e` and a retrieval cost `r_e`).
+//! Adjacency is served from a lazily-built CSR index (contiguous
+//! offset+arena slices per node and direction — see [`graph`]), so
+//! incident-edge scans are cache-friendly linear passes.
 //!
 //! On top of the container the crate provides the algorithmic substrates the
 //! versioning algorithms need:

@@ -47,6 +47,12 @@ pub fn analyze(g: &VersionGraph) -> InstanceReport {
 /// every edge appears exactly once in its source's out-list and exactly
 /// once in its destination's in-list (duplicates would make traversals
 /// double-count; omissions would hide edges from them).
+///
+/// Since adjacency moved to a CSR index derived from the edge arena,
+/// any graph built through the public API satisfies this by construction
+/// (untrusted wire-format adjacency is checked separately during
+/// deserialization in `graph.rs`). The function is retained as an
+/// internal-invariant regression check for the CSR builder itself.
 pub fn check_well_formed(g: &VersionGraph) -> Result<(), String> {
     let mut seen_out = vec![false; g.m()];
     let mut seen_in = vec![false; g.m()];
