@@ -8,7 +8,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dsv_bench::sweep::msr_budgets;
 use dsv_core::engine::{Engine, SolveOptions};
 use dsv_core::heuristics::{lmg, lmg_all};
-use dsv_delta::corpus::{corpus_with_sketches, CorpusName};
+use dsv_delta::corpus::{corpus_with_content, CorpusName};
 use dsv_delta::transforms::{erdos_renyi_from_sketches, random_compression};
 use std::hint::black_box;
 
@@ -19,8 +19,8 @@ fn bench_fig12(c: &mut Criterion) {
     group.warm_up_time(std::time::Duration::from_millis(500));
     let engine = Engine::with_default_solvers();
     let opts = SolveOptions::default();
-    let lc = corpus_with_sketches(CorpusName::LeetCodeAnimation, 0.35, 2024, true);
-    let sketches = lc.sketches.expect("sketch corpus");
+    let lc = corpus_with_content(CorpusName::LeetCodeAnimation, 0.35, 2024, true);
+    let sketches = lc.sketches().expect("sketch corpus").to_vec();
     for p in [0.05f64, 0.2, 1.0] {
         let er = erdos_renyi_from_sketches(&sketches, p, 3);
         let g = random_compression(&er, 11);

@@ -3,28 +3,115 @@
 //! ```text
 //! repro --experiment all --scale 0.1 --out results/
 //! repro --experiment fig10 --points 12
+//! repro --list
 //! ```
 //!
-//! Experiments: `table4`, `fig10`, `fig11`, `fig12`, `fig13`, `thm1`,
-//! `btw`, `portfolio`, `lmg`, `treewidth`, `all`. Output: Markdown to
-//! stdout plus one CSV per report under `--out` (default `results/`).
+//! `repro --list` enumerates the available experiments and the files each
+//! one writes. Output: Markdown to stdout plus one CSV per report under
+//! `--out` (default `results/`).
 //!
-//! The `portfolio` experiment additionally writes the machine-readable
-//! `BENCH_portfolio.json` (per-solver wall times, parallel-vs-sequential
-//! speedup, thread count) so the perf trajectory is tracked across PRs;
-//! `--assert-speedup X` turns it into a CI gate (exit 1 when the measured
-//! speedup on a multi-threaded pool falls below `X`). The `lmg` experiment
-//! likewise writes `BENCH_lmg.json` (incremental vs from-scratch LMG-All
-//! wall times on ER graphs, with byte-identical plans asserted); there
-//! `--assert-speedup X` gates on the n = 4000 speedup.
+//! Three experiments additionally write machine-readable `BENCH_*.json`
+//! documents so the perf trajectory is tracked across PRs:
+//!
+//! * `portfolio` — `BENCH_portfolio.json` (per-solver wall times,
+//!   parallel-vs-sequential speedup, thread count); `--assert-speedup X`
+//!   turns it into a CI gate.
+//! * `lmg` — `BENCH_lmg.json` (incremental vs from-scratch LMG-All wall
+//!   times on ER graphs, byte-identical plans asserted); there
+//!   `--assert-speedup X` gates on the n = 4000 speedup.
+//! * `store` — `BENCH_store.json` (solver plans round-tripped through the
+//!   on-disk content-addressed store: predicted vs measured costs, hash
+//!   verification, bytes/sec, GC accounting). The run itself **fails**
+//!   (exit 1) if any measured cost disagrees with its prediction — this is
+//!   the CI gate for the planning/execution split. Store scratch space
+//!   goes under `--store-dir` (left in place for inspection); without the
+//!   flag it defaults to `<out>/store-work` and is removed after the run.
 
 use dsv_bench::experiments::{self, ExperimentOptions};
 use dsv_bench::Report;
 use std::path::PathBuf;
 
+/// The experiment registry: name, what it reproduces, files written under
+/// `--out` (beyond the Markdown on stdout).
+const EXPERIMENTS: &[(&str, &str, &str)] = &[
+    (
+        "table4",
+        "dataset overview (nodes, edges, avg costs, merges)",
+        "table4-dataset-overview.csv",
+    ),
+    (
+        "fig10",
+        "MSR on natural corpora (LMG / LMG-All / DP-MSR, OPT when small)",
+        "fig10-msr-natural-<corpus>.csv",
+    ),
+    (
+        "fig11",
+        "MSR on randomly-compressed natural corpora",
+        "fig11-msr-compressed-<corpus>.csv",
+    ),
+    (
+        "fig12",
+        "MSR on compressed Erdős–Rényi graphs (LeetCode)",
+        "fig12-msr-er-leetcode-<p>.csv",
+    ),
+    (
+        "fig13",
+        "BMR on natural corpora (MP vs DP-BMR)",
+        "fig13-bmr-natural-<corpus>.csv",
+    ),
+    (
+        "thm1",
+        "Theorem 1 adversarial chain (LMG/OPT unbounded)",
+        "thm1-lmg-worst-case.csv",
+    ),
+    (
+        "btw",
+        "DP-BTW vs tree-DP vs LMG-All on series-parallel graphs",
+        "btw-series-parallel.csv",
+    ),
+    (
+        "portfolio",
+        "engine portfolio winners + parallel speedup bench",
+        "engine-portfolio-datasharing.csv, BENCH_portfolio.json",
+    ),
+    (
+        "lmg",
+        "incremental vs from-scratch LMG-All perf bench",
+        "lmg-bench.csv, BENCH_lmg.json",
+    ),
+    (
+        "store",
+        "on-disk store round-trip: predicted vs measured plan costs",
+        "store-roundtrip.csv, BENCH_store.json",
+    ),
+    (
+        "treewidth",
+        "treewidth upper bounds of the corpora (footnote 7)",
+        "treewidth-of-corpora.csv",
+    ),
+    ("all", "every experiment above", "all of the above"),
+];
+
+fn experiment_list() -> String {
+    let width = EXPERIMENTS
+        .iter()
+        .map(|(n, _, _)| n.len())
+        .max()
+        .unwrap_or(0);
+    let mut out = String::from("available experiments:\n");
+    for (name, what, files) in EXPERIMENTS {
+        out.push_str(&format!(
+            "  {name:width$}  {what}\n  {:width$}  writes: {files}\n",
+            ""
+        ));
+    }
+    out
+}
+
 struct Args {
     experiment: String,
     out: PathBuf,
+    store_dir: Option<PathBuf>,
     opts: ExperimentOptions,
     assert_speedup: Option<f64>,
 }
@@ -32,6 +119,7 @@ struct Args {
 fn parse_args() -> Result<Args, String> {
     let mut experiment = "all".to_string();
     let mut out = PathBuf::from("results");
+    let mut store_dir = None;
     let mut opts = ExperimentOptions::default();
     let mut assert_speedup = None;
     let mut it = std::env::args().skip(1);
@@ -40,6 +128,7 @@ fn parse_args() -> Result<Args, String> {
         match arg.as_str() {
             "--experiment" | "-e" => experiment = value("--experiment")?,
             "--out" | "-o" => out = PathBuf::from(value("--out")?),
+            "--store-dir" => store_dir = Some(PathBuf::from(value("--store-dir")?)),
             "--scale" | "-s" => {
                 opts.scale = value("--scale")?
                     .parse()
@@ -72,11 +161,17 @@ fn parse_args() -> Result<Args, String> {
                         .map_err(|e| format!("bad --assert-speedup: {e}"))?,
                 )
             }
+            "--list" | "-l" => {
+                print!("{}", experiment_list());
+                std::process::exit(0);
+            }
             "--help" | "-h" => {
                 println!(
-                    "usage: repro [--experiment all|table4|fig10|fig11|fig12|fig13|thm1|btw|portfolio|lmg|treewidth]\n\
+                    "usage: repro [--experiment NAME] [--list]\n\
                      \x20            [--scale F] [--max-nodes N] [--seed N] [--points N]\n\
-                     \x20            [--opt-limit N] [--out DIR] [--assert-speedup X]"
+                     \x20            [--opt-limit N] [--out DIR] [--store-dir DIR]\n\
+                     \x20            [--assert-speedup X]\n\n{}",
+                    experiment_list()
                 );
                 std::process::exit(0);
             }
@@ -86,6 +181,7 @@ fn parse_args() -> Result<Args, String> {
     Ok(Args {
         experiment,
         out,
+        store_dir,
         opts,
         assert_speedup,
     })
@@ -102,9 +198,9 @@ fn run(experiment: &str, opts: &ExperimentOptions) -> Result<Vec<Report>, String
         "treewidth" => vec![experiments::treewidth_report(opts)],
         "btw" => vec![experiments::btw_report(opts)],
         "portfolio" => vec![experiments::portfolio_report(opts)],
-        // The lmg experiment is a pure perf benchmark; its report is
-        // produced (and BENCH_lmg.json written) in the bench section.
-        "lmg" => Vec::new(),
+        // The lmg and store experiments produce their reports (and
+        // BENCH_*.json) in the bench section of main.
+        "lmg" | "store" => Vec::new(),
         "all" => {
             let mut all = vec![experiments::table4(opts)];
             all.extend(experiments::fig10(opts));
@@ -117,8 +213,30 @@ fn run(experiment: &str, opts: &ExperimentOptions) -> Result<Vec<Report>, String
             all.push(experiments::treewidth_report(opts));
             all
         }
-        other => return Err(format!("unknown experiment: {other}")),
+        other => {
+            return Err(format!(
+                "unknown experiment: {other}\n{}",
+                experiment_list()
+            ))
+        }
     })
+}
+
+fn write_report_csv(report: &Report, out: &std::path::Path) {
+    let path = out.join(format!("{}.csv", report.name));
+    if let Err(e) = std::fs::write(&path, report.to_csv()) {
+        eprintln!("error writing {}: {e}", path.display());
+        std::process::exit(1);
+    }
+}
+
+fn write_bench_json(out: &std::path::Path, name: &str, json: &str) {
+    let path = out.join(name);
+    if let Err(e) = std::fs::write(&path, json) {
+        eprintln!("error writing {}: {e}", path.display());
+        std::process::exit(1);
+    }
+    eprintln!("# wrote {}", path.display());
 }
 
 fn main() {
@@ -146,11 +264,7 @@ fn main() {
     }
     for report in &reports {
         println!("{}", report.to_markdown());
-        let path = args.out.join(format!("{}.csv", report.name));
-        if let Err(e) = std::fs::write(&path, report.to_csv()) {
-            eprintln!("error writing {}: {e}", path.display());
-            std::process::exit(1);
-        }
+        write_report_csv(report, &args.out);
     }
     eprintln!(
         "# wrote {} CSV file(s) to {}",
@@ -163,17 +277,8 @@ fn main() {
     if matches!(args.experiment.as_str(), "lmg" | "all") {
         let bench = experiments::lmg_bench(&args.opts);
         println!("{}", bench.report.to_markdown());
-        let csv_path = args.out.join(format!("{}.csv", bench.report.name));
-        if let Err(e) = std::fs::write(&csv_path, bench.report.to_csv()) {
-            eprintln!("error writing {}: {e}", csv_path.display());
-            std::process::exit(1);
-        }
-        let path = args.out.join("BENCH_lmg.json");
-        if let Err(e) = std::fs::write(&path, &bench.json) {
-            eprintln!("error writing {}: {e}", path.display());
-            std::process::exit(1);
-        }
-        eprintln!("# wrote {}", path.display());
+        write_report_csv(&bench.report, &args.out);
+        write_bench_json(&args.out, "BENCH_lmg.json", &bench.json);
         if let Some(min) = args.assert_speedup {
             if bench.speedup_4k < min {
                 eprintln!(
@@ -190,16 +295,44 @@ fn main() {
         }
     }
 
+    // The store experiments round-trip solver plans through the on-disk
+    // content-addressed store; predicted and measured costs must agree
+    // exactly, so disagreement fails the run (the CI gate).
+    if matches!(args.experiment.as_str(), "store" | "all") {
+        // Only the default scratch location is removed afterwards; a
+        // user-supplied --store-dir may be a pre-existing directory with
+        // unrelated contents, so its stores are left in place.
+        let (store_dir, ephemeral) = match args.store_dir.clone() {
+            Some(dir) => (dir, false),
+            None => (args.out.join("store-work"), true),
+        };
+        if let Err(e) = std::fs::create_dir_all(&store_dir) {
+            eprintln!("error creating {}: {e}", store_dir.display());
+            std::process::exit(1);
+        }
+        let bench = experiments::store_bench(&args.opts, &store_dir);
+        println!("{}", bench.report.to_markdown());
+        write_report_csv(&bench.report, &args.out);
+        write_bench_json(&args.out, "BENCH_store.json", &bench.json);
+        if ephemeral {
+            // Scratch stores are an artifact of the run, not a result.
+            let _ = std::fs::remove_dir_all(&store_dir);
+        }
+        if !bench.agreement {
+            eprintln!(
+                "error: store round-trip disagreement — measured costs, hash verification, \
+                 or GC accounting diverged from the plan predictions (see BENCH_store.json)"
+            );
+            std::process::exit(1);
+        }
+        eprintln!("# store round-trip agreement: measured == predicted on every plan");
+    }
+
     // The portfolio experiments also track raw engine performance.
     if matches!(args.experiment.as_str(), "portfolio" | "all") {
         let bench = experiments::portfolio_bench(&args.opts);
         println!("{}", bench.report.to_markdown());
-        let path = args.out.join("BENCH_portfolio.json");
-        if let Err(e) = std::fs::write(&path, &bench.json) {
-            eprintln!("error writing {}: {e}", path.display());
-            std::process::exit(1);
-        }
-        eprintln!("# wrote {}", path.display());
+        write_bench_json(&args.out, "BENCH_portfolio.json", &bench.json);
         if let Some(min) = args.assert_speedup {
             if bench.threads <= 1 {
                 eprintln!("# --assert-speedup skipped: pool width is 1 (set DSV_NUM_THREADS > 1)");

@@ -2,7 +2,7 @@
 
 use crate::report::{fmt_f, Report};
 use crate::sweep::{bmr_budgets, bmr_sweep, msr_budgets, msr_sweep, opt_sweep, SweepPoint};
-use dsv_delta::corpus::{corpus, corpus_with_sketches, stats, CorpusName};
+use dsv_delta::corpus::{corpus, corpus_with_content, stats, CorpusName};
 use dsv_delta::transforms::{erdos_renyi_from_sketches, random_compression};
 use dsv_vgraph::VersionGraph;
 
@@ -78,13 +78,13 @@ pub fn table4(opts: &ExperimentOptions) -> Report {
         ]);
     }
     // The ER variants of LeetCode (paper rows 6-8).
-    let lc = corpus_with_sketches(
+    let lc = corpus_with_content(
         CorpusName::LeetCodeAnimation,
         opts.scale_for(CorpusName::LeetCodeAnimation),
         opts.seed,
         true,
     );
-    if let Some(sk) = &lc.sketches {
+    if let Some(sk) = lc.sketches() {
         for p in [0.05, 0.2, 1.0] {
             let g = erdos_renyi_from_sketches(sk, p, opts.seed + 1);
             let s = stats(&format!("LeetCode ({p})"), &g);
@@ -149,13 +149,13 @@ pub fn fig11(opts: &ExperimentOptions) -> Vec<Report> {
 
 /// Figure 12: MSR on compressed Erdős–Rényi graphs (LeetCode).
 pub fn fig12(opts: &ExperimentOptions) -> Vec<Report> {
-    let lc = corpus_with_sketches(
+    let lc = corpus_with_content(
         CorpusName::LeetCodeAnimation,
         opts.scale_for(CorpusName::LeetCodeAnimation),
         opts.seed,
         true,
     );
-    let sketches = lc.sketches.as_ref().expect("sketch-mode corpus");
+    let sketches = lc.sketches().expect("sketch-mode corpus");
     let mut cases: Vec<(String, VersionGraph)> = vec![("original".into(), lc.graph.clone())];
     for p in [0.05, 0.2, 1.0] {
         cases.push((
@@ -574,6 +574,226 @@ pub fn lmg_bench(opts: &ExperimentOptions) -> LmgBench {
         report: r,
         json,
         speedup_4k,
+    }
+}
+
+/// Machine-readable store round-trip benchmark, written by `repro` as
+/// `BENCH_store.json`: solver plans executed against the on-disk
+/// content-addressed store, with measured costs checked against the plans'
+/// predictions (introduced with the planning/execution split).
+#[derive(Clone, Debug)]
+pub struct StoreBench {
+    /// Human-readable rendering of the same data.
+    pub report: Report,
+    /// The JSON document (per-plan predicted vs measured costs, hash
+    /// verification counts, reconstruction throughput, GC accounting).
+    pub json: String,
+    /// Whether every plan's measured storage/retrieval costs equalled the
+    /// predictions exactly, every version hash-verified, and GC reclaimed
+    /// every object after all plans were released. The CI gate.
+    pub agreement: bool,
+}
+
+/// Round-trip solver plans (LMG / LMG-All / DP-MSR) through the persistent
+/// [`PackStore`](dsv_delta::PackStore) on a set of corpus fixtures: ingest
+/// each plan's objects, reconstruct every version from the stored bytes,
+/// hash-verify all of them, and compare measured storage/retrieval costs
+/// against the plans' predictions — they must agree **exactly**, because
+/// the store's codecs price bytes with the same models that priced the
+/// graph edges. Finishes by releasing every plan and asserting GC returns
+/// the store to empty.
+///
+/// `work_dir` receives one store directory per fixture; the caller owns
+/// cleanup (the `repro` binary removes it after writing results).
+pub fn store_bench(opts: &ExperimentOptions, work_dir: &std::path::Path) -> StoreBench {
+    use dsv_core::baselines::min_storage_value;
+    use dsv_core::engine::{Engine, SolveOptions};
+    use dsv_core::executor::PlanExecutor;
+    use dsv_core::problem::ProblemKind;
+    use dsv_delta::store::{CorpusContent, PackStore, Store};
+    use serde_json::Value;
+    use std::collections::BTreeMap;
+
+    const SOLVERS: [&str; 3] = ["LMG", "LMG-All", "DP-MSR"];
+
+    // Fixtures: two text corpora (real Myers deltas), one sketch corpus
+    // (chunk-manifest deltas), and one ER graph over sketch content
+    // (deltas between *unnatural* version pairs). Scales are capped so the
+    // round-trip stays CI-sized even at --scale 1.
+    let mut fixtures: Vec<(String, dsv_vgraph::VersionGraph, CorpusContent)> = Vec::new();
+    for (slug, name, cap) in [
+        ("datasharing", CorpusName::Datasharing, 1.0),
+        ("styleguide", CorpusName::Styleguide, 0.12),
+        ("icu996", CorpusName::Icu996, 0.02),
+    ] {
+        let c = corpus_with_content(name, opts.scale_for(name).min(cap), opts.seed, true);
+        let content = c.content.expect("content retained");
+        fixtures.push((slug.to_string(), c.graph, content));
+    }
+    {
+        let lc = corpus_with_content(
+            CorpusName::LeetCodeAnimation,
+            opts.scale_for(CorpusName::LeetCodeAnimation).min(0.1),
+            opts.seed,
+            true,
+        );
+        let sketches = lc.sketches().expect("sketch-mode corpus").to_vec();
+        let g = erdos_renyi_from_sketches(&sketches, 0.3, opts.seed + 3);
+        fixtures.push((
+            "leetcode-er".to_string(),
+            g,
+            CorpusContent::Sketch { sketches },
+        ));
+    }
+
+    let engine = Engine::with_default_solvers();
+    let solve_opts = SolveOptions::default();
+    let mut r = Report::new(
+        "store-roundtrip",
+        &[
+            "fixture",
+            "solver",
+            "nodes",
+            "pred_storage",
+            "meas_storage",
+            "pred_retrieval",
+            "meas_retrieval",
+            "verified",
+            "agree",
+            "mb_per_s",
+        ],
+    );
+    let mut rows_json = Vec::new();
+    let mut fixtures_json = Vec::new();
+    let mut agreement = true;
+
+    for (slug, g, content) in &fixtures {
+        let smin = min_storage_value(g);
+        let problem = ProblemKind::Msr {
+            storage_budget: smin * 2,
+        };
+        let dir = work_dir.join(format!("pack-{slug}"));
+        let mut store = PackStore::open(&dir).expect("open pack store");
+        let mut stored_plans = Vec::new();
+        for solver in SOLVERS {
+            let sol = engine
+                .solve_with(solver, g, problem, &solve_opts)
+                .unwrap_or_else(|e| panic!("{solver} on {slug}: {e}"));
+            let mut exec = PlanExecutor::new(&mut store);
+            let (stored, report) = exec
+                .run(g, &sol.plan, content)
+                .unwrap_or_else(|e| panic!("{solver} on {slug}: {e}"));
+            let agree = report.agreement() && report.verified == g.n();
+            agreement &= agree;
+            let mbs = report.bytes_per_sec() / 1e6;
+            r.push_row(vec![
+                slug.clone(),
+                solver.to_string(),
+                g.n().to_string(),
+                sol.costs.storage.to_string(),
+                report.measured.storage.to_string(),
+                sol.costs.total_retrieval.to_string(),
+                report.measured.total_retrieval.to_string(),
+                format!("{}/{}", report.verified, report.versions),
+                agree.to_string(),
+                fmt_f(mbs),
+            ]);
+            let mut m = BTreeMap::new();
+            m.insert("fixture".to_string(), Value::Str(slug.clone()));
+            m.insert("solver".to_string(), Value::Str(solver.to_string()));
+            m.insert("nodes".to_string(), Value::UInt(g.n() as u64));
+            m.insert(
+                "predicted_storage".to_string(),
+                Value::UInt(sol.costs.storage),
+            );
+            m.insert(
+                "measured_storage".to_string(),
+                Value::UInt(report.measured.storage),
+            );
+            m.insert(
+                "predicted_retrieval".to_string(),
+                Value::UInt(sol.costs.total_retrieval),
+            );
+            m.insert(
+                "measured_retrieval".to_string(),
+                Value::UInt(report.measured.total_retrieval),
+            );
+            m.insert("verified".to_string(), Value::UInt(report.verified as u64));
+            m.insert("agree".to_string(), Value::Bool(agree));
+            m.insert(
+                "bytes_reconstructed".to_string(),
+                Value::UInt(report.bytes_reconstructed),
+            );
+            m.insert("bytes_per_sec".to_string(), Value::Float(mbs * 1e6));
+            m.insert(
+                "ingest_ms".to_string(),
+                Value::Float(stored.ingest_wall.as_secs_f64() * 1e3),
+            );
+            m.insert(
+                "execute_ms".to_string(),
+                Value::Float(report.execute_wall.as_secs_f64() * 1e3),
+            );
+            rows_json.push(Value::Map(m));
+            stored_plans.push(stored);
+        }
+
+        // Content addressing across plans: the three plans usually share
+        // most delta objects, so the store holds far fewer objects than
+        // the plans reference in total.
+        let referenced: usize = stored_plans.iter().map(|s| s.objects.len()).sum();
+        let live_objects = store.object_count();
+        let live_bytes = store.stored_bytes();
+        // Retire everything: GC must reclaim the store down to empty.
+        {
+            let mut exec = PlanExecutor::new(&mut store);
+            for stored in &stored_plans {
+                exec.release(stored).expect("release stored plan");
+            }
+        }
+        let gc = store.gc().expect("gc");
+        let clean = store.object_count() == 0;
+        agreement &= clean;
+        let mut fm = BTreeMap::new();
+        fm.insert("fixture".to_string(), Value::Str(slug.clone()));
+        fm.insert(
+            "referenced_objects".to_string(),
+            Value::UInt(referenced as u64),
+        );
+        fm.insert("live_objects".to_string(), Value::UInt(live_objects as u64));
+        fm.insert("live_bytes".to_string(), Value::UInt(live_bytes));
+        fm.insert(
+            "gc_collected".to_string(),
+            Value::UInt(gc.collected_objects as u64),
+        );
+        fm.insert(
+            "gc_reclaimed_bytes".to_string(),
+            Value::UInt(gc.reclaimed_bytes),
+        );
+        fm.insert("gc_clean".to_string(), Value::Bool(clean));
+        fixtures_json.push(Value::Map(fm));
+    }
+
+    r.note(format!(
+        "solver plans executed against the on-disk PackStore; measured costs are re-priced \
+         from the stored bytes and must equal the predictions exactly; agreement={agreement} \
+         (also requires every version hash-verified and GC reclaiming all released objects)"
+    ));
+
+    let mut doc = BTreeMap::new();
+    doc.insert(
+        "experiment".to_string(),
+        Value::Str("store-roundtrip".to_string()),
+    );
+    doc.insert("seed".to_string(), Value::UInt(opts.seed));
+    doc.insert("agreement".to_string(), Value::Bool(agreement));
+    doc.insert("plans".to_string(), Value::Seq(rows_json));
+    doc.insert("stores".to_string(), Value::Seq(fixtures_json));
+    let json = serde_json::to_string(&Value::Map(doc)).expect("value tree serializes");
+
+    StoreBench {
+        report: r,
+        json,
+        agreement,
     }
 }
 

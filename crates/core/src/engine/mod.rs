@@ -808,6 +808,81 @@ impl Engine {
     }
 }
 
+/// Result of [`Engine::solve_and_execute`]: the plan, where its bytes
+/// live, and how the measured costs compare to the predictions.
+#[derive(Clone, Debug)]
+pub struct Execution {
+    /// The validated solution the engine produced.
+    pub solution: Solution,
+    /// The plan's objects in the store (release via
+    /// [`PlanExecutor::release`](crate::executor::PlanExecutor::release)
+    /// when retiring the plan).
+    pub stored: crate::executor::StoredPlan,
+    /// Hash-verification and measured-vs-predicted cost report.
+    pub report: crate::executor::ExecutionReport,
+}
+
+/// Failure of the solve → store → verify chain.
+#[derive(Clone, Debug)]
+pub enum ExecuteError {
+    /// No feasible plan was produced.
+    Solve(SolveError),
+    /// The plan could not be stored, reconstructed, or verified.
+    Exec(crate::executor::ExecError),
+}
+
+impl std::fmt::Display for ExecuteError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecuteError::Solve(e) => write!(f, "solve failed: {e}"),
+            ExecuteError::Exec(e) => write!(f, "execution failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ExecuteError {}
+
+impl From<SolveError> for ExecuteError {
+    fn from(e: SolveError) -> Self {
+        ExecuteError::Solve(e)
+    }
+}
+
+impl From<crate::executor::ExecError> for ExecuteError {
+    fn from(e: crate::executor::ExecError) -> Self {
+        ExecuteError::Exec(e)
+    }
+}
+
+impl Engine {
+    /// Solve `problem`, then immediately execute the winning plan against
+    /// `store`: ingest its objects, reconstruct every version from the
+    /// stored bytes, hash-verify each reconstruction against `source`, and
+    /// measure real storage/retrieval costs next to the predictions.
+    ///
+    /// This is the end-to-end pipeline the planning layers feed:
+    /// solver → [`Solution`] → [`PlanExecutor`](crate::executor::PlanExecutor)
+    /// → verified bytes. The stored objects stay referenced until the
+    /// caller releases the returned [`Execution::stored`].
+    pub fn solve_and_execute<S: dsv_delta::Store + ?Sized>(
+        &self,
+        g: &VersionGraph,
+        problem: ProblemKind,
+        opts: &SolveOptions,
+        store: &mut S,
+        source: &dyn dsv_delta::VersionSource,
+    ) -> Result<Execution, ExecuteError> {
+        let solution = self.solve(g, problem, opts)?;
+        let mut executor = crate::executor::PlanExecutor::new(store);
+        let (stored, report) = executor.run(g, &solution.plan, source)?;
+        Ok(Execution {
+            solution,
+            stored,
+            report,
+        })
+    }
+}
+
 /// Result of [`Engine::solve_sweep`]: one validated solution per requested
 /// budget, all answered from a single DP run.
 #[derive(Clone, Debug)]

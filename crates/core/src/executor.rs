@@ -1,0 +1,464 @@
+//! Plan execution: materializing solver plans against a real store.
+//!
+//! The solvers in this crate end at a [`StoragePlan`] — a *decision* about
+//! which versions to materialize and which deltas to store. The
+//! [`PlanExecutor`] turns that decision into bytes:
+//!
+//! 1. **Ingest** ([`PlanExecutor::ingest`]): every materialized version's
+//!    payload and every stored delta's encoded bytes are written to a
+//!    content-addressed [`Store`] (objects shared between plans are
+//!    deduplicated and reference-counted). The payload hash of *every*
+//!    version — including delta-reconstructed ones — is recorded as the
+//!    ground truth.
+//! 2. **Execute** ([`PlanExecutor::execute`]): every version is
+//!    reconstructed by walking the plan's retrieval forest — decode the
+//!    materialized roots, then apply stored deltas downward — and each
+//!    reconstruction is re-encoded and hash-verified against the recorded
+//!    source hash. A mismatch is a typed [`ExecError::HashMismatch`],
+//!    never a silent success.
+//!
+//! Execution also *measures*: the storage cost of the actual stored
+//! objects and the retrieval cost of the actually replayed deltas, priced
+//! from the decoded bytes by the same cost models that priced the graph.
+//! The resulting [`ExecutionReport`] places measured next to predicted
+//! [`PlanCosts`]; on an untransformed corpus the two must agree exactly
+//! ([`ExecutionReport::agreement`]), which the store round-trip tests and
+//! the `repro --experiment store` CI gate assert.
+//!
+//! The executor is generic over the backend: the in-memory
+//! [`MemStore`](dsv_delta::MemStore) and the persistent
+//! [`PackStore`](dsv_delta::PackStore) run the identical code path.
+
+use crate::plan::{Parent, PlanCosts, StoragePlan};
+use dsv_delta::store::codec::{self, Payload};
+use dsv_delta::store::{hash_object, ObjectId, ObjectKind, Store, StoreError, VersionSource};
+use dsv_vgraph::{cost_add, VersionGraph};
+use std::time::{Duration, Instant};
+
+/// Typed failure modes of plan execution.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ExecError {
+    /// The backend failed (I/O, missing object, corruption, bad record).
+    Store(StoreError),
+    /// The plan, graph, and content source do not describe the same
+    /// instance (count mismatch, invalid plan).
+    Mismatch {
+        /// What disagreed.
+        detail: String,
+    },
+    /// A reconstructed version's payload does not hash to the source hash
+    /// recorded at ingest — the store round-trip corrupted content.
+    HashMismatch {
+        /// The node whose reconstruction went wrong.
+        node: u32,
+        /// Hash recorded at ingest.
+        expected: ObjectId,
+        /// Hash of the reconstructed payload.
+        actual: ObjectId,
+    },
+}
+
+impl std::fmt::Display for ExecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecError::Store(e) => write!(f, "store error: {e}"),
+            ExecError::Mismatch { detail } => write!(f, "plan/graph/source mismatch: {detail}"),
+            ExecError::HashMismatch {
+                node,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "version v{node} reconstructed to {actual}, expected {expected}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+impl From<StoreError> for ExecError {
+    fn from(e: StoreError) -> Self {
+        ExecError::Store(e)
+    }
+}
+
+/// A plan whose objects live in a store: one object per version (payload
+/// chunk for materialized versions, encoded delta otherwise), plus the
+/// ground-truth payload hash of every version.
+///
+/// The stored plan owns one store reference per object entry; release them
+/// via [`PlanExecutor::release`] when the plan is retired so
+/// [`Store::gc`] can reclaim the bytes.
+#[derive(Clone, Debug)]
+pub struct StoredPlan {
+    /// The plan that was ingested.
+    pub plan: StoragePlan,
+    /// Per-node stored object (chunk for materialized, delta otherwise).
+    pub objects: Vec<ObjectId>,
+    /// Per-node ground-truth payload hash, recorded from the source at
+    /// ingest time.
+    pub source_hashes: Vec<ObjectId>,
+    /// Total bytes handed to the store during ingest (before dedup).
+    pub ingest_bytes: u64,
+    /// Wall-clock time of the ingest.
+    pub ingest_wall: Duration,
+}
+
+/// Measured-vs-predicted outcome of executing one plan.
+#[derive(Clone, Debug)]
+pub struct ExecutionReport {
+    /// Number of versions in the plan.
+    pub versions: usize,
+    /// Number of versions whose reconstruction hash-verified (always equal
+    /// to `versions` on success — kept explicit for reporting).
+    pub verified: usize,
+    /// The plan's predicted costs, re-evaluated on the graph.
+    pub predicted: PlanCosts,
+    /// Costs measured from the stored bytes: storage from decoded objects,
+    /// retrieval from the deltas actually replayed per version.
+    pub measured: PlanCosts,
+    /// Content bytes reconstructed across all versions (cost-model bytes).
+    pub bytes_reconstructed: u64,
+    /// Wall-clock time of the execute pass.
+    pub execute_wall: Duration,
+}
+
+impl ExecutionReport {
+    /// Whether measured costs equal predicted costs exactly.
+    pub fn agreement(&self) -> bool {
+        self.predicted == self.measured
+    }
+
+    /// Reconstruction throughput in (cost-model) bytes per second.
+    pub fn bytes_per_sec(&self) -> f64 {
+        self.bytes_reconstructed as f64 / self.execute_wall.as_secs_f64().max(1e-9)
+    }
+}
+
+/// Executes storage plans against a [`Store`]. See the module docs.
+pub struct PlanExecutor<'s, S: Store + ?Sized> {
+    store: &'s mut S,
+}
+
+impl<'s, S: Store + ?Sized> PlanExecutor<'s, S> {
+    /// An executor writing to (and reading back from) `store`.
+    pub fn new(store: &'s mut S) -> Self {
+        PlanExecutor { store }
+    }
+
+    /// Write a plan's objects into the store and record every version's
+    /// ground-truth payload hash.
+    pub fn ingest(
+        &mut self,
+        g: &VersionGraph,
+        plan: &StoragePlan,
+        source: &dyn VersionSource,
+    ) -> Result<StoredPlan, ExecError> {
+        let started = Instant::now();
+        if source.version_count() != g.n() {
+            return Err(ExecError::Mismatch {
+                detail: format!(
+                    "source has {} versions, graph has {} nodes",
+                    source.version_count(),
+                    g.n()
+                ),
+            });
+        }
+        if let Err(reason) = plan.validate(g) {
+            return Err(ExecError::Mismatch { detail: reason });
+        }
+        let mut objects = Vec::with_capacity(g.n());
+        let mut source_hashes = Vec::with_capacity(g.n());
+        let mut ingest_bytes = 0u64;
+        for v in 0..g.n() as u32 {
+            let payload_bytes = source.payload_bytes(v);
+            source_hashes.push(hash_object(ObjectKind::Chunk, &payload_bytes));
+            let put = match plan.parent[v as usize] {
+                Parent::Materialized => {
+                    ingest_bytes += payload_bytes.len() as u64;
+                    self.store.put(ObjectKind::Chunk, &payload_bytes)
+                }
+                Parent::Delta(e) => {
+                    let edge = g.edge(e);
+                    let delta = source.delta(edge.src.0, edge.dst.0);
+                    ingest_bytes += delta.len() as u64;
+                    self.store.put(ObjectKind::Delta, &delta)
+                }
+            };
+            match put {
+                Ok(id) => objects.push(id),
+                Err(e) => {
+                    // Roll back the references this half-ingested plan
+                    // already took, or they could never be released and GC
+                    // could never reclaim the bytes (refcounts persist in
+                    // the on-disk backend).
+                    for &id in &objects {
+                        let _ = self.store.release(id);
+                    }
+                    return Err(e.into());
+                }
+            }
+        }
+        Ok(StoredPlan {
+            plan: plan.clone(),
+            objects,
+            source_hashes,
+            ingest_bytes,
+            ingest_wall: started.elapsed(),
+        })
+    }
+
+    /// Reconstruct every version from the store, hash-verify each one, and
+    /// measure storage/retrieval costs from the stored bytes.
+    pub fn execute(
+        &mut self,
+        g: &VersionGraph,
+        stored: &StoredPlan,
+    ) -> Result<ExecutionReport, ExecError> {
+        let started = Instant::now();
+        let n = g.n();
+        if stored.objects.len() != n {
+            return Err(ExecError::Mismatch {
+                detail: format!("stored plan covers {} of {n} nodes", stored.objects.len()),
+            });
+        }
+        // Children lists of the stored-delta forest.
+        let mut children: Vec<Vec<u32>> = vec![Vec::new(); n];
+        let mut roots = Vec::new();
+        for (v, p) in stored.plan.parent.iter().enumerate() {
+            match p {
+                Parent::Materialized => roots.push(v as u32),
+                Parent::Delta(e) => children[g.edge(*e).src.index()].push(v as u32),
+            }
+        }
+
+        let mut measured_storage = 0u64;
+        let mut retrieval = vec![0u64; n];
+        let mut bytes_reconstructed = 0u64;
+        let mut verified = 0usize;
+
+        // DFS down the forest, carrying each node's decoded payload while
+        // its subtree is reconstructed.
+        let mut stack: Vec<(u32, Payload)> = Vec::new();
+        for &root in &roots {
+            let bytes = self.store.get(stored.objects[root as usize])?;
+            let actual = hash_object(ObjectKind::Chunk, &bytes);
+            if actual != stored.source_hashes[root as usize] {
+                return Err(ExecError::HashMismatch {
+                    node: root,
+                    expected: stored.source_hashes[root as usize],
+                    actual,
+                });
+            }
+            let payload = codec::decode_payload(&bytes)?;
+            measured_storage = cost_add(measured_storage, payload.content_size());
+            bytes_reconstructed += payload.content_size();
+            verified += 1;
+            stack.push((root, payload));
+        }
+        while let Some((v, payload)) = stack.pop() {
+            for &c in &children[v as usize] {
+                let delta_bytes = self.store.get(stored.objects[c as usize])?;
+                let (child_payload, costs) = codec::apply_delta(&payload, &delta_bytes)?;
+                let encoded = codec::encode_payload(&child_payload);
+                let actual = hash_object(ObjectKind::Chunk, &encoded);
+                if actual != stored.source_hashes[c as usize] {
+                    return Err(ExecError::HashMismatch {
+                        node: c,
+                        expected: stored.source_hashes[c as usize],
+                        actual,
+                    });
+                }
+                measured_storage = cost_add(measured_storage, costs.storage_cost());
+                retrieval[c as usize] = cost_add(retrieval[v as usize], costs.retrieval_cost());
+                bytes_reconstructed += child_payload.content_size();
+                verified += 1;
+                stack.push((c, child_payload));
+            }
+        }
+        if verified != n {
+            return Err(ExecError::Mismatch {
+                detail: format!("reconstructed {verified} of {n} versions"),
+            });
+        }
+
+        let measured = PlanCosts {
+            storage: measured_storage,
+            total_retrieval: retrieval.iter().fold(0, |a, &b| cost_add(a, b)),
+            max_retrieval: retrieval.iter().copied().max().unwrap_or(0),
+        };
+        Ok(ExecutionReport {
+            versions: n,
+            verified,
+            predicted: stored.plan.costs(g),
+            measured,
+            bytes_reconstructed,
+            execute_wall: started.elapsed(),
+        })
+    }
+
+    /// Ingest then execute in one call. If execution fails, the
+    /// just-ingested references are rolled back before the error
+    /// propagates — the caller never sees the [`StoredPlan`], so holding
+    /// its references would leak them permanently (refcounts persist in
+    /// the on-disk backend).
+    pub fn run(
+        &mut self,
+        g: &VersionGraph,
+        plan: &StoragePlan,
+        source: &dyn VersionSource,
+    ) -> Result<(StoredPlan, ExecutionReport), ExecError> {
+        let stored = self.ingest(g, plan, source)?;
+        match self.execute(g, &stored) {
+            Ok(report) => Ok((stored, report)),
+            Err(e) => {
+                let _ = self.release(&stored);
+                Err(e)
+            }
+        }
+    }
+
+    /// Drop the stored plan's references so [`Store::gc`] can reclaim
+    /// objects no other live plan shares.
+    pub fn release(&mut self, stored: &StoredPlan) -> Result<(), ExecError> {
+        for &id in &stored.objects {
+            self.store.release(id)?;
+        }
+        Ok(())
+    }
+
+    /// The underlying store.
+    pub fn store(&mut self) -> &mut S {
+        self.store
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::Parent;
+    use dsv_delta::store::codec::{encode_sketch_delta, Payload};
+    use dsv_delta::MemStore;
+    use dsv_vgraph::NodeId;
+
+    /// A tiny hand-rolled sketch source: three versions, chunk churn.
+    struct TinySource;
+
+    impl TinySource {
+        fn manifest(v: u32) -> Vec<(u64, u32)> {
+            match v {
+                0 => vec![(1, 100), (2, 200)],
+                1 => vec![(1, 100), (3, 300)],
+                _ => vec![(1, 100), (3, 300), (4, 400)],
+            }
+        }
+    }
+
+    impl VersionSource for TinySource {
+        fn version_count(&self) -> usize {
+            3
+        }
+        fn payload(&self, v: u32) -> Payload {
+            Payload::Sketch(Self::manifest(v))
+        }
+        fn delta(&self, src: u32, dst: u32) -> Vec<u8> {
+            let (a, b) = (Self::manifest(src), Self::manifest(dst));
+            let removed: Vec<u64> = a
+                .iter()
+                .filter(|(id, _)| !b.iter().any(|(bid, _)| bid == id))
+                .map(|&(id, _)| id)
+                .collect();
+            let added: Vec<(u64, u32)> = b
+                .iter()
+                .filter(|(id, _)| !a.iter().any(|(aid, _)| aid == id))
+                .copied()
+                .collect();
+            encode_sketch_delta(&removed, &added)
+        }
+    }
+
+    /// Graph matching TinySource, with edges priced by the sketch model.
+    fn tiny_graph() -> (VersionGraph, StoragePlan) {
+        let mut g = VersionGraph::new();
+        let v0 = g.add_node(300);
+        let v1 = g.add_node(400);
+        let v2 = g.add_node(800);
+        // 0 -> 1: remove chunk 2, add chunk 3 (300 bytes): 300 + 12*2 = 324
+        let e01 = g.add_edge(v0, v1, 324, 300 + 6 * 2);
+        // 1 -> 2: add chunk 4 (400 bytes): 400 + 12 = 412
+        let e12 = g.add_edge(v1, v2, 412, 400 + 6);
+        let plan = StoragePlan {
+            parent: vec![Parent::Materialized, Parent::Delta(e01), Parent::Delta(e12)],
+        };
+        (g, plan)
+    }
+
+    #[test]
+    fn roundtrip_verifies_and_measures_exactly() {
+        let (g, plan) = tiny_graph();
+        let mut store = MemStore::new();
+        let mut exec = PlanExecutor::new(&mut store);
+        let (stored, report) = exec.run(&g, &plan, &TinySource).expect("roundtrip");
+        assert_eq!(report.verified, 3);
+        assert!(report.agreement(), "{report:?}");
+        assert_eq!(report.measured.storage, 300 + 324 + 412);
+        assert_eq!(report.measured.total_retrieval, 312 + 312 + 406);
+        assert_eq!(report.measured.max_retrieval, 312 + 406);
+        assert_eq!(report.bytes_reconstructed, 300 + 400 + 800);
+        // One chunk object + two delta objects.
+        assert_eq!(store.object_count(), 3);
+        let _ = stored;
+    }
+
+    #[test]
+    fn corruption_surfaces_as_typed_error() {
+        let (g, plan) = tiny_graph();
+        let mut store = MemStore::new();
+        let mut exec = PlanExecutor::new(&mut store);
+        let stored = exec.ingest(&g, &plan, &TinySource).expect("ingest");
+        store.corrupt_object(stored.objects[1]);
+        let mut exec = PlanExecutor::new(&mut store);
+        let err = exec.execute(&g, &stored).expect_err("corrupt delta");
+        assert!(
+            matches!(err, ExecError::Store(StoreError::Corrupt { .. })),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn release_then_gc_reclaims_everything() {
+        let (g, plan) = tiny_graph();
+        let mut store = MemStore::new();
+        let mut exec = PlanExecutor::new(&mut store);
+        let (stored, _) = exec.run(&g, &plan, &TinySource).expect("roundtrip");
+        exec.release(&stored).expect("release");
+        let stats = exec.store().gc().expect("gc");
+        assert_eq!(stats.collected_objects, 3);
+        assert_eq!(exec.store().object_count(), 0);
+    }
+
+    #[test]
+    fn wrong_source_is_rejected() {
+        let (g, plan) = tiny_graph();
+        struct Short;
+        impl VersionSource for Short {
+            fn version_count(&self) -> usize {
+                1
+            }
+            fn payload(&self, _v: u32) -> Payload {
+                Payload::Sketch(vec![])
+            }
+            fn delta(&self, _s: u32, _d: u32) -> Vec<u8> {
+                Vec::new()
+            }
+        }
+        let mut store = MemStore::new();
+        let mut exec = PlanExecutor::new(&mut store);
+        assert!(matches!(
+            exec.ingest(&g, &plan, &Short),
+            Err(ExecError::Mismatch { .. })
+        ));
+        let _ = NodeId(0);
+    }
+}

@@ -28,6 +28,14 @@
 //! to solvers, and a portfolio mode returning the best feasible plan. New
 //! code should go through the engine; the free functions remain as the
 //! algorithm layer underneath it.
+//!
+//! Planning is no longer the end of the pipeline: the [`executor`] takes
+//! any engine [`engine::Solution`] and materializes it against a
+//! content-addressed store (`dsv_delta::store`), reconstructing and
+//! hash-verifying every version and measuring real storage/retrieval costs
+//! next to the plan's predictions —
+//! [`Engine::solve_and_execute`](engine::Engine::solve_and_execute) runs
+//! the whole solve → store → verify chain in one call.
 
 #![warn(missing_docs)]
 
@@ -36,6 +44,7 @@ pub mod btw;
 pub mod cancel;
 pub mod engine;
 pub mod exact;
+pub mod executor;
 pub mod heuristics;
 pub mod plan;
 pub mod problem;
@@ -44,5 +53,6 @@ pub mod tree;
 
 pub use cancel::CancelToken;
 pub use engine::{Engine, Portfolio, Solution, SolveError, SolveOptions, Solver, SolverMeta};
+pub use executor::{ExecError, ExecutionReport, PlanExecutor, StoredPlan};
 pub use plan::{Parent, StoragePlan};
 pub use problem::{Objective, ProblemKind};

@@ -13,10 +13,28 @@
 //!   deltas are real Myers diffs. Used for the smaller corpora.
 //! * **Sketch** — versions are chunk sketches ([`crate::chunks`]). Used for
 //!   corpora whose versions are megabytes to hundreds of megabytes.
+//!
+//! ## Determinism
+//!
+//! Generation is deterministic per seed, and the randomness is split into
+//! independent streams: one stream drives *topology* (branch/merge/tip
+//! choices) and every commit's *content* edits are drawn from a stream
+//! seeded by `(seed, commit index)`. No content draw ever consumes from
+//! another commit's stream, so generated corpora are byte-stable no matter
+//! how the surrounding harness is threaded (`DSV_NUM_THREADS` — the CI
+//! thread matrix — never changes a corpus), and per-commit content
+//! synthesis can be parallelized without changing a single byte.
+//!
+//! With `keep_content` set, the full per-version content (snapshots or
+//! sketches) is retained as a [`CorpusContent`] — the [`VersionSource`]
+//! that the on-disk store executes plans against.
+//!
+//! [`VersionSource`]: crate::store::VersionSource
 
 use crate::chunks::ChunkSketch;
 use crate::dataset::{LineStore, Snapshot};
 use crate::script::CostParams;
+use crate::store::{splitmix64, CorpusContent};
 use dsv_vgraph::{NodeId, VersionGraph};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -71,12 +89,14 @@ pub struct EvolveParams {
     pub merge_prob: f64,
     /// Upper bound on simultaneously live branches.
     pub max_branches: usize,
-    /// Retain a sketch per commit (needed by the ER construction); only
-    /// meaningful in sketch mode.
-    pub keep_all_sketches: bool,
+    /// Retain the full per-version content as a [`CorpusContent`]
+    /// (snapshots in text mode, sketches in sketch mode) — needed by the ER
+    /// construction and by store execution.
+    pub keep_content: bool,
     /// Content model.
     pub mode: ContentMode,
-    /// RNG seed (generation is fully deterministic per seed).
+    /// RNG seed (generation is fully deterministic per seed; see the
+    /// module docs for the stream split).
     pub seed: u64,
 }
 
@@ -87,10 +107,23 @@ pub struct Evolution {
     pub graph: VersionGraph,
     /// Parent commits of each node (2 entries for merge commits).
     pub parents: Vec<Vec<u32>>,
-    /// Per-commit sketches when `keep_all_sketches` was set.
-    pub sketches: Option<Vec<ChunkSketch>>,
+    /// Per-version content when `keep_content` was set.
+    pub content: Option<CorpusContent>,
     /// Number of merge commits generated.
     pub merge_count: usize,
+}
+
+/// The topology stream: branch/merge/tip decisions.
+fn topology_rng(seed: u64) -> SmallRng {
+    SmallRng::seed_from_u64(splitmix64(seed ^ 0xD15E_A5ED_7090_0001))
+}
+
+/// The per-commit content stream: edits of commit `index` (the root's
+/// initial content is commit 0).
+fn content_rng(seed: u64, index: usize) -> SmallRng {
+    SmallRng::seed_from_u64(splitmix64(
+        seed ^ (index as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+    ))
 }
 
 /// Run the simulator.
@@ -137,16 +170,17 @@ fn random_line(rng: &mut SmallRng, len: usize) -> String {
 }
 
 fn evolve_text(params: &EvolveParams, tp: &TextParams) -> Evolution {
-    let mut rng = SmallRng::seed_from_u64(params.seed);
+    let mut topo = topology_rng(params.seed);
     let mut store = LineStore::new();
     let cost = CostParams::default();
 
-    // Initial snapshot.
+    // Initial snapshot — commit 0's content stream.
+    let mut init_rng = content_rng(params.seed, 0);
     let mut init = Snapshot::default();
     for f in 0..tp.files {
         let lines: Vec<u32> = (0..tp.init_lines_per_file)
             .map(|_| {
-                let l = random_line(&mut rng, tp.line_len);
+                let l = random_line(&mut init_rng, tp.line_len);
                 store.intern(&l)
             })
             .collect();
@@ -155,8 +189,12 @@ fn evolve_text(params: &EvolveParams, tp: &TextParams) -> Evolution {
 
     let mut g = VersionGraph::new();
     let mut parents: Vec<Vec<u32>> = Vec::with_capacity(params.commits);
+    let mut snapshots: Vec<Snapshot> = Vec::new();
     let root = g.add_node(init.byte_size(&store));
     parents.push(Vec::new());
+    if params.keep_content {
+        snapshots.push(init.clone());
+    }
     // Tips: (node id, snapshot).
     let mut tips: Vec<(NodeId, Snapshot)> = vec![(root, init)];
     let mut merge_count = 0usize;
@@ -185,10 +223,11 @@ fn evolve_text(params: &EvolveParams, tp: &TextParams) -> Evolution {
 
     while g.n() < params.commits {
         let can_merge = tips.len() >= 2 && g.n() + 1 < params.commits;
-        if can_merge && rng.gen_bool(params.merge_prob) {
-            // Merge two random distinct tips.
-            let i = rng.gen_range(0..tips.len());
-            let mut j = rng.gen_range(0..tips.len() - 1);
+        if can_merge && topo.gen_bool(params.merge_prob) {
+            // Merge two random distinct tips (content is deterministic
+            // conflict resolution — no randomness consumed).
+            let i = topo.gen_range(0..tips.len());
+            let mut j = topo.gen_range(0..tips.len() - 1);
             if j >= i {
                 j += 1;
             }
@@ -200,18 +239,26 @@ fn evolve_text(params: &EvolveParams, tp: &TextParams) -> Evolution {
             parents.push(vec![p1.0, p2.0]);
             connect(&mut g, &store, p1, &s1, child, &merged);
             connect(&mut g, &store, p2, &s2, child, &merged);
+            if params.keep_content {
+                snapshots.push(merged.clone());
+            }
             tips.push((child, merged));
             merge_count += 1;
         } else {
-            // Advance or fork a tip.
-            let idx = rng.gen_range(0..tips.len());
-            let fork = tips.len() < params.max_branches && rng.gen_bool(params.branch_prob);
+            // Advance or fork a tip; edits come from the child commit's
+            // own content stream.
+            let idx = topo.gen_range(0..tips.len());
+            let fork = tips.len() < params.max_branches && topo.gen_bool(params.branch_prob);
             let (pid, psnap) = tips[idx].clone();
             let mut snap = psnap.clone();
-            edit_snapshot(&mut snap, &mut store, tp, &mut rng);
+            let mut edit_rng = content_rng(params.seed, g.n());
+            edit_snapshot(&mut snap, &mut store, tp, &mut edit_rng);
             let child = g.add_node(snap.byte_size(&store));
             parents.push(vec![pid.0]);
             connect(&mut g, &store, pid, &psnap, child, &snap);
+            if params.keep_content {
+                snapshots.push(snap.clone());
+            }
             if fork {
                 tips.push((child, snap));
             } else {
@@ -220,10 +267,14 @@ fn evolve_text(params: &EvolveParams, tp: &TextParams) -> Evolution {
         }
     }
 
+    let content = params.keep_content.then_some(CorpusContent::Text {
+        lines: store,
+        snapshots,
+    });
     Evolution {
         graph: g,
         parents,
-        sketches: None,
+        content,
         merge_count,
     }
 }
@@ -264,7 +315,10 @@ fn merge_snapshots(a: &Snapshot, b: &Snapshot) -> Snapshot {
 // -------------------------------------------------------------- sketch mode
 
 fn evolve_sketch(params: &EvolveParams, sp: &SketchParams) -> Evolution {
-    let mut rng = SmallRng::seed_from_u64(params.seed);
+    let mut topo = topology_rng(params.seed);
+    // Chunk ids are content addresses: a global counter keeps them unique
+    // across commits (the sequence of draws per commit is fixed by its
+    // stream, so the assignment is deterministic).
     let mut next_chunk_id: u64 = 1;
     let fresh_chunk = |rng: &mut SmallRng, next: &mut u64| -> (u64, u32) {
         let id = *next;
@@ -275,9 +329,10 @@ fn evolve_sketch(params: &EvolveParams, sp: &SketchParams) -> Evolution {
         (id, rng.gen_range(lo..=hi))
     };
 
+    let mut init_rng = content_rng(params.seed, 0);
     let mut init = ChunkSketch::new();
     while init.byte_size() < sp.init_bytes {
-        let (id, sz) = fresh_chunk(&mut rng, &mut next_chunk_id);
+        let (id, sz) = fresh_chunk(&mut init_rng, &mut next_chunk_id);
         init.insert(id, sz);
     }
 
@@ -286,7 +341,7 @@ fn evolve_sketch(params: &EvolveParams, sp: &SketchParams) -> Evolution {
     let mut all_sketches: Vec<ChunkSketch> = Vec::new();
     let root = g.add_node(init.byte_size());
     parents.push(Vec::new());
-    if params.keep_all_sketches {
+    if params.keep_content {
         all_sketches.push(init.clone());
     }
     let mut tips: Vec<(NodeId, ChunkSketch)> = vec![(root, init)];
@@ -305,9 +360,9 @@ fn evolve_sketch(params: &EvolveParams, sp: &SketchParams) -> Evolution {
 
     while g.n() < params.commits {
         let can_merge = tips.len() >= 2 && g.n() + 1 < params.commits;
-        if can_merge && rng.gen_bool(params.merge_prob) {
-            let i = rng.gen_range(0..tips.len());
-            let mut j = rng.gen_range(0..tips.len() - 1);
+        if can_merge && topo.gen_bool(params.merge_prob) {
+            let i = topo.gen_range(0..tips.len());
+            let mut j = topo.gen_range(0..tips.len() - 1);
             if j >= i {
                 j += 1;
             }
@@ -325,25 +380,27 @@ fn evolve_sketch(params: &EvolveParams, sp: &SketchParams) -> Evolution {
             parents.push(vec![p1.0, p2.0]);
             connect(&mut g, p1, &s1, child, &merged);
             connect(&mut g, p2, &s2, child, &merged);
-            if params.keep_all_sketches {
+            if params.keep_content {
                 all_sketches.push(merged.clone());
             }
             tips.push((child, merged));
             merge_count += 1;
         } else {
-            let idx = rng.gen_range(0..tips.len());
-            let fork = tips.len() < params.max_branches && rng.gen_bool(params.branch_prob);
+            let idx = topo.gen_range(0..tips.len());
+            let fork = tips.len() < params.max_branches && topo.gen_bool(params.branch_prob);
             let (pid, psketch) = tips[idx].clone();
             let mut sketch = psketch.clone();
-            // Apply churn: replace some chunks, add the rest as growth.
-            let churn = rng.gen_range(sp.churn_bytes.0..=sp.churn_bytes.1.max(1));
+            // Apply churn from the child commit's own content stream:
+            // replace some chunks, add the rest as growth.
+            let mut churn_rng = content_rng(params.seed, g.n());
+            let churn = churn_rng.gen_range(sp.churn_bytes.0..=sp.churn_bytes.1.max(1));
             let mut added = 0u64;
             while added < churn {
-                let (id, sz) = fresh_chunk(&mut rng, &mut next_chunk_id);
-                if rng.gen_bool(sp.replace_ratio) && sketch.chunk_count() > 1 {
+                let (id, sz) = fresh_chunk(&mut churn_rng, &mut next_chunk_id);
+                if churn_rng.gen_bool(sp.replace_ratio) && sketch.chunk_count() > 1 {
                     // Replace: drop a random existing chunk.
                     let ids = sketch.ids();
-                    let victim = ids[rng.gen_range(0..ids.len())];
+                    let victim = ids[churn_rng.gen_range(0..ids.len())];
                     sketch.remove(victim);
                 }
                 sketch.insert(id, sz);
@@ -352,7 +409,7 @@ fn evolve_sketch(params: &EvolveParams, sp: &SketchParams) -> Evolution {
             let child = g.add_node(sketch.byte_size());
             parents.push(vec![pid.0]);
             connect(&mut g, pid, &psketch, child, &sketch);
-            if params.keep_all_sketches {
+            if params.keep_content {
                 all_sketches.push(sketch.clone());
             }
             if fork {
@@ -363,10 +420,13 @@ fn evolve_sketch(params: &EvolveParams, sp: &SketchParams) -> Evolution {
         }
     }
 
+    let content = params.keep_content.then_some(CorpusContent::Sketch {
+        sketches: all_sketches,
+    });
     Evolution {
         graph: g,
         parents,
-        sketches: params.keep_all_sketches.then_some(all_sketches),
+        content,
         merge_count,
     }
 }
@@ -381,7 +441,7 @@ mod tests {
             branch_prob: 0.1,
             merge_prob: 0.1,
             max_branches: 4,
-            keep_all_sketches: false,
+            keep_content: false,
             mode: ContentMode::Text(TextParams {
                 files: 3,
                 init_lines_per_file: 40,
@@ -399,7 +459,7 @@ mod tests {
             branch_prob: 0.15,
             merge_prob: 0.1,
             max_branches: 6,
-            keep_all_sketches: true,
+            keep_content: true,
             mode: ContentMode::Sketch(SketchParams {
                 chunk_size: 512,
                 init_bytes: 20_000,
@@ -408,6 +468,13 @@ mod tests {
             }),
             seed: 12,
         }
+    }
+
+    fn sketches(ev: &Evolution) -> &[ChunkSketch] {
+        ev.content
+            .as_ref()
+            .and_then(|c| c.sketches())
+            .expect("sketch content retained")
     }
 
     #[test]
@@ -436,11 +503,25 @@ mod tests {
     }
 
     #[test]
+    fn text_evolution_keeps_snapshots_on_request() {
+        let mut params = text_params(20);
+        params.keep_content = true;
+        let ev = evolve(&params);
+        let Some(CorpusContent::Text { lines, snapshots }) = &ev.content else {
+            panic!("text content retained");
+        };
+        assert_eq!(snapshots.len(), 20);
+        for (v, s) in ev.graph.node_ids().zip(snapshots) {
+            assert_eq!(ev.graph.node_storage(v), s.byte_size(lines));
+        }
+    }
+
+    #[test]
     fn sketch_evolution_keeps_all_sketches() {
         let ev = evolve(&sketch_params(50));
-        let sketches = ev.sketches.expect("requested");
+        let sketches = sketches(&ev);
         assert_eq!(sketches.len(), 50);
-        for (v, s) in ev.graph.node_ids().zip(&sketches) {
+        for (v, s) in ev.graph.node_ids().zip(sketches) {
             assert_eq!(ev.graph.node_storage(v), s.byte_size());
         }
     }
@@ -448,7 +529,7 @@ mod tests {
     #[test]
     fn sketch_edge_costs_match_sketch_deltas() {
         let ev = evolve(&sketch_params(30));
-        let sketches = ev.sketches.expect("requested");
+        let sketches = sketches(&ev);
         for e in ev.graph.edges() {
             let d = sketches[e.src.index()].delta_to(&sketches[e.dst.index()]);
             assert_eq!(e.storage, d.storage_cost());

@@ -35,7 +35,7 @@ impl Default for CostParams {
 
 /// An edit script between two versions, with the byte sizes needed to price
 /// it under [`CostParams`].
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct EditScript {
     /// Number of edit ops (non-`Equal` runs).
     pub ops: usize,

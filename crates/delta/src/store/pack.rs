@@ -1,0 +1,811 @@
+//! The persistent content-addressed backend.
+//!
+//! On-disk layout under the store directory:
+//!
+//! ```text
+//! <dir>/pack.dsv     append-only pack: "DSVPACK1" magic, then records
+//!                    [id 16B][kind 1B][len 8B LE][payload]
+//! <dir>/pack.idx     fixed-width index: "DSVIDX01" magic, entry count,
+//!                    then 44-byte entries sorted by id:
+//!                    [id 16B][offset 8B][len 8B][kind 1B][pad 3B][rc 4B]
+//! <dir>/objects/     loose files for large objects, named by their hex id
+//! ```
+//!
+//! Small objects are appended to the pack; objects at or above the loose
+//! threshold become individual hash-keyed files (the classic loose/packed
+//! split). The index is fixed-width and sorted so an external reader can
+//! binary-search it straight from an `mmap` without parsing; this crate
+//! reads it eagerly into a map on open. Reference counts are persisted in
+//! the index, so retain/release balances survive process restarts.
+//!
+//! [`Store::gc`] compacts: dead loose files are unlinked and the pack is
+//! rewritten with only live records (then atomically swapped in), so
+//! reclaimed bytes are returned to the filesystem, not just forgotten.
+
+use super::{hash_object, GcStats, ObjectId, ObjectKind, ObjectMeta, Store, StoreError};
+use std::collections::BTreeMap;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+const PACK_MAGIC: &[u8; 8] = b"DSVPACK1";
+const IDX_MAGIC: &[u8; 8] = b"DSVIDX01";
+const RECORD_HEADER: u64 = 16 + 1 + 8;
+const IDX_ENTRY: usize = 16 + 8 + 8 + 1 + 3 + 4;
+
+/// Objects at or above this many bytes are stored as loose hash-keyed
+/// files instead of pack records.
+pub const DEFAULT_LOOSE_THRESHOLD: u64 = 32 * 1024;
+
+/// Sentinel offset marking a loose object in the index.
+const LOOSE_OFFSET: u64 = u64::MAX;
+
+#[derive(Clone, Copy, Debug)]
+struct Entry {
+    /// Byte offset of the record in `pack.dsv`, or [`LOOSE_OFFSET`].
+    offset: u64,
+    len: u64,
+    kind: ObjectKind,
+    refcount: u32,
+}
+
+/// Where an object physically lives — exposed for tooling and for
+/// fault-injection tests that corrupt real bytes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ObjectLocation {
+    /// A record inside `pack.dsv`; `payload_offset` is where the payload
+    /// bytes start.
+    Packed {
+        /// Offset of the first payload byte in the pack file.
+        payload_offset: u64,
+        /// Payload length.
+        len: u64,
+    },
+    /// A loose file holding exactly the payload bytes.
+    Loose {
+        /// The loose file's path.
+        path: PathBuf,
+    },
+}
+
+/// The persistent content-addressed store. See the module docs for the
+/// layout.
+#[derive(Debug)]
+pub struct PackStore {
+    dir: PathBuf,
+    pack_path: PathBuf,
+    idx_path: PathBuf,
+    entries: BTreeMap<ObjectId, Entry>,
+    pack_len: u64,
+    loose_threshold: u64,
+    /// Cached read handle for the pack file (lazily opened, invalidated
+    /// when GC swaps the file), so the read path costs a seek, not an
+    /// open, per object.
+    reader: std::sync::Mutex<Option<File>>,
+}
+
+fn io_err(op: &'static str, path: &Path, e: std::io::Error) -> StoreError {
+    StoreError::Io {
+        op,
+        path: path.display().to_string(),
+        detail: e.to_string(),
+    }
+}
+
+impl PackStore {
+    /// Open (or create) a store under `dir` with the default loose
+    /// threshold.
+    pub fn open(dir: impl Into<PathBuf>) -> Result<Self, StoreError> {
+        Self::open_with_threshold(dir, DEFAULT_LOOSE_THRESHOLD)
+    }
+
+    /// Open (or create) a store under `dir`, storing objects of at least
+    /// `loose_threshold` bytes as loose files.
+    pub fn open_with_threshold(
+        dir: impl Into<PathBuf>,
+        loose_threshold: u64,
+    ) -> Result<Self, StoreError> {
+        let dir = dir.into();
+        let objects = dir.join("objects");
+        std::fs::create_dir_all(&objects).map_err(|e| io_err("create_dir", &objects, e))?;
+        let pack_path = dir.join("pack.dsv");
+        let idx_path = dir.join("pack.idx");
+
+        let mut store = PackStore {
+            dir,
+            pack_path,
+            idx_path,
+            entries: BTreeMap::new(),
+            pack_len: 0,
+            loose_threshold,
+            reader: std::sync::Mutex::new(None),
+        };
+        store.init_pack()?;
+        if store.idx_path.exists() {
+            store.load_index()?;
+            // Crash recovery: records appended after the index was last
+            // written (put without flush) are scanned back in; a torn
+            // trailing record is truncated away so future appends land on
+            // a valid boundary.
+            store.scan_pack_tail()?;
+        } else if store.pack_len > PACK_MAGIC.len() as u64 || store.any_loose()? {
+            // Recovery: no index but data exists — rebuild from the pack
+            // and the loose directory. Reference counts are unknown; every
+            // recovered object gets one reference.
+            store.rebuild_index()?;
+        }
+        Ok(store)
+    }
+
+    /// The store's directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Path of the pack file.
+    pub fn pack_path(&self) -> &Path {
+        &self.pack_path
+    }
+
+    /// Total bytes of the pack file (including dead records until the next
+    /// [`Store::gc`]).
+    pub fn pack_file_len(&self) -> u64 {
+        self.pack_len
+    }
+
+    /// Where an object physically lives, or `None` if absent.
+    pub fn locate(&self, id: ObjectId) -> Option<ObjectLocation> {
+        let e = self.entries.get(&id)?;
+        Some(if e.offset == LOOSE_OFFSET {
+            ObjectLocation::Loose {
+                path: self.loose_path(id),
+            }
+        } else {
+            ObjectLocation::Packed {
+                payload_offset: e.offset + RECORD_HEADER,
+                len: e.len,
+            }
+        })
+    }
+
+    fn loose_path(&self, id: ObjectId) -> PathBuf {
+        self.dir.join("objects").join(id.to_string())
+    }
+
+    fn any_loose(&self) -> Result<bool, StoreError> {
+        let objects = self.dir.join("objects");
+        let mut it = std::fs::read_dir(&objects).map_err(|e| io_err("read_dir", &objects, e))?;
+        Ok(it.next().is_some())
+    }
+
+    /// Ensure the pack file exists with a valid magic; record its length.
+    fn init_pack(&mut self) -> Result<(), StoreError> {
+        let mut f = OpenOptions::new()
+            .read(true)
+            .append(true)
+            .create(true)
+            .open(&self.pack_path)
+            .map_err(|e| io_err("open", &self.pack_path, e))?;
+        let len = f
+            .metadata()
+            .map_err(|e| io_err("stat", &self.pack_path, e))?
+            .len();
+        if len == 0 {
+            f.write_all(PACK_MAGIC)
+                .map_err(|e| io_err("write", &self.pack_path, e))?;
+            self.pack_len = PACK_MAGIC.len() as u64;
+        } else {
+            let mut magic = [0u8; 8];
+            f.seek(SeekFrom::Start(0))
+                .and_then(|_| f.read_exact(&mut magic))
+                .map_err(|e| io_err("read", &self.pack_path, e))?;
+            if &magic != PACK_MAGIC {
+                return Err(StoreError::InvalidFormat {
+                    detail: format!("{} has a bad magic", self.pack_path.display()),
+                });
+            }
+            self.pack_len = len;
+        }
+        Ok(())
+    }
+
+    fn load_index(&mut self) -> Result<(), StoreError> {
+        let bytes = std::fs::read(&self.idx_path).map_err(|e| io_err("read", &self.idx_path, e))?;
+        let bad = |detail: String| StoreError::InvalidFormat { detail };
+        if bytes.len() < 16 || &bytes[..8] != IDX_MAGIC {
+            return Err(bad(format!("{} has a bad header", self.idx_path.display())));
+        }
+        let count = u64::from_le_bytes(bytes[8..16].try_into().expect("8 bytes")) as usize;
+        if bytes.len() != 16 + count * IDX_ENTRY {
+            return Err(bad(format!(
+                "{}: {} bytes for {count} entries",
+                self.idx_path.display(),
+                bytes.len()
+            )));
+        }
+        for i in 0..count {
+            let e = &bytes[16 + i * IDX_ENTRY..16 + (i + 1) * IDX_ENTRY];
+            let id = ObjectId(
+                u64::from_le_bytes(e[0..8].try_into().expect("8 bytes")),
+                u64::from_le_bytes(e[8..16].try_into().expect("8 bytes")),
+            );
+            let offset = u64::from_le_bytes(e[16..24].try_into().expect("8 bytes"));
+            let len = u64::from_le_bytes(e[24..32].try_into().expect("8 bytes"));
+            let kind = ObjectKind::from_tag(e[32])
+                .ok_or_else(|| bad(format!("index entry {i} has kind tag {}", e[32])))?;
+            let refcount = u32::from_le_bytes(e[36..40].try_into().expect("4 bytes"));
+            // A packed entry must lie entirely inside the pack file; a
+            // corrupted index must fail typed here, not as an absurd
+            // allocation in the read path.
+            if offset != LOOSE_OFFSET {
+                let end = offset
+                    .checked_add(RECORD_HEADER)
+                    .and_then(|x| x.checked_add(len));
+                if offset < PACK_MAGIC.len() as u64 || end.is_none_or(|end| end > self.pack_len) {
+                    return Err(bad(format!(
+                        "index entry {i} ({id}) spans {offset}+{len} outside the {} byte pack",
+                        self.pack_len
+                    )));
+                }
+            }
+            self.entries.insert(
+                id,
+                Entry {
+                    offset,
+                    len,
+                    kind,
+                    refcount,
+                },
+            );
+        }
+        Ok(())
+    }
+
+    /// Recover records appended after the index was last written (a crash
+    /// between `put` and `flush`): scan forward from the last indexed
+    /// record, verify each candidate's payload hashes to its id, and adopt
+    /// it with one reference. A torn trailing record (crash mid-append) is
+    /// truncated away so future appends land on a valid boundary.
+    fn scan_pack_tail(&mut self) -> Result<(), StoreError> {
+        let covered = self
+            .entries
+            .values()
+            .filter(|e| e.offset != LOOSE_OFFSET)
+            .map(|e| e.offset + RECORD_HEADER + e.len)
+            .max()
+            .unwrap_or(PACK_MAGIC.len() as u64);
+        if covered >= self.pack_len {
+            return Ok(());
+        }
+        let mut f = File::open(&self.pack_path).map_err(|e| io_err("open", &self.pack_path, e))?;
+        let mut offset = covered;
+        let mut truncate_at = None;
+        while offset < self.pack_len {
+            if self.pack_len - offset < RECORD_HEADER {
+                truncate_at = Some(offset);
+                break;
+            }
+            f.seek(SeekFrom::Start(offset))
+                .map_err(|e| io_err("seek", &self.pack_path, e))?;
+            let mut rec = [0u8; RECORD_HEADER as usize];
+            f.read_exact(&mut rec)
+                .map_err(|e| io_err("read", &self.pack_path, e))?;
+            let id = ObjectId(
+                u64::from_le_bytes(rec[0..8].try_into().expect("8 bytes")),
+                u64::from_le_bytes(rec[8..16].try_into().expect("8 bytes")),
+            );
+            let kind = ObjectKind::from_tag(rec[16]);
+            let len = u64::from_le_bytes(rec[17..25].try_into().expect("8 bytes"));
+            let (Some(kind), true) = (kind, offset + RECORD_HEADER + len <= self.pack_len) else {
+                truncate_at = Some(offset);
+                break;
+            };
+            let mut payload = vec![0u8; len as usize];
+            f.read_exact(&mut payload)
+                .map_err(|e| io_err("read", &self.pack_path, e))?;
+            if hash_object(kind, &payload) != id {
+                truncate_at = Some(offset);
+                break;
+            }
+            self.entries.entry(id).or_insert(Entry {
+                offset,
+                len,
+                kind,
+                refcount: 1,
+            });
+            offset += RECORD_HEADER + len;
+        }
+        if let Some(at) = truncate_at {
+            drop(f);
+            let w = OpenOptions::new()
+                .write(true)
+                .open(&self.pack_path)
+                .map_err(|e| io_err("open", &self.pack_path, e))?;
+            w.set_len(at)
+                .map_err(|e| io_err("truncate", &self.pack_path, e))?;
+            self.pack_len = at;
+        }
+        Ok(())
+    }
+
+    /// Write the fixed-width sorted index atomically (tmp + rename).
+    fn write_index(&self) -> Result<(), StoreError> {
+        let mut out = Vec::with_capacity(16 + self.entries.len() * IDX_ENTRY);
+        out.extend_from_slice(IDX_MAGIC);
+        out.extend_from_slice(&(self.entries.len() as u64).to_le_bytes());
+        // BTreeMap iterates sorted by id — the binary-search invariant.
+        for (id, e) in &self.entries {
+            out.extend_from_slice(&id.0.to_le_bytes());
+            out.extend_from_slice(&id.1.to_le_bytes());
+            out.extend_from_slice(&e.offset.to_le_bytes());
+            out.extend_from_slice(&e.len.to_le_bytes());
+            out.push(e.kind.tag());
+            out.extend_from_slice(&[0u8; 3]);
+            out.extend_from_slice(&e.refcount.to_le_bytes());
+        }
+        let tmp = self.idx_path.with_extension("idx.tmp");
+        std::fs::write(&tmp, &out).map_err(|e| io_err("write", &tmp, e))?;
+        std::fs::rename(&tmp, &self.idx_path).map_err(|e| io_err("rename", &self.idx_path, e))?;
+        Ok(())
+    }
+
+    /// Rebuild the in-memory index by scanning the pack and the loose
+    /// directory (recovery path when `pack.idx` is missing).
+    fn rebuild_index(&mut self) -> Result<(), StoreError> {
+        let mut f = File::open(&self.pack_path).map_err(|e| io_err("open", &self.pack_path, e))?;
+        let mut header = [0u8; 8];
+        f.read_exact(&mut header)
+            .map_err(|e| io_err("read", &self.pack_path, e))?;
+        let mut offset = PACK_MAGIC.len() as u64;
+        while offset < self.pack_len {
+            let mut rec = [0u8; RECORD_HEADER as usize];
+            f.read_exact(&mut rec)
+                .map_err(|e| io_err("read", &self.pack_path, e))?;
+            let id = ObjectId(
+                u64::from_le_bytes(rec[0..8].try_into().expect("8 bytes")),
+                u64::from_le_bytes(rec[8..16].try_into().expect("8 bytes")),
+            );
+            let kind = ObjectKind::from_tag(rec[16]).ok_or_else(|| StoreError::InvalidFormat {
+                detail: format!("pack record at {offset} has kind tag {}", rec[16]),
+            })?;
+            let len = u64::from_le_bytes(rec[17..25].try_into().expect("8 bytes"));
+            // Same bounds guard as load_index: a corrupted length field
+            // must fail typed, not wrap the scan offset or seek past EOF.
+            // (Payload integrity itself is re-checked on every get.)
+            if offset
+                .checked_add(RECORD_HEADER)
+                .and_then(|x| x.checked_add(len))
+                .is_none_or(|end| end > self.pack_len)
+            {
+                return Err(StoreError::InvalidFormat {
+                    detail: format!(
+                        "pack record at {offset} claims {len} bytes beyond the {} byte pack",
+                        self.pack_len
+                    ),
+                });
+            }
+            self.entries.insert(
+                id,
+                Entry {
+                    offset,
+                    len,
+                    kind,
+                    refcount: 1,
+                },
+            );
+            offset += RECORD_HEADER + len;
+            f.seek(SeekFrom::Start(offset))
+                .map_err(|e| io_err("seek", &self.pack_path, e))?;
+        }
+        let objects = self.dir.join("objects");
+        let rd = std::fs::read_dir(&objects).map_err(|e| io_err("read_dir", &objects, e))?;
+        for dirent in rd {
+            let dirent = dirent.map_err(|e| io_err("read_dir", &objects, e))?;
+            let name = dirent.file_name();
+            let name = name.to_string_lossy();
+            if name.len() != 32 {
+                continue;
+            }
+            let (hi, lo) = name.split_at(16);
+            let (Ok(a), Ok(b)) = (u64::from_str_radix(hi, 16), u64::from_str_radix(lo, 16)) else {
+                continue;
+            };
+            let path = dirent.path();
+            let bytes = std::fs::read(&path).map_err(|e| io_err("read", &path, e))?;
+            // Loose files carry no kind tag; recover it by matching the hash.
+            let id = ObjectId(a, b);
+            let kind = [ObjectKind::Chunk, ObjectKind::Delta]
+                .into_iter()
+                .find(|&k| hash_object(k, &bytes) == id)
+                .ok_or_else(|| StoreError::Corrupt {
+                    id,
+                    detail: "loose file does not hash to its name under any kind".into(),
+                })?;
+            self.entries.insert(
+                id,
+                Entry {
+                    offset: LOOSE_OFFSET,
+                    len: bytes.len() as u64,
+                    kind,
+                    refcount: 1,
+                },
+            );
+        }
+        Ok(())
+    }
+
+    fn read_packed(&self, id: ObjectId, e: &Entry) -> Result<Vec<u8>, StoreError> {
+        let mut guard = self.reader.lock().expect("pack reader lock");
+        if guard.is_none() {
+            *guard =
+                Some(File::open(&self.pack_path).map_err(|e| io_err("open", &self.pack_path, e))?);
+        }
+        let f = guard.as_mut().expect("reader just opened");
+        let mut rec = [0u8; RECORD_HEADER as usize];
+        let mut payload = vec![0u8; e.len as usize];
+        let io = f
+            .seek(SeekFrom::Start(e.offset))
+            .and_then(|_| f.read_exact(&mut rec))
+            .and_then(|_| f.read_exact(&mut payload));
+        if let Err(err) = io {
+            // Drop the cached handle so the next read reopens cleanly.
+            *guard = None;
+            return Err(io_err("read", &self.pack_path, err));
+        }
+        let rec_id = ObjectId(
+            u64::from_le_bytes(rec[0..8].try_into().expect("8 bytes")),
+            u64::from_le_bytes(rec[8..16].try_into().expect("8 bytes")),
+        );
+        if rec_id != id {
+            return Err(StoreError::Corrupt {
+                id,
+                detail: format!("pack record at {} is for {rec_id}", e.offset),
+            });
+        }
+        Ok(payload)
+    }
+}
+
+impl Store for PackStore {
+    fn put(&mut self, kind: ObjectKind, bytes: &[u8]) -> Result<ObjectId, StoreError> {
+        let id = hash_object(kind, bytes);
+        if let Some(e) = self.entries.get_mut(&id) {
+            e.refcount += 1;
+            return Ok(id);
+        }
+        let offset = if bytes.len() as u64 >= self.loose_threshold {
+            let path = self.loose_path(id);
+            std::fs::write(&path, bytes).map_err(|e| io_err("write", &path, e))?;
+            LOOSE_OFFSET
+        } else {
+            let mut f = OpenOptions::new()
+                .append(true)
+                .open(&self.pack_path)
+                .map_err(|e| io_err("open", &self.pack_path, e))?;
+            let offset = self.pack_len;
+            let mut rec = Vec::with_capacity(RECORD_HEADER as usize + bytes.len());
+            rec.extend_from_slice(&id.0.to_le_bytes());
+            rec.extend_from_slice(&id.1.to_le_bytes());
+            rec.push(kind.tag());
+            rec.extend_from_slice(&(bytes.len() as u64).to_le_bytes());
+            rec.extend_from_slice(bytes);
+            if let Err(e) = f.write_all(&rec) {
+                // A partial append leaves garbage past pack_len; truncate
+                // it away so the next put's recorded offset stays honest.
+                let _ = f.set_len(self.pack_len);
+                return Err(io_err("write", &self.pack_path, e));
+            }
+            self.pack_len += rec.len() as u64;
+            offset
+        };
+        self.entries.insert(
+            id,
+            Entry {
+                offset,
+                len: bytes.len() as u64,
+                kind,
+                refcount: 1,
+            },
+        );
+        Ok(id)
+    }
+
+    fn get(&self, id: ObjectId) -> Result<Vec<u8>, StoreError> {
+        let e = *self.entries.get(&id).ok_or(StoreError::Missing { id })?;
+        let bytes = if e.offset == LOOSE_OFFSET {
+            let path = self.loose_path(id);
+            std::fs::read(&path).map_err(|err| io_err("read", &path, err))?
+        } else {
+            self.read_packed(id, &e)?
+        };
+        let actual = hash_object(e.kind, &bytes);
+        if actual != id {
+            return Err(StoreError::Corrupt {
+                id,
+                detail: format!("bytes hash to {actual}"),
+            });
+        }
+        Ok(bytes)
+    }
+
+    fn meta(&self, id: ObjectId) -> Option<ObjectMeta> {
+        self.entries.get(&id).map(|e| ObjectMeta {
+            kind: e.kind,
+            len: e.len,
+            refcount: e.refcount,
+        })
+    }
+
+    fn retain(&mut self, id: ObjectId) -> Result<(), StoreError> {
+        let e = self
+            .entries
+            .get_mut(&id)
+            .ok_or(StoreError::Missing { id })?;
+        e.refcount += 1;
+        Ok(())
+    }
+
+    fn release(&mut self, id: ObjectId) -> Result<(), StoreError> {
+        let e = self
+            .entries
+            .get_mut(&id)
+            .ok_or(StoreError::Missing { id })?;
+        if e.refcount == 0 {
+            return Err(StoreError::AlreadyReleased { id });
+        }
+        e.refcount -= 1;
+        Ok(())
+    }
+
+    fn gc(&mut self) -> Result<GcStats, StoreError> {
+        let mut stats = GcStats::default();
+        let dead: Vec<ObjectId> = self
+            .entries
+            .iter()
+            .filter(|(_, e)| e.refcount == 0)
+            .map(|(&id, _)| id)
+            .collect();
+        if dead.is_empty() {
+            return Ok(stats);
+        }
+        for &id in &dead {
+            let e = self.entries.remove(&id).expect("dead entry exists");
+            stats.collected_objects += 1;
+            stats.reclaimed_bytes += e.len;
+            if e.offset == LOOSE_OFFSET {
+                let path = self.loose_path(id);
+                std::fs::remove_file(&path).map_err(|err| io_err("remove", &path, err))?;
+            }
+        }
+        // Compact the pack: rewrite only live packed records, then swap.
+        // New offsets are staged and applied only once the rename has
+        // succeeded — a failure mid-compaction must leave the in-memory
+        // index pointing at the intact old pack, not the abandoned tmp.
+        let tmp = self.pack_path.with_extension("dsv.tmp");
+        let mut staged_offsets: Vec<(ObjectId, u64)> = Vec::new();
+        let mut new_len = PACK_MAGIC.len() as u64;
+        {
+            let mut out = File::create(&tmp).map_err(|e| io_err("create", &tmp, e))?;
+            out.write_all(PACK_MAGIC)
+                .map_err(|e| io_err("write", &tmp, e))?;
+            let live: Vec<ObjectId> = self
+                .entries
+                .iter()
+                .filter(|(_, e)| e.offset != LOOSE_OFFSET)
+                .map(|(&id, _)| id)
+                .collect();
+            for id in live {
+                let e = self.entries[&id];
+                let payload = self.read_packed(id, &e)?;
+                let mut rec = Vec::with_capacity(RECORD_HEADER as usize + payload.len());
+                rec.extend_from_slice(&id.0.to_le_bytes());
+                rec.extend_from_slice(&id.1.to_le_bytes());
+                rec.push(e.kind.tag());
+                rec.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+                rec.extend_from_slice(&payload);
+                out.write_all(&rec).map_err(|e| io_err("write", &tmp, e))?;
+                staged_offsets.push((id, new_len));
+                new_len += rec.len() as u64;
+            }
+        }
+        std::fs::rename(&tmp, &self.pack_path).map_err(|e| io_err("rename", &self.pack_path, e))?;
+        for (id, offset) in staged_offsets {
+            self.entries.get_mut(&id).expect("live entry").offset = offset;
+        }
+        self.pack_len = new_len;
+        // The cached read handle still points at the pre-compaction file.
+        *self.reader.lock().expect("pack reader lock") = None;
+        self.write_index()?;
+        Ok(stats)
+    }
+
+    fn object_count(&self) -> usize {
+        self.entries.len()
+    }
+
+    fn stored_bytes(&self) -> u64 {
+        self.entries.values().map(|e| e.len).sum()
+    }
+
+    fn flush(&mut self) -> Result<(), StoreError> {
+        self.write_index()
+    }
+}
+
+impl Drop for PackStore {
+    fn drop(&mut self) {
+        // Best-effort index persistence; callers needing guarantees flush.
+        let _ = self.write_index();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        static N: AtomicU64 = AtomicU64::new(0);
+        let d = std::env::temp_dir().join(format!(
+            "dsv-pack-{tag}-{}-{}",
+            std::process::id(),
+            N.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    #[test]
+    fn pack_roundtrip_dedup_and_loose_split() {
+        let dir = temp_dir("roundtrip");
+        let mut s = PackStore::open_with_threshold(&dir, 16).expect("open");
+        let small = s.put(ObjectKind::Delta, b"small").expect("put");
+        let big_bytes = vec![7u8; 64];
+        let big = s.put(ObjectKind::Chunk, &big_bytes).expect("put");
+        assert_eq!(s.put(ObjectKind::Delta, b"small").expect("dedup"), small);
+        assert_eq!(s.meta(small).expect("meta").refcount, 2);
+        assert_eq!(s.get(small).expect("get"), b"small");
+        assert_eq!(s.get(big).expect("get"), big_bytes);
+        assert!(matches!(
+            s.locate(small),
+            Some(ObjectLocation::Packed { .. })
+        ));
+        assert!(matches!(s.locate(big), Some(ObjectLocation::Loose { .. })));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn pack_persists_across_reopen() {
+        let dir = temp_dir("reopen");
+        let (a, b);
+        {
+            let mut s = PackStore::open_with_threshold(&dir, 16).expect("open");
+            a = s.put(ObjectKind::Chunk, b"persistent").expect("put");
+            b = s.put(ObjectKind::Chunk, &[3u8; 100]).expect("put");
+            s.release(b).expect("release");
+            s.flush().expect("flush");
+        }
+        let s = PackStore::open_with_threshold(&dir, 16).expect("reopen");
+        assert_eq!(s.get(a).expect("get"), b"persistent");
+        assert_eq!(s.meta(a).expect("meta").refcount, 1);
+        // The released reference count survived the restart too.
+        assert_eq!(s.meta(b).expect("meta").refcount, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn index_recovery_scans_pack_and_loose_files() {
+        let dir = temp_dir("recover");
+        let (small, big);
+        {
+            let mut s = PackStore::open_with_threshold(&dir, 16).expect("open");
+            small = s.put(ObjectKind::Delta, b"packed one").expect("put");
+            big = s.put(ObjectKind::Chunk, &[9u8; 40]).expect("put");
+            s.flush().expect("flush");
+        }
+        std::fs::remove_file(dir.join("pack.idx")).expect("drop index");
+        let s = PackStore::open_with_threshold(&dir, 16).expect("recover");
+        assert_eq!(s.get(small).expect("get"), b"packed one");
+        assert_eq!(s.get(big).expect("get"), vec![9u8; 40]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn gc_compacts_pack_and_unlinks_loose() {
+        let dir = temp_dir("gc");
+        let mut s = PackStore::open_with_threshold(&dir, 16).expect("open");
+        let keep = s.put(ObjectKind::Chunk, b"keep me").expect("put");
+        let drop_small = s.put(ObjectKind::Delta, b"drop me").expect("put");
+        let drop_big = s.put(ObjectKind::Chunk, &[1u8; 50]).expect("put");
+        let before = s.pack_file_len();
+        s.release(drop_small).expect("release");
+        s.release(drop_big).expect("release");
+        let stats = s.gc().expect("gc");
+        assert_eq!(stats.collected_objects, 2);
+        assert_eq!(stats.reclaimed_bytes, 7 + 50);
+        assert!(s.pack_file_len() < before, "pack must shrink");
+        assert_eq!(s.get(keep).expect("survivor"), b"keep me");
+        assert!(matches!(s.get(drop_small), Err(StoreError::Missing { .. })));
+        assert!(!dir.join("objects").join(drop_big.to_string()).exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stale_index_recovers_appended_records_and_truncates_torn_tail() {
+        let dir = temp_dir("tail");
+        let (indexed, unindexed);
+        {
+            let mut s = PackStore::open_with_threshold(&dir, 1 << 20).expect("open");
+            indexed = s.put(ObjectKind::Chunk, b"indexed object").expect("put");
+            s.flush().expect("flush");
+            // Appended after the last index write (simulates a crash
+            // before flush) ...
+            unindexed = s.put(ObjectKind::Delta, b"appended later").expect("put");
+            // ... and Drop would persist the index, so put the stale one back.
+            let stale = std::fs::read(dir.join("pack.idx")).expect("read idx");
+            drop(s);
+            std::fs::write(dir.join("pack.idx"), stale).expect("restore stale idx");
+        }
+        // A torn half-written record at the very end.
+        {
+            let mut f = OpenOptions::new()
+                .append(true)
+                .open(dir.join("pack.dsv"))
+                .expect("open pack");
+            f.write_all(b"torn").expect("append garbage");
+        }
+        let s = PackStore::open_with_threshold(&dir, 1 << 20).expect("reopen");
+        assert_eq!(s.get(indexed).expect("indexed"), b"indexed object");
+        assert_eq!(s.get(unindexed).expect("recovered"), b"appended later");
+        assert_eq!(s.meta(unindexed).expect("meta").refcount, 1);
+        // The torn tail was truncated: appends land on a valid boundary.
+        let mut s = s;
+        let fresh = s.put(ObjectKind::Chunk, b"post-recovery").expect("put");
+        assert_eq!(s.get(fresh).expect("get"), b"post-recovery");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupted_index_entry_is_rejected_as_invalid_format() {
+        let dir = temp_dir("badidx");
+        {
+            let mut s = PackStore::open_with_threshold(&dir, 1 << 20).expect("open");
+            s.put(ObjectKind::Chunk, b"victim").expect("put");
+            s.flush().expect("flush");
+        }
+        // Blow up the entry's length field (bytes 24..32 of the first
+        // entry, after the 16-byte header and 16-byte id).
+        let mut idx = std::fs::read(dir.join("pack.idx")).expect("read idx");
+        idx[16 + 24..16 + 32].copy_from_slice(&u64::MAX.to_le_bytes());
+        std::fs::write(dir.join("pack.idx"), idx).expect("write idx");
+        assert!(matches!(
+            PackStore::open_with_threshold(&dir, 1 << 20),
+            Err(StoreError::InvalidFormat { .. })
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupted_pack_bytes_surface_a_typed_error() {
+        let dir = temp_dir("corrupt");
+        let mut s = PackStore::open_with_threshold(&dir, 1 << 20).expect("open");
+        let id = s.put(ObjectKind::Chunk, b"fragile payload").expect("put");
+        let Some(ObjectLocation::Packed { payload_offset, .. }) = s.locate(id) else {
+            panic!("expected a packed object");
+        };
+        // Flip one payload byte on disk.
+        let mut f = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .open(s.pack_path())
+            .expect("open pack");
+        f.seek(SeekFrom::Start(payload_offset)).expect("seek");
+        let mut byte = [0u8; 1];
+        f.read_exact(&mut byte).expect("read");
+        f.seek(SeekFrom::Start(payload_offset)).expect("seek");
+        f.write_all(&[byte[0] ^ 0xFF]).expect("write");
+        drop(f);
+        assert!(matches!(s.get(id), Err(StoreError::Corrupt { .. })));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

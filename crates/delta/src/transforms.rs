@@ -73,17 +73,18 @@ pub fn erdos_renyi_from_sketches(sketches: &[ChunkSketch], p: f64, seed: u64) ->
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::corpus::{corpus_with_sketches, CorpusName};
+    use crate::corpus::{corpus_with_content, CorpusName};
 
     fn leetcode_sketches() -> Vec<ChunkSketch> {
-        corpus_with_sketches(CorpusName::LeetCodeAnimation, 0.15, 5, true)
-            .sketches
+        corpus_with_content(CorpusName::LeetCodeAnimation, 0.15, 5, true)
+            .sketches()
             .expect("sketch mode")
+            .to_vec()
     }
 
     #[test]
     fn compression_shrinks_storage_and_grows_retrieval() {
-        let base = corpus_with_sketches(CorpusName::LeetCodeAnimation, 0.1, 6, false).graph;
+        let base = corpus_with_content(CorpusName::LeetCodeAnimation, 0.1, 6, false).graph;
         let comp = random_compression(&base, 1);
         assert_eq!(base.n(), comp.n());
         assert_eq!(base.m(), comp.m());
@@ -103,7 +104,7 @@ mod tests {
 
     #[test]
     fn compression_decouples_weight_functions() {
-        let base = corpus_with_sketches(CorpusName::LeetCodeAnimation, 0.1, 6, false).graph;
+        let base = corpus_with_content(CorpusName::LeetCodeAnimation, 0.1, 6, false).graph;
         let comp = random_compression(&base, 2);
         // The single-weight property must be broken by the transform.
         let proportional = comp
@@ -131,9 +132,9 @@ mod tests {
 
     #[test]
     fn er_unnatural_deltas_cost_more_than_natural() {
-        let c = corpus_with_sketches(CorpusName::LeetCodeAnimation, 0.15, 5, true);
+        let c = corpus_with_content(CorpusName::LeetCodeAnimation, 0.15, 5, true);
         let natural_avg = c.graph.avg_edge_storage();
-        let er = erdos_renyi_from_sketches(c.sketches.as_ref().expect("sketches"), 1.0, 5);
+        let er = erdos_renyi_from_sketches(c.sketches().expect("sketches"), 1.0, 5);
         let er_avg = er.avg_edge_storage();
         // Footnote 19: the average unnatural delta is ~10x a natural delta.
         assert!(

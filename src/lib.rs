@@ -25,6 +25,29 @@
 //! [`solve_sweep`](core::engine::Engine::solve_sweep) answers a whole MSR
 //! budget sweep from a single DP run.
 //!
+//! ## Planning vs execution
+//!
+//! Planning is the middle of the pipeline, not the end. A solver
+//! [`Solution`](core::engine::Solution) is a *decision*; the
+//! [`PlanExecutor`](core::executor::PlanExecutor) carries it out against a
+//! content-addressed [`Store`](delta::store::Store):
+//!
+//! * **backends** — [`MemStore`](delta::MemStore) (in-memory) and
+//!   [`PackStore`](delta::PackStore) (persistent: append-only pack with a
+//!   fixed-width mmap-friendly index, hash-keyed loose files for large
+//!   objects, reference-counted compacting GC);
+//! * **ingest** — materialized versions become payload chunks, stored
+//!   deltas become applyable encoded deltas; identical objects across
+//!   plans are deduplicated by content address;
+//! * **execute** — every version is reconstructed by walking the plan's
+//!   retrieval forest, hash-verified against the source, and *measured*:
+//!   storage/retrieval costs re-priced from the stored bytes must equal
+//!   the plan's predictions exactly (asserted in tests and gated in CI by
+//!   `repro --experiment store`).
+//!
+//! [`solve_and_execute`](core::engine::Engine::solve_and_execute) runs the
+//! whole solve → store → verify chain in one call.
+//!
 //! ## Quickstart
 //!
 //! ```
@@ -61,9 +84,9 @@
 //! | crate | contents |
 //! |-------|----------|
 //! | [`dsv_vgraph`] | graph container + arborescences, Dijkstra, MST, generators |
-//! | [`dsv_delta`] | Myers diff, chunk sketches, synthetic corpora (Table 4) |
+//! | [`dsv_delta`] | Myers diff, chunk sketches, synthetic corpora (Table 4), and the content-addressed [`store`](delta::store) (Mem/Pack backends, codecs, GC) |
 //! | [`dsv_treewidth`] | tree decompositions, nice decompositions |
-//! | [`dsv_core`] | the [`Engine`](core::engine::Engine) + the algorithms under it: LMG, LMG-All, MP, DP-BMR, DP-MSR, FPTAS, DP-BTW, reductions, ILP |
+//! | [`dsv_core`] | the [`Engine`](core::engine::Engine) + the algorithms under it: LMG, LMG-All, MP, DP-BMR, DP-MSR, FPTAS, DP-BTW, reductions, ILP — and the [`executor`](core::executor) that materializes plans against a store |
 //! | [`dsv_solver`] | simplex + branch & bound (the Gurobi stand-in) |
 //!
 //! The free algorithm functions ([`prelude::lmg_all`],
@@ -88,10 +111,11 @@ pub mod prelude {
     pub use dsv_core::btw::{btw_msr, btw_msr_value, BtwConfig};
     pub use dsv_core::cancel::CancelToken;
     pub use dsv_core::engine::{
-        AttemptOutcome, Engine, MsrSweep, Portfolio, PortfolioAttempt, SharedWork, Solution,
-        SolveError, SolveOptions, Solver, SolverMeta,
+        AttemptOutcome, Engine, ExecuteError, Execution, MsrSweep, Portfolio, PortfolioAttempt,
+        SharedWork, Solution, SolveError, SolveOptions, Solver, SolverMeta,
     };
     pub use dsv_core::exact::{brute_force, msr_opt};
+    pub use dsv_core::executor::{ExecError, ExecutionReport, PlanExecutor, StoredPlan};
     pub use dsv_core::heuristics::{lmg, lmg_all, modified_prims};
     pub use dsv_core::plan::{Parent, PlanCosts, StoragePlan};
     pub use dsv_core::problem::{Objective, ProblemKind};
@@ -99,7 +123,10 @@ pub mod prelude {
     pub use dsv_core::tree::{
         dp_bmr_on_graph, dp_msr_on_graph, dp_msr_sweep, extract_tree, DpMsrConfig,
     };
-    pub use dsv_delta::corpus::{corpus, CorpusName};
+    pub use dsv_delta::corpus::{corpus, corpus_with_content, CorpusName};
+    pub use dsv_delta::store::{
+        CorpusContent, MemStore, ObjectId, ObjectKind, PackStore, Store, StoreError, VersionSource,
+    };
     pub use dsv_delta::transforms::{erdos_renyi_from_sketches, random_compression};
     pub use dsv_vgraph::{Cost, EdgeId, NodeId, VersionGraph};
 }

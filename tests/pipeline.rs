@@ -3,7 +3,7 @@
 //! library runs, exercised across crate boundaries.
 
 use dataset_versioning::prelude::*;
-use dsv_delta::corpus::corpus_with_sketches;
+use dsv_delta::corpus::corpus_with_content;
 
 fn all_msr_algorithms_agree_on_feasibility(g: &VersionGraph, budget: Cost) {
     let engine = Engine::with_default_solvers();
@@ -104,9 +104,9 @@ fn compressed_corpus_pipeline() {
 
 #[test]
 fn er_construction_pipeline() {
-    let c = corpus_with_sketches(CorpusName::LeetCodeAnimation, 0.2, 13, true);
-    let sketches = c.sketches.expect("sketch corpus");
-    let er = erdos_renyi_from_sketches(&sketches, 0.3, 5);
+    let c = corpus_with_content(CorpusName::LeetCodeAnimation, 0.2, 13, true);
+    let sketches = c.sketches().expect("sketch corpus");
+    let er = erdos_renyi_from_sketches(sketches, 0.3, 5);
     assert!(er.is_bidirectional());
     // The ER graph must be solvable by every algorithm.
     let smin = min_storage_value(&er);
