@@ -10,7 +10,7 @@
 //! one writes. Output: Markdown to stdout plus one CSV per report under
 //! `--out` (default `results/`).
 //!
-//! Three experiments additionally write machine-readable `BENCH_*.json`
+//! Four experiments additionally write machine-readable `BENCH_*.json`
 //! documents so the perf trajectory is tracked across PRs:
 //!
 //! * `portfolio` — `BENCH_portfolio.json` (per-solver wall times,
@@ -26,6 +26,10 @@
 //!   the CI gate for the planning/execution split. Store scratch space
 //!   goes under `--store-dir` (left in place for inspection); without the
 //!   flag it defaults to `<out>/store-work` and is removed after the run.
+//! * `btw` — `BENCH_btw.json` (the constructive bounded-width DP:
+//!   certificate vs reconstructed-plan retrieval — the run **fails**
+//!   (exit 1) if they ever differ — plus the old-witness-vs-exact gap, DP
+//!   wall time, and peak provenance-arena size).
 
 use dsv_bench::experiments::{self, ExperimentOptions};
 use dsv_bench::Report;
@@ -66,8 +70,8 @@ const EXPERIMENTS: &[(&str, &str, &str)] = &[
     ),
     (
         "btw",
-        "DP-BTW vs tree-DP vs LMG-All on series-parallel graphs",
-        "btw-series-parallel.csv",
+        "constructive DP-BTW: certificate == plan gate + tree-DP/LMG-All comparison",
+        "btw-series-parallel.csv, btw-exact-bench.csv, BENCH_btw.json",
     ),
     (
         "portfolio",
@@ -326,6 +330,24 @@ fn main() {
             std::process::exit(1);
         }
         eprintln!("# store round-trip agreement: measured == predicted on every plan");
+    }
+
+    // The btw experiments gate the constructive bounded-width DP: on every
+    // instance the reconstructed plan must realize the certificate exactly.
+    if matches!(args.experiment.as_str(), "btw" | "all") {
+        let bench = experiments::btw_bench(&args.opts);
+        println!("{}", bench.report.to_markdown());
+        write_report_csv(&bench.report, &args.out);
+        write_bench_json(&args.out, "BENCH_btw.json", &bench.json);
+        if !bench.agreement {
+            eprintln!(
+                "error: DP-BTW disagreement — a reconstructed plan failed validation, \
+                 overshot its budget, missed the DP certificate, or a benchmark \
+                 instance was skipped entirely (see BENCH_btw.json)"
+            );
+            std::process::exit(1);
+        }
+        eprintln!("# btw agreement: reconstructed plan == certificate on every instance");
     }
 
     // The portfolio experiments also track raw engine performance.

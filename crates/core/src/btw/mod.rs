@@ -1,8 +1,10 @@
 //! DP-BTW: bounded-width dynamic programming for MinSum Retrieval
-//! (Section 5.3 of the paper).
+//! (Section 5.3 of the paper). Constructive: the exact frontier carries a
+//! provenance arena, so any certified point reconstructs an optimal plan
+//! ([`BtwResult::plan_under`]).
 
 pub mod dp;
 pub mod order;
 
-pub use dp::{btw_msr, btw_msr_value, BtwConfig, BtwResult};
+pub use dp::{btw_msr, btw_msr_plan, btw_msr_value, BtwConfig, BtwResult};
 pub use order::{separation_order, SeparationOrder};

@@ -22,6 +22,14 @@ pub struct SeparationOrder {
     pub max_live: usize,
 }
 
+impl SeparationOrder {
+    /// The pathwidth of this order: maximum bag size minus one (what
+    /// [`BtwResult::width`](crate::btw::BtwResult::width) reports).
+    pub fn width(&self) -> usize {
+        self.max_live.saturating_sub(1)
+    }
+}
+
 /// Build a separation order using a greedy min-new-neighbours BFS sweep —
 /// a standard pathwidth heuristic that is exact on paths and good on the
 /// tree-like version graphs the paper targets.
@@ -105,6 +113,7 @@ mod tests {
             "path live sets stay constant: {}",
             so.max_live
         );
+        assert_eq!(so.width(), so.max_live - 1);
     }
 
     #[test]

@@ -40,9 +40,9 @@
 //! ([`SolveOptions::parallel`]` = false`).
 //!
 //! Within one call, heuristic results that several solvers want (LMG-All
-//! plans, DP-MSR frontier plans — used standalone, as DP-BTW's witness and
-//! as the ILP's incumbent) are computed once and shared through a
-//! [`SharedWork`] memo keyed by graph fingerprint and budget.
+//! plans, DP-MSR frontier plans — used standalone and as the ILP's
+//! incumbent) are computed once and shared through a [`SharedWork`] memo
+//! keyed by graph fingerprint and budget.
 //!
 //! The legacy free functions ([`crate::heuristics::lmg`],
 //! [`crate::tree::dp_msr_on_graph`], …) remain available and are what the
@@ -262,8 +262,10 @@ pub struct SolverMeta {
     /// [`Solution::costs`] by the parity tests.
     pub reported_objective: Option<Cost>,
     /// A certified lower bound on the optimum objective, when the solver
-    /// produces one (DP-BTW's exact frontier, proven ILPs). Allows callers
-    /// to compute optimality gaps for heuristic plans.
+    /// produces one (exact DPs on their native class, proven ILPs, brute
+    /// force). For solvers with `proven_optimal` this equals
+    /// [`SolverMeta::reported_objective`]; it stays a *bound* — callers
+    /// use it to compute optimality gaps for heuristic plans.
     pub lower_bound: Option<Cost>,
 }
 
@@ -1183,7 +1185,7 @@ mod tests {
     }
 
     #[test]
-    fn btw_solver_certifies_a_lower_bound() {
+    fn btw_solver_returns_the_certified_optimal_plan() {
         let g = bidirectional_path(6, &CostModel::default(), 5);
         let engine = Engine::with_default_solvers();
         let smin = min_storage_value(&g);
@@ -1193,10 +1195,15 @@ mod tests {
         let sol = engine
             .solve_with("DP-BTW", &g, problem, &SolveOptions::default())
             .expect("feasible");
-        let bound = sol.meta.lower_bound.expect("DP-BTW certifies");
-        assert!(bound <= sol.costs.total_retrieval);
-        // On a path the exact frontier and the witness should coincide.
+        // Constructive exact: whenever the DP completes, the returned plan
+        // realizes the certificate — unconditionally.
         assert!(sol.meta.proven_optimal);
+        let bound = sol.meta.lower_bound.expect("DP-BTW certifies");
         assert_eq!(bound, sol.costs.total_retrieval);
+        assert_eq!(sol.meta.reported_objective, Some(bound));
+        // And it matches the direct constructive entry point.
+        let (plan, (_, r)) = crate::btw::btw_msr_plan(&g, problem.budget()).expect("feasible");
+        assert_eq!(plan, sol.plan);
+        assert_eq!(r, sol.costs.total_retrieval);
     }
 }

@@ -1,9 +1,11 @@
 //! Per-call shared-work memo for portfolio runs.
 //!
-//! An MSR portfolio used to compute LMG-All and DP-MSR up to three times
-//! each: standalone, as DP-BTW's witness plan, and as the ILP's incumbent.
-//! [`SharedWork`] memoizes those heuristic results per `(graph
-//! fingerprint, budget)` so each is computed **once per engine call** and
+//! An MSR portfolio used to compute LMG-All and DP-MSR twice each:
+//! standalone and as the ILP's incumbent (historically a third time, as
+//! DP-BTW's witness plan — gone now that the bounded-width DP reconstructs
+//! its own optimal plan). [`SharedWork`] memoizes those heuristic results
+//! per `(graph fingerprint, budget)` so each is computed **once per engine
+//! call** and
 //! reused by every solver that wants it — including solvers racing on
 //! different threads: the first requester computes, concurrent requesters
 //! block on the cell until the value is ready.

@@ -9,7 +9,7 @@
 //! | [`LmgAllSolver`] | ✓ | | | | Algorithm 7 |
 //! | [`LmgSolver`] | ✓ | | | | Algorithm 1 (prior work) |
 //! | [`ModifiedPrimsSolver`] | | | | ✓ | Section-7 BMR baseline |
-//! | [`BtwSolver`] | ✓ | | | | exact value certificate + heuristic witness plan |
+//! | [`BtwSolver`] | ✓ | | | | constructive exact on bounded-width graphs (provenance-arena DP) |
 //! | [`IlpSolver`] | ✓ | | | | Appendix-D ILP on branch & bound |
 //! | [`BruteForceSolver`] | ✓ | ✓ | ✓ | ✓ | tiny instances only |
 
@@ -58,8 +58,7 @@ impl Solver for LmgSolver {
 
 /// LMG-All (Algorithm 7) for MSR. The plan is produced through the
 /// per-call [`SharedWork`](super::SharedWork) memo, so a portfolio that
-/// also wants it as DP-BTW's witness or the ILP's incumbent computes it
-/// exactly once.
+/// also wants it as the ILP's incumbent computes it exactly once.
 pub struct LmgAllSolver;
 
 impl Solver for LmgAllSolver {
@@ -225,11 +224,13 @@ impl Solver for DpBmrSolver {
     }
 }
 
-/// The bounded-width DP for MSR. DP-BTW's frontier is exact but carries no
-/// plan reconstruction (yet — a ROADMAP open item), so this solver returns
-/// the best heuristic witness plan alongside the certified optimum as
-/// [`SolverMeta::lower_bound`]; `proven_optimal` is set exactly when the
-/// witness meets the certificate.
+/// The bounded-width DP for MSR — **constructive exact**: the DP threads a
+/// provenance arena through its frontier, so on success the returned plan
+/// is reconstructed from the certificate itself and `proven_optimal` holds
+/// unconditionally ([`SolverMeta::lower_bound`] carries the same value as
+/// a genuine bound for gap computations). Instances whose state space
+/// exceeds [`SolveOptions::btw`]'s `max_states` get a
+/// [`SolveError::ResourceLimit`] instead of an inexact answer.
 pub struct BtwSolver;
 
 impl Solver for BtwSolver {
@@ -254,7 +255,7 @@ impl Solver for BtwSolver {
         let mut cfg = opts.btw.clone();
         // Prune at exactly the budget: dropping states above it is lossless
         // for MSR, while any tighter caller-supplied prune would truncate
-        // the plan set and invalidate the lower-bound certificate below.
+        // the plan set and break the optimality certificate.
         cfg.storage_prune = Some(storage_budget);
         cfg.cancel = opts.cancel.clone();
         let result = crate::btw::btw_msr(g, &cfg).ok_or_else(|| {
@@ -263,38 +264,19 @@ impl Solver for BtwSolver {
                 detail: format!("state count exceeded max_states = {}", cfg.max_states),
             })
         })?;
-        let bound = result
-            .best_under(storage_budget)
-            .ok_or_else(|| below_min_storage(self.name()))?;
-
-        // Witness plan: best of the plan-producing heuristics at this
-        // budget, each carrying the final costs its own run already
-        // tracked (LMG-All's incremental aggregates, the DP's frontier
-        // costs) — no re-costing pass, and the plans themselves come from
-        // the per-call memo shared with the rest of the call.
-        let lmg_all_plan = opts
-            .shared
-            .lmg_all(g, storage_budget, &opts.cancel)
-            .ok_or_else(|| cancelled(self.name(), opts))?
-            .map(|(p, stats)| (p, stats.total_retrieval));
-        let dp_plan = opts
-            .shared
-            .dp_msr(g, opts.root, storage_budget, &opts.dp_msr, &opts.cancel)
-            .ok_or_else(|| cancelled(self.name(), opts))?
-            .map(|(p, costs)| (p, costs.total_retrieval));
-        let (plan, witness_retrieval) = [lmg_all_plan, dp_plan]
-            .into_iter()
-            .flatten()
-            .min_by_key(|&(_, r)| r)
+        // Reconstruct the optimal plan from the winning frontier entry's
+        // decision chain — no heuristic witness, no re-costing pass.
+        let (plan, (_, retrieval)) = result
+            .plan_under(g, storage_budget)
             .ok_or_else(|| below_min_storage(self.name()))?;
 
         let mut meta = SolverMeta::new(self.name());
         meta.iterations = result.peak_states;
-        meta.lower_bound = Some(bound);
-        // The objective the returned plan actually achieves; the certified
-        // optimum lives in `lower_bound`.
-        meta.reported_objective = Some(witness_retrieval);
-        meta.proven_optimal = witness_retrieval == bound;
+        meta.reported_objective = Some(retrieval);
+        // The DP completed, so the reconstructed plan *is* the optimum; the
+        // certified value doubles as the lower bound.
+        meta.lower_bound = Some(retrieval);
+        meta.proven_optimal = true;
         Solution::checked(g, problem, plan, meta, started)
     }
 }

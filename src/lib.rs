@@ -108,7 +108,7 @@ pub mod prelude {
     pub use dsv_core::baselines::{
         checkpoint_plan, min_storage_plan, min_storage_value, shortest_path_plan,
     };
-    pub use dsv_core::btw::{btw_msr, btw_msr_value, BtwConfig};
+    pub use dsv_core::btw::{btw_msr, btw_msr_plan, btw_msr_value, BtwConfig, BtwResult};
     pub use dsv_core::cancel::CancelToken;
     pub use dsv_core::engine::{
         AttemptOutcome, Engine, ExecuteError, Execution, MsrSweep, Portfolio, PortfolioAttempt,

@@ -205,12 +205,22 @@ fn parity_exact_solvers() {
         brute_force(&g, problem).unwrap().costs.total_retrieval
     );
 
-    // DP-BTW: the certified lower bound equals the direct frontier value.
+    // DP-BTW: constructive exact — the reconstructed plan realizes the
+    // direct frontier value, byte-identically to the free function.
     let direct_value = btw_msr_value(&g, budget).expect("feasible");
+    let (direct_plan, _) = btw_msr_plan(&g, budget).expect("feasible");
     let sol = engine
         .solve_with("DP-BTW", &g, problem, &opts)
         .expect("feasible");
+    assert_eq!(sol.plan, direct_plan, "DP-BTW plan differs");
+    assert_eq!(sol.costs.total_retrieval, direct_value);
+    assert!(sol.meta.proven_optimal);
     assert_eq!(sol.meta.lower_bound, Some(direct_value));
+    // Exact is exact: DP-BTW agrees with brute force.
+    assert_eq!(
+        sol.costs.total_retrieval,
+        brute_force(&g, problem).unwrap().costs.total_retrieval
+    );
 }
 
 /// Seeded property loop: every solution the engine returns — via plain

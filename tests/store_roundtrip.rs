@@ -104,6 +104,48 @@ fn solver_plans_roundtrip_exactly_on_both_backends() {
     }
 }
 
+/// A constructive DP-BTW plan goes through `solve_and_execute`:
+/// reconstruction from the provenance arena produces an executor-legal
+/// forest whose **measured** costs equal the plan's predictions — and the
+/// predictions are the certified optimum, so the exact solver's gain is
+/// realized in stored bytes, not just in metadata.
+#[test]
+fn btw_exact_plan_roundtrips_through_the_store() {
+    let c = corpus_with_content(CorpusName::Datasharing, 1.0, 27, true);
+    let g = &c.graph;
+    let content = c.content.as_ref().expect("content retained");
+    // A BTW-only engine: no fallback solver can mask a broken
+    // reconstruction.
+    let mut engine = Engine::new();
+    engine.register(Box::new(dsv_core::engine::solvers::BtwSolver));
+    let problem = ProblemKind::Msr {
+        storage_budget: min_storage_value(g) * 2,
+    };
+    let dir = temp_dir("btw");
+    let mut store = PackStore::open(&dir).expect("open pack");
+    let exec = engine
+        .solve_and_execute(g, problem, &SolveOptions::default(), &mut store, content)
+        .expect("solve and execute");
+    assert_eq!(exec.solution.meta.solver, "DP-BTW");
+    assert!(exec.solution.meta.proven_optimal);
+    // The executor-measured costs equal the certificate the DP proved.
+    assert_eq!(
+        exec.solution.meta.lower_bound,
+        Some(exec.report.measured.total_retrieval)
+    );
+    assert_eq!(exec.report.verified, g.n());
+    assert!(exec.report.agreement());
+    assert_eq!(exec.report.measured, exec.solution.costs);
+    // Retire the plan: GC must drain the store.
+    PlanExecutor::new(&mut store)
+        .release(&exec.stored)
+        .expect("release");
+    store.gc().expect("gc");
+    assert_eq!(store.object_count(), 0);
+    drop(store);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 /// `Engine::solve_and_execute` runs the whole chain in one call.
 #[test]
 fn solve_and_execute_end_to_end() {
