@@ -30,6 +30,13 @@
 //!   certificate vs reconstructed-plan retrieval — the run **fails**
 //!   (exit 1) if they ever differ — plus the old-witness-vs-exact gap, DP
 //!   wall time, and peak provenance-arena size).
+//! * `checkout` — `BENCH_checkout.json` (the serving read path: skewed
+//!   and uniform request streams served by the batched cache-backed
+//!   checkout vs one-at-a-time reconstruction, on both backends). Every
+//!   served payload is compared byte-for-byte against the source in-run;
+//!   a mismatch **fails** the run (exit 1). `--assert-speedup X` gates on
+//!   the aggregate skewed-workload speedup. Pack stores go under
+//!   `--store-dir` (same semantics as `store`).
 
 use dsv_bench::experiments::{self, ExperimentOptions};
 use dsv_bench::Report;
@@ -87,6 +94,11 @@ const EXPERIMENTS: &[(&str, &str, &str)] = &[
         "store",
         "on-disk store round-trip: predicted vs measured plan costs",
         "store-roundtrip.csv, BENCH_store.json",
+    ),
+    (
+        "checkout",
+        "batched+cached checkout serving vs one-at-a-time reconstruction",
+        "checkout-serving.csv, BENCH_checkout.json",
     ),
     (
         "treewidth",
@@ -202,9 +214,9 @@ fn run(experiment: &str, opts: &ExperimentOptions) -> Result<Vec<Report>, String
         "treewidth" => vec![experiments::treewidth_report(opts)],
         "btw" => vec![experiments::btw_report(opts)],
         "portfolio" => vec![experiments::portfolio_report(opts)],
-        // The lmg and store experiments produce their reports (and
-        // BENCH_*.json) in the bench section of main.
-        "lmg" | "store" => Vec::new(),
+        // The lmg, store, and checkout experiments produce their reports
+        // (and BENCH_*.json) in the bench section of main.
+        "lmg" | "store" | "checkout" => Vec::new(),
         "all" => {
             let mut all = vec![experiments::table4(opts)];
             all.extend(experiments::fig10(opts));
@@ -330,6 +342,54 @@ fn main() {
             std::process::exit(1);
         }
         eprintln!("# store round-trip agreement: measured == predicted on every plan");
+    }
+
+    // The checkout experiments benchmark the serving read path: batched
+    // cache-backed checkout vs one-at-a-time reconstruction. Every served
+    // payload is compared byte-for-byte against the source in-run, so a
+    // mismatch fails the run; --assert-speedup gates on the aggregate
+    // skewed-workload speedup.
+    if matches!(args.experiment.as_str(), "checkout" | "all") {
+        let (base_dir, ephemeral) = match args.store_dir.clone() {
+            Some(dir) => (dir, false),
+            None => (args.out.join("store-work"), true),
+        };
+        // Namespaced under the scratch root so an `all` run sharing
+        // --store-dir with the store experiment cannot collide.
+        let work_dir = base_dir.join("checkout");
+        if let Err(e) = std::fs::create_dir_all(&work_dir) {
+            eprintln!("error creating {}: {e}", work_dir.display());
+            std::process::exit(1);
+        }
+        let bench = experiments::checkout_bench(&args.opts, &work_dir);
+        println!("{}", bench.report.to_markdown());
+        write_report_csv(&bench.report, &args.out);
+        write_bench_json(&args.out, "BENCH_checkout.json", &bench.json);
+        if ephemeral {
+            let _ = std::fs::remove_dir_all(&work_dir);
+        }
+        if !bench.agreement {
+            eprintln!(
+                "error: checkout served a payload that was not byte-identical to the \
+                 source content (see BENCH_checkout.json)"
+            );
+            std::process::exit(1);
+        }
+        eprintln!("# checkout agreement: every served payload byte-identical to the source");
+        if let Some(min) = args.assert_speedup {
+            if bench.skewed_speedup < min {
+                eprintln!(
+                    "error: batched checkout speedup {:.2}x below the asserted minimum \
+                     {min:.2}x on the skewed workloads",
+                    bench.skewed_speedup
+                );
+                std::process::exit(1);
+            }
+            eprintln!(
+                "# speedup assertion passed: {:.2}x >= {min:.2}x (skewed workloads)",
+                bench.skewed_speedup
+            );
+        }
     }
 
     // The btw experiments gate the constructive bounded-width DP: on every

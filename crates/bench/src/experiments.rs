@@ -797,6 +797,386 @@ pub fn store_bench(opts: &ExperimentOptions, work_dir: &std::path::Path) -> Stor
     }
 }
 
+/// Machine-readable checkout (serving read path) benchmark, written by
+/// `repro` as `BENCH_checkout.json`: skewed and uniform access streams
+/// served by the batched [`Checkout`](dsv_core::Checkout) walker against
+/// one-at-a-time reconstruction, on both store backends.
+#[derive(Clone, Debug)]
+pub struct CheckoutBench {
+    /// Human-readable rendering of the same data.
+    pub report: Report,
+    /// The JSON document (per-workload throughput, latency percentiles,
+    /// cache counters, batched-vs-one-at-a-time speedups).
+    pub json: String,
+    /// Whether every served payload — one-at-a-time and batched, cold and
+    /// cached — was byte-identical to the source content. The CI gate's
+    /// correctness half.
+    pub agreement: bool,
+    /// Aggregate batched-vs-one-at-a-time speedup on the skewed (Zipf)
+    /// workloads: total one-at-a-time wall over total batched wall. The
+    /// CI gate's performance half (`--assert-speedup`).
+    pub skewed_speedup: f64,
+}
+
+/// Requests per workload stream.
+const CHECKOUT_REQUESTS: usize = 512;
+/// Versions per served batch.
+const CHECKOUT_BATCH: usize = 32;
+
+/// A Zipf(s)-skewed request stream over a seeded permutation of the
+/// versions (so the hot set is arbitrary, not "the lowest ids"), via
+/// inverse-CDF sampling. Models the hot-version skew of real dataset
+/// workloads.
+fn zipf_stream(n: usize, len: usize, exponent: f64, seed: u64) -> Vec<u32> {
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut perm: Vec<u32> = (0..n as u32).collect();
+    for i in (1..n).rev() {
+        let j = rng.gen_range(0..=i);
+        perm.swap(i, j);
+    }
+    let mut cum = Vec::with_capacity(n);
+    let mut total = 0.0;
+    for i in 0..n {
+        total += 1.0 / ((i + 1) as f64).powf(exponent);
+        cum.push(total);
+    }
+    (0..len)
+        .map(|_| {
+            let x = rng.gen_range(0.0..total);
+            let idx = cum.partition_point(|&c| c < x).min(n - 1);
+            perm[idx]
+        })
+        .collect()
+}
+
+/// A uniform request stream over the versions.
+fn uniform_stream(n: usize, len: usize, seed: u64) -> Vec<u32> {
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..len).map(|_| rng.gen_range(0..n as u32)).collect()
+}
+
+/// `p`-th percentile of an unsorted latency sample (nearest rank).
+fn percentile(samples: &mut [f64], p: f64) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    let idx = ((samples.len() - 1) as f64 * p).round() as usize;
+    samples[idx]
+}
+
+/// One workload measured both ways.
+struct WorkloadOut {
+    oneshot_wall: f64,
+    batched_wall: f64,
+    oneshot_p50_ms: f64,
+    oneshot_p99_ms: f64,
+    batched_p50_ms: f64,
+    batched_p99_ms: f64,
+    cache: dsv_core::CacheStats,
+    hydrated_batched: usize,
+    identical: bool,
+}
+
+/// Serve one request stream twice — one version at a time with no cache
+/// (the old read path), then in batches through a shared
+/// [`CheckoutCache`](dsv_core::CheckoutCache) — asserting every payload
+/// byte-identical to the source content both times.
+fn run_checkout_workload<S: dsv_delta::Store + Sync>(
+    g: &VersionGraph,
+    stored: &dsv_core::StoredPlan,
+    store: &S,
+    expected: &[dsv_delta::store::codec::Payload],
+    stream: &[u32],
+) -> WorkloadOut {
+    use dsv_core::{Checkout, CheckoutCache};
+    use std::time::Instant;
+
+    let mut identical = true;
+
+    // One at a time, cold every request: each checkout walks the full
+    // retrieval chain of its single version.
+    let reader = Checkout::new(store);
+    let mut lat_one = Vec::with_capacity(stream.len());
+    let t0 = Instant::now();
+    for &v in stream {
+        let t = Instant::now();
+        let out = reader
+            .checkout(g, stored, &[v])
+            .expect("one-at-a-time checkout");
+        lat_one.push(t.elapsed().as_secs_f64() * 1e3);
+        identical &= *out.payloads[0] == expected[v as usize];
+    }
+    let oneshot_wall = t0.elapsed().as_secs_f64();
+
+    // Batched through a cache sized to a quarter of the corpus content:
+    // shared chain prefixes hydrate once per batch, hot versions are
+    // served from the cache across batches.
+    let capacity = expected
+        .iter()
+        .map(|p| p.content_size())
+        .sum::<u64>()
+        .div_ceil(4)
+        .max(1);
+    let cache = CheckoutCache::new(capacity);
+    let reader = Checkout::new(store).with_cache(&cache);
+    let mut lat_batched = Vec::with_capacity(stream.len());
+    let mut hydrated_batched = 0;
+    let t0 = Instant::now();
+    for batch in stream.chunks(CHECKOUT_BATCH) {
+        let t = Instant::now();
+        let out = reader.checkout(g, stored, batch).expect("batched checkout");
+        let per_version_ms = t.elapsed().as_secs_f64() * 1e3 / batch.len() as f64;
+        hydrated_batched += out.stats.hydrated;
+        for (i, &v) in batch.iter().enumerate() {
+            identical &= *out.payloads[i] == expected[v as usize];
+            lat_batched.push(per_version_ms);
+        }
+    }
+    let batched_wall = t0.elapsed().as_secs_f64();
+
+    WorkloadOut {
+        oneshot_wall,
+        batched_wall,
+        oneshot_p50_ms: percentile(&mut lat_one, 0.50),
+        oneshot_p99_ms: percentile(&mut lat_one, 0.99),
+        batched_p50_ms: percentile(&mut lat_batched, 0.50),
+        batched_p99_ms: percentile(&mut lat_batched, 0.99),
+        cache: cache.stats(),
+        hydrated_batched,
+        identical,
+    }
+}
+
+/// The checkout serving benchmark: LMG / LMG-All / DP-MSR plans on two
+/// corpus fixtures, each served on both backends
+/// ([`MemStore`](dsv_delta::MemStore) and the on-disk
+/// [`PackStore`](dsv_delta::PackStore) with its resident pack map) under
+/// a skewed (Zipf 1.1) and a uniform request stream.
+///
+/// Every payload served — one at a time and batched, cold and cached —
+/// is compared byte-for-byte against the source content in-run; any
+/// mismatch clears `agreement` and fails the `repro` run. `work_dir`
+/// receives one pack-store directory per fixture; the caller owns
+/// cleanup.
+pub fn checkout_bench(opts: &ExperimentOptions, work_dir: &std::path::Path) -> CheckoutBench {
+    use dsv_core::baselines::min_storage_value;
+    use dsv_core::engine::{Engine, SolveOptions};
+    use dsv_core::executor::PlanExecutor;
+    use dsv_core::problem::ProblemKind;
+    use dsv_delta::store::{CorpusContent, PackStore, VersionSource};
+    use dsv_delta::MemStore;
+    use serde_json::Value;
+    use std::collections::BTreeMap;
+
+    const SOLVERS: [&str; 3] = ["LMG", "LMG-All", "DP-MSR"];
+
+    // Fixtures: one text corpus (real Myers deltas) and one ER graph over
+    // sketch content, as in the store round-trip; capped CI-sized.
+    let mut fixtures: Vec<(String, VersionGraph, CorpusContent)> = Vec::new();
+    {
+        let c = corpus_with_content(
+            CorpusName::Datasharing,
+            opts.scale_for(CorpusName::Datasharing),
+            opts.seed,
+            true,
+        );
+        fixtures.push((
+            "datasharing".to_string(),
+            c.graph,
+            c.content.expect("content retained"),
+        ));
+    }
+    {
+        let lc = corpus_with_content(
+            CorpusName::LeetCodeAnimation,
+            opts.scale_for(CorpusName::LeetCodeAnimation).min(0.1),
+            opts.seed,
+            true,
+        );
+        let sketches = lc.sketches().expect("sketch-mode corpus").to_vec();
+        let g = erdos_renyi_from_sketches(&sketches, 0.3, opts.seed + 3);
+        fixtures.push((
+            "leetcode-er".to_string(),
+            g,
+            CorpusContent::Sketch { sketches },
+        ));
+    }
+
+    let engine = Engine::with_default_solvers();
+    let solve_opts = SolveOptions::default();
+    let mut r = Report::new(
+        "checkout-serving",
+        &[
+            "fixture",
+            "solver",
+            "backend",
+            "workload",
+            "requests",
+            "oneshot_vps",
+            "batched_vps",
+            "speedup",
+            "batched_p50_ms",
+            "batched_p99_ms",
+            "hit_rate",
+            "identical",
+        ],
+    );
+    let mut rows_json = Vec::new();
+    let mut agreement = true;
+    let mut skewed_oneshot_wall = 0.0;
+    let mut skewed_batched_wall = 0.0;
+
+    for (fi, (slug, g, content)) in fixtures.iter().enumerate() {
+        let n = g.n();
+        let expected: Vec<_> = (0..n as u32).map(|v| content.payload(v)).collect();
+        let streams = [
+            (
+                "zipf",
+                zipf_stream(n, CHECKOUT_REQUESTS, 1.1, opts.seed + 11 + fi as u64),
+            ),
+            (
+                "uniform",
+                uniform_stream(n, CHECKOUT_REQUESTS, opts.seed + 17 + fi as u64),
+            ),
+        ];
+        let smin = min_storage_value(g);
+        let problem = ProblemKind::Msr {
+            storage_budget: smin * 2,
+        };
+
+        let mut mem = MemStore::new();
+        let mut pack = PackStore::open(work_dir.join(format!("pack-{slug}"))).expect("open pack");
+        for solver in SOLVERS {
+            let sol = engine
+                .solve_with(solver, g, problem, &solve_opts)
+                .unwrap_or_else(|e| panic!("{solver} on {slug}: {e}"));
+            let stored_mem = PlanExecutor::new(&mut mem)
+                .ingest(g, &sol.plan, content)
+                .unwrap_or_else(|e| panic!("{solver} on {slug} (mem): {e}"));
+            let stored_pack = PlanExecutor::new(&mut pack)
+                .ingest(g, &sol.plan, content)
+                .unwrap_or_else(|e| panic!("{solver} on {slug} (pack): {e}"));
+
+            for (workload, stream) in &streams {
+                let mut serve = |backend: &str, out: WorkloadOut| {
+                    agreement &= out.identical;
+                    if *workload == "zipf" {
+                        skewed_oneshot_wall += out.oneshot_wall;
+                        skewed_batched_wall += out.batched_wall;
+                    }
+                    let speedup = out.oneshot_wall / out.batched_wall.max(1e-9);
+                    let oneshot_vps = stream.len() as f64 / out.oneshot_wall.max(1e-9);
+                    let batched_vps = stream.len() as f64 / out.batched_wall.max(1e-9);
+                    r.push_row(vec![
+                        slug.clone(),
+                        solver.to_string(),
+                        backend.to_string(),
+                        workload.to_string(),
+                        stream.len().to_string(),
+                        fmt_f(oneshot_vps),
+                        fmt_f(batched_vps),
+                        fmt_f(speedup),
+                        fmt_f(out.batched_p50_ms),
+                        fmt_f(out.batched_p99_ms),
+                        fmt_f(out.cache.hit_rate()),
+                        out.identical.to_string(),
+                    ]);
+                    let mut m = BTreeMap::new();
+                    m.insert("fixture".to_string(), Value::Str(slug.clone()));
+                    m.insert("solver".to_string(), Value::Str(solver.to_string()));
+                    m.insert("backend".to_string(), Value::Str(backend.to_string()));
+                    m.insert("workload".to_string(), Value::Str(workload.to_string()));
+                    m.insert("nodes".to_string(), Value::UInt(n as u64));
+                    m.insert("requests".to_string(), Value::UInt(stream.len() as u64));
+                    m.insert("batch".to_string(), Value::UInt(CHECKOUT_BATCH as u64));
+                    m.insert("oneshot_vps".to_string(), Value::Float(oneshot_vps));
+                    m.insert("batched_vps".to_string(), Value::Float(batched_vps));
+                    m.insert("speedup".to_string(), Value::Float(speedup));
+                    m.insert(
+                        "oneshot_p50_ms".to_string(),
+                        Value::Float(out.oneshot_p50_ms),
+                    );
+                    m.insert(
+                        "oneshot_p99_ms".to_string(),
+                        Value::Float(out.oneshot_p99_ms),
+                    );
+                    m.insert(
+                        "batched_p50_ms".to_string(),
+                        Value::Float(out.batched_p50_ms),
+                    );
+                    m.insert(
+                        "batched_p99_ms".to_string(),
+                        Value::Float(out.batched_p99_ms),
+                    );
+                    m.insert("cache_hits".to_string(), Value::UInt(out.cache.hits));
+                    m.insert("cache_misses".to_string(), Value::UInt(out.cache.misses));
+                    m.insert(
+                        "cache_evictions".to_string(),
+                        Value::UInt(out.cache.evictions),
+                    );
+                    m.insert("hit_rate".to_string(), Value::Float(out.cache.hit_rate()));
+                    m.insert(
+                        "hydrated_batched".to_string(),
+                        Value::UInt(out.hydrated_batched as u64),
+                    );
+                    m.insert("identical".to_string(), Value::Bool(out.identical));
+                    rows_json.push(Value::Map(m));
+                };
+                serve(
+                    "mem",
+                    run_checkout_workload(g, &stored_mem, &mem, &expected, stream),
+                );
+                serve(
+                    "pack",
+                    run_checkout_workload(g, &stored_pack, &pack, &expected, stream),
+                );
+            }
+
+            PlanExecutor::new(&mut mem)
+                .release(&stored_mem)
+                .expect("release mem plan");
+            PlanExecutor::new(&mut pack)
+                .release(&stored_pack)
+                .expect("release pack plan");
+        }
+    }
+
+    let skewed_speedup = skewed_oneshot_wall / skewed_batched_wall.max(1e-9);
+    r.note(format!(
+        "batched+cached checkout vs one-at-a-time cold reconstruction; every served payload \
+         compared byte-for-byte against the source in-run (identical={agreement}); aggregate \
+         skewed-workload speedup {skewed_speedup:.2}x"
+    ));
+
+    let mut doc = BTreeMap::new();
+    doc.insert(
+        "experiment".to_string(),
+        Value::Str("checkout-serving".to_string()),
+    );
+    doc.insert("seed".to_string(), Value::UInt(opts.seed));
+    doc.insert(
+        "requests_per_workload".to_string(),
+        Value::UInt(CHECKOUT_REQUESTS as u64),
+    );
+    doc.insert("batch".to_string(), Value::UInt(CHECKOUT_BATCH as u64));
+    doc.insert("agreement".to_string(), Value::Bool(agreement));
+    doc.insert("skewed_speedup".to_string(), Value::Float(skewed_speedup));
+    doc.insert("workloads".to_string(), Value::Seq(rows_json));
+    let json = serde_json::to_string(&Value::Map(doc)).expect("value tree serializes");
+
+    CheckoutBench {
+        report: r,
+        json,
+        agreement,
+        skewed_speedup,
+    }
+}
+
 /// Section 5.3 extension experiment: DP-BTW (exact on bounded-width
 /// graphs) against the tree-restricted DP and LMG-All on series-parallel
 /// graphs — the class the paper singles out as "highly resembl[ing] the

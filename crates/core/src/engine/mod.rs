@@ -866,7 +866,7 @@ impl Engine {
     /// solver → [`Solution`] → [`PlanExecutor`](crate::executor::PlanExecutor)
     /// → verified bytes. The stored objects stay referenced until the
     /// caller releases the returned [`Execution::stored`].
-    pub fn solve_and_execute<S: dsv_delta::Store + ?Sized>(
+    pub fn solve_and_execute<S: dsv_delta::Store + Sync + ?Sized>(
         &self,
         g: &VersionGraph,
         problem: ProblemKind,

@@ -13,9 +13,18 @@
 //! 2. **Execute** ([`PlanExecutor::execute`]): every version is
 //!    reconstructed by walking the plan's retrieval forest — decode the
 //!    materialized roots, then apply stored deltas downward — and each
-//!    reconstruction is re-encoded and hash-verified against the recorded
-//!    source hash. A mismatch is a typed [`ExecError::HashMismatch`],
-//!    never a silent success.
+//!    reconstruction is hash-verified against the recorded source hash by
+//!    hashing the *decoded* content directly
+//!    ([`codec::hash_payload`](dsv_delta::store::codec::hash_payload) —
+//!    no re-encoding round-trip). A mismatch is a typed
+//!    [`ExecError::HashMismatch`], never a silent success.
+//!
+//! `execute` only *reads*, so it takes `&self`: it is a thin client of the
+//! batched [`Checkout`](crate::checkout::Checkout) walker (cache off,
+//! every version requested), which reconstructs independent subtrees of
+//! the retrieval forest in parallel over borrowed
+//! [`Store::get_ref`] bytes. [`PlanExecutor::reader`] hands out the same
+//! walker for serving arbitrary version batches.
 //!
 //! Execution also *measures*: the storage cost of the actual stored
 //! objects and the retrieval cost of the actually replayed deltas, priced
@@ -29,8 +38,8 @@
 //! [`MemStore`](dsv_delta::MemStore) and the persistent
 //! [`PackStore`](dsv_delta::PackStore) run the identical code path.
 
+use crate::checkout::Checkout;
 use crate::plan::{Parent, PlanCosts, StoragePlan};
-use dsv_delta::store::codec::{self, Payload};
 use dsv_delta::store::{hash_object, ObjectId, ObjectKind, Store, StoreError, VersionSource};
 use dsv_vgraph::{cost_add, VersionGraph};
 use std::time::{Duration, Instant};
@@ -209,91 +218,60 @@ impl<'s, S: Store + ?Sized> PlanExecutor<'s, S> {
         })
     }
 
+    /// Drop the stored plan's references so [`Store::gc`] can reclaim
+    /// objects no other live plan shares.
+    pub fn release(&mut self, stored: &StoredPlan) -> Result<(), ExecError> {
+        for &id in &stored.objects {
+            self.store.release(id)?;
+        }
+        Ok(())
+    }
+
+    /// A shareable read-only [`Checkout`] over the executor's store, for
+    /// serving version batches (attach a cache with
+    /// [`Checkout::with_cache`]).
+    pub fn reader(&self) -> Checkout<'_, S> {
+        Checkout::new(&*self.store)
+    }
+
+    /// The underlying store.
+    pub fn store(&mut self) -> &mut S {
+        self.store
+    }
+}
+
+impl<'s, S: Store + Sync + ?Sized> PlanExecutor<'s, S> {
     /// Reconstruct every version from the store, hash-verify each one, and
     /// measure storage/retrieval costs from the stored bytes.
+    ///
+    /// This is a read: it takes `&self` and runs the batched
+    /// [`Checkout`] walker with every version requested and the cache
+    /// off, so independent subtrees of the retrieval forest reconstruct
+    /// in parallel over borrowed store bytes.
     pub fn execute(
-        &mut self,
+        &self,
         g: &VersionGraph,
         stored: &StoredPlan,
     ) -> Result<ExecutionReport, ExecError> {
         let started = Instant::now();
         let n = g.n();
-        if stored.objects.len() != n {
+        let (stats, measure) = self.reader().verify_all(g, stored)?;
+        if stats.hydrated != n {
             return Err(ExecError::Mismatch {
-                detail: format!("stored plan covers {} of {n} nodes", stored.objects.len()),
+                detail: format!("reconstructed {} of {n} versions", stats.hydrated),
             });
         }
-        // Children lists of the stored-delta forest.
-        let mut children: Vec<Vec<u32>> = vec![Vec::new(); n];
-        let mut roots = Vec::new();
-        for (v, p) in stored.plan.parent.iter().enumerate() {
-            match p {
-                Parent::Materialized => roots.push(v as u32),
-                Parent::Delta(e) => children[g.edge(*e).src.index()].push(v as u32),
-            }
-        }
-
-        let mut measured_storage = 0u64;
-        let mut retrieval = vec![0u64; n];
-        let mut bytes_reconstructed = 0u64;
-        let mut verified = 0usize;
-
-        // DFS down the forest, carrying each node's decoded payload while
-        // its subtree is reconstructed.
-        let mut stack: Vec<(u32, Payload)> = Vec::new();
-        for &root in &roots {
-            let bytes = self.store.get(stored.objects[root as usize])?;
-            let actual = hash_object(ObjectKind::Chunk, &bytes);
-            if actual != stored.source_hashes[root as usize] {
-                return Err(ExecError::HashMismatch {
-                    node: root,
-                    expected: stored.source_hashes[root as usize],
-                    actual,
-                });
-            }
-            let payload = codec::decode_payload(&bytes)?;
-            measured_storage = cost_add(measured_storage, payload.content_size());
-            bytes_reconstructed += payload.content_size();
-            verified += 1;
-            stack.push((root, payload));
-        }
-        while let Some((v, payload)) = stack.pop() {
-            for &c in &children[v as usize] {
-                let delta_bytes = self.store.get(stored.objects[c as usize])?;
-                let (child_payload, costs) = codec::apply_delta(&payload, &delta_bytes)?;
-                let encoded = codec::encode_payload(&child_payload);
-                let actual = hash_object(ObjectKind::Chunk, &encoded);
-                if actual != stored.source_hashes[c as usize] {
-                    return Err(ExecError::HashMismatch {
-                        node: c,
-                        expected: stored.source_hashes[c as usize],
-                        actual,
-                    });
-                }
-                measured_storage = cost_add(measured_storage, costs.storage_cost());
-                retrieval[c as usize] = cost_add(retrieval[v as usize], costs.retrieval_cost());
-                bytes_reconstructed += child_payload.content_size();
-                verified += 1;
-                stack.push((c, child_payload));
-            }
-        }
-        if verified != n {
-            return Err(ExecError::Mismatch {
-                detail: format!("reconstructed {verified} of {n} versions"),
-            });
-        }
-
         let measured = PlanCosts {
-            storage: measured_storage,
-            total_retrieval: retrieval.iter().fold(0, |a, &b| cost_add(a, b)),
-            max_retrieval: retrieval.iter().copied().max().unwrap_or(0),
+            storage: measure.storage,
+            total_retrieval: measure.retrievals.iter().fold(0, |a, &b| cost_add(a, b)),
+            max_retrieval: measure.retrievals.iter().copied().max().unwrap_or(0),
         };
         Ok(ExecutionReport {
             versions: n,
-            verified,
+            verified: stats.hydrated,
             predicted: stored.plan.costs(g),
             measured,
-            bytes_reconstructed,
+            bytes_reconstructed: measure.bytes_reconstructed,
             execute_wall: started.elapsed(),
         })
     }
@@ -317,20 +295,6 @@ impl<'s, S: Store + ?Sized> PlanExecutor<'s, S> {
                 Err(e)
             }
         }
-    }
-
-    /// Drop the stored plan's references so [`Store::gc`] can reclaim
-    /// objects no other live plan shares.
-    pub fn release(&mut self, stored: &StoredPlan) -> Result<(), ExecError> {
-        for &id in &stored.objects {
-            self.store.release(id)?;
-        }
-        Ok(())
-    }
-
-    /// The underlying store.
-    pub fn store(&mut self) -> &mut S {
-        self.store
     }
 }
 
@@ -418,7 +382,7 @@ mod tests {
         let mut exec = PlanExecutor::new(&mut store);
         let stored = exec.ingest(&g, &plan, &TinySource).expect("ingest");
         store.corrupt_object(stored.objects[1]);
-        let mut exec = PlanExecutor::new(&mut store);
+        let exec = PlanExecutor::new(&mut store);
         let err = exec.execute(&g, &stored).expect_err("corrupt delta");
         assert!(
             matches!(err, ExecError::Store(StoreError::Corrupt { .. })),

@@ -35,13 +35,18 @@
 //! hash-verifying every version and measuring real storage/retrieval costs
 //! next to the plan's predictions —
 //! [`Engine::solve_and_execute`](engine::Engine::solve_and_execute) runs
-//! the whole solve → store → verify chain in one call.
+//! the whole solve → store → verify chain in one call. The [`checkout`]
+//! module is the *serving* side of the same machinery: a shareable
+//! (`&self`) batched reader that hydrates shared retrieval-chain prefixes
+//! once, reconstructs independent subtrees in parallel, and keeps hot
+//! payloads in a depth-aware LRU cache.
 
 #![warn(missing_docs)]
 
 pub mod baselines;
 pub mod btw;
 pub mod cancel;
+pub mod checkout;
 pub mod engine;
 pub mod exact;
 pub mod executor;
@@ -52,6 +57,7 @@ pub mod reductions;
 pub mod tree;
 
 pub use cancel::CancelToken;
+pub use checkout::{CacheStats, Checkout, CheckoutCache, CheckoutOutcome, CheckoutStats};
 pub use engine::{Engine, Portfolio, Solution, SolveError, SolveOptions, Solver, SolverMeta};
 pub use executor::{ExecError, ExecutionReport, PlanExecutor, StoredPlan};
 pub use plan::{Parent, StoragePlan};

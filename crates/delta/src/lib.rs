@@ -66,5 +66,6 @@ pub use chunks::ChunkSketch;
 pub use corpus::{corpus, corpus_with_content, CorpusName, CorpusResult};
 pub use script::EditScript;
 pub use store::{
-    CorpusContent, MemStore, ObjectId, ObjectKind, PackStore, Store, StoreError, VersionSource,
+    CorpusContent, MemStore, ObjectHasher, ObjectId, ObjectKind, PackStore, Store, StoreError,
+    VersionSource,
 };

@@ -21,7 +21,7 @@
 //! id, fixed little-endian integers — equal content always encodes to
 //! equal bytes, so content addressing deduplicates across plans.
 
-use super::StoreError;
+use super::{ObjectHasher, ObjectId, ObjectKind, StoreError};
 use crate::chunks::SketchDelta;
 use crate::script::{CostParams, EditScript};
 
@@ -116,45 +116,81 @@ impl DeltaCosts {
 
 // ------------------------------------------------------------------ writers
 
-fn put_u32(out: &mut Vec<u8>, v: u32) {
-    out.extend_from_slice(&v.to_le_bytes());
+/// A consumer of encoded byte runs: either an output buffer (encoding) or
+/// an [`ObjectHasher`] (hashing the canonical encoding without
+/// materializing it).
+trait Emit {
+    fn emit(&mut self, bytes: &[u8]);
 }
 
-fn put_u64(out: &mut Vec<u8>, v: u64) {
-    out.extend_from_slice(&v.to_le_bytes());
+impl Emit for Vec<u8> {
+    fn emit(&mut self, bytes: &[u8]) {
+        self.extend_from_slice(bytes);
+    }
 }
 
-fn put_bytes(out: &mut Vec<u8>, b: &[u8]) {
+impl Emit for ObjectHasher {
+    fn emit(&mut self, bytes: &[u8]) {
+        self.update(bytes);
+    }
+}
+
+fn put_u32(out: &mut impl Emit, v: u32) {
+    out.emit(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut impl Emit, v: u64) {
+    out.emit(&v.to_le_bytes());
+}
+
+fn put_bytes(out: &mut impl Emit, b: &[u8]) {
     put_u32(out, b.len() as u32);
-    out.extend_from_slice(b);
+    out.emit(b);
+}
+
+/// Emit a payload's canonical encoding, piecewise, into any sink.
+fn emit_payload(p: &Payload, out: &mut impl Emit) {
+    out.emit(&[PAYLOAD_MAGIC]);
+    match p {
+        Payload::Text(files) => {
+            out.emit(&[TAG_TEXT]);
+            put_u32(out, files.len() as u32);
+            for f in files {
+                put_bytes(out, f.path.as_bytes());
+                put_u32(out, f.lines.len() as u32);
+                for line in &f.lines {
+                    put_bytes(out, line);
+                }
+            }
+        }
+        Payload::Sketch(chunks) => {
+            out.emit(&[TAG_SKETCH]);
+            put_u32(out, chunks.len() as u32);
+            for &(id, size) in chunks {
+                put_u64(out, id);
+                put_u32(out, size);
+            }
+        }
+    }
 }
 
 /// Encode a payload to its canonical bytes.
 pub fn encode_payload(p: &Payload) -> Vec<u8> {
     let mut out = Vec::new();
-    out.push(PAYLOAD_MAGIC);
-    match p {
-        Payload::Text(files) => {
-            out.push(TAG_TEXT);
-            put_u32(&mut out, files.len() as u32);
-            for f in files {
-                put_bytes(&mut out, f.path.as_bytes());
-                put_u32(&mut out, f.lines.len() as u32);
-                for line in &f.lines {
-                    put_bytes(&mut out, line);
-                }
-            }
-        }
-        Payload::Sketch(chunks) => {
-            out.push(TAG_SKETCH);
-            put_u32(&mut out, chunks.len() as u32);
-            for &(id, size) in chunks {
-                put_u64(&mut out, id);
-                put_u32(&mut out, size);
-            }
-        }
-    }
+    emit_payload(p, &mut out);
     out
+}
+
+/// The content address a payload's canonical encoding would hash to,
+/// computed by streaming the encoding through an [`ObjectHasher`] — no
+/// intermediate byte buffer. Always equal to
+/// `hash_object(ObjectKind::Chunk, &encode_payload(p))`; this is what
+/// reconstruction verifies decoded content against, sparing the hot read
+/// path one full re-encode per version.
+pub fn hash_payload(p: &Payload) -> ObjectId {
+    let mut h = ObjectHasher::new(ObjectKind::Chunk);
+    emit_payload(p, &mut h);
+    h.finish()
 }
 
 /// Encode a text delta (sections must cover changed files only, in path
@@ -611,6 +647,23 @@ mod tests {
         assert_eq!(d.added_chunks, 2);
         assert_eq!(d.removed_chunks, 1);
         assert_eq!(costs.storage_cost(), 90 + 12 * 3);
+    }
+
+    #[test]
+    fn hash_payload_equals_hash_of_encoding() {
+        use crate::store::hash_object;
+        for p in [
+            text_payload(),
+            Payload::Text(vec![]),
+            Payload::Sketch(vec![(3, 100), (9, 50)]),
+            Payload::Sketch(vec![]),
+        ] {
+            assert_eq!(
+                hash_payload(&p),
+                hash_object(ObjectKind::Chunk, &encode_payload(&p)),
+                "streamed hash must equal the hash of the materialized encoding for {p:?}"
+            );
+        }
     }
 
     #[test]

@@ -33,6 +33,7 @@ pub mod source;
 pub use pack::PackStore;
 pub use source::{CorpusContent, VersionSource};
 
+use std::borrow::Cow;
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -96,21 +97,58 @@ pub(crate) fn splitmix64(mut x: u64) -> u64 {
     z ^ (z >> 31)
 }
 
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x1000_0000_01b3;
+
+/// Incremental form of [`hash_object`]: feed the object bytes in any
+/// number of `update` calls and `finish` yields the identical
+/// [`ObjectId`]. This is what lets verification hash *streamed* content —
+/// e.g. a decoded payload's canonical encoding emitted piecewise — without
+/// ever materializing the full byte string.
+#[derive(Clone, Debug)]
+pub struct ObjectHasher {
+    a: u64,
+    b: u64,
+    len: u64,
+}
+
+impl ObjectHasher {
+    /// Start hashing an object of `kind` (the kind tag seeds both lanes,
+    /// keeping chunk and delta namespaces disjoint).
+    pub fn new(kind: ObjectKind) -> Self {
+        ObjectHasher {
+            a: FNV_OFFSET ^ u64::from(kind.tag()),
+            b: FNV_OFFSET ^ 0x9E37_79B9_7F4A_7C15 ^ u64::from(kind.tag()).rotate_left(17),
+            len: 0,
+        }
+    }
+
+    /// Absorb the next run of object bytes.
+    pub fn update(&mut self, bytes: &[u8]) {
+        for &byte in bytes {
+            self.a = (self.a ^ u64::from(byte)).wrapping_mul(FNV_PRIME);
+            self.b = (self.b ^ u64::from(byte ^ 0x5A)).wrapping_mul(FNV_PRIME);
+        }
+        self.len += bytes.len() as u64;
+    }
+
+    /// The content address of everything absorbed so far.
+    pub fn finish(self) -> ObjectId {
+        ObjectId(
+            splitmix64(self.a ^ self.len),
+            splitmix64(self.b ^ self.len.rotate_left(32)),
+        )
+    }
+}
+
 /// Content address of an object: hash over the kind tag and the bytes.
 ///
 /// Hashing the kind in makes chunk and delta namespaces disjoint — the same
 /// byte string stored as both kinds yields two ids.
 pub fn hash_object(kind: ObjectKind, bytes: &[u8]) -> ObjectId {
-    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-    const FNV_PRIME: u64 = 0x1000_0000_01b3;
-    let mut a = FNV_OFFSET ^ u64::from(kind.tag());
-    let mut b = FNV_OFFSET ^ 0x9E37_79B9_7F4A_7C15 ^ u64::from(kind.tag()).rotate_left(17);
-    for &byte in bytes {
-        a = (a ^ u64::from(byte)).wrapping_mul(FNV_PRIME);
-        b = (b ^ u64::from(byte ^ 0x5A)).wrapping_mul(FNV_PRIME);
-    }
-    let len = bytes.len() as u64;
-    ObjectId(splitmix64(a ^ len), splitmix64(b ^ len.rotate_left(32)))
+    let mut h = ObjectHasher::new(kind);
+    h.update(bytes);
+    h.finish()
 }
 
 /// Typed failure modes of a storage backend.
@@ -208,6 +246,17 @@ pub trait Store {
     /// (a mismatch is [`StoreError::Corrupt`]).
     fn get(&self, id: ObjectId) -> Result<Vec<u8>, StoreError>;
 
+    /// Read an object without copying when the backend can serve resident
+    /// bytes: [`MemStore`] borrows straight from its object table and
+    /// [`PackStore`] serves slices of its resident pack map, so the hot
+    /// read path stops allocating per object. Backends without resident
+    /// bytes fall back to the owned [`Store::get`]. The same integrity
+    /// guarantee holds: the returned bytes hash to `id` or the read fails
+    /// with [`StoreError::Corrupt`].
+    fn get_ref(&self, id: ObjectId) -> Result<Cow<'_, [u8]>, StoreError> {
+        self.get(id).map(Cow::Owned)
+    }
+
     /// Metadata of an object, or `None` if absent.
     fn meta(&self, id: ObjectId) -> Option<ObjectMeta>;
 
@@ -285,6 +334,10 @@ impl Store for MemStore {
     }
 
     fn get(&self, id: ObjectId) -> Result<Vec<u8>, StoreError> {
+        self.get_ref(id).map(Cow::into_owned)
+    }
+
+    fn get_ref(&self, id: ObjectId) -> Result<Cow<'_, [u8]>, StoreError> {
         let obj = self.objects.get(&id).ok_or(StoreError::Missing { id })?;
         let actual = hash_object(obj.kind, &obj.bytes);
         if actual != id {
@@ -293,7 +346,7 @@ impl Store for MemStore {
                 detail: format!("bytes hash to {actual}"),
             });
         }
-        Ok(obj.bytes.clone())
+        Ok(Cow::Borrowed(obj.bytes.as_slice()))
     }
 
     fn meta(&self, id: ObjectId) -> Option<ObjectMeta> {
@@ -368,6 +421,30 @@ mod tests {
             hash_object(ObjectKind::Chunk, b""),
             hash_object(ObjectKind::Chunk, b"\0")
         );
+    }
+
+    #[test]
+    fn incremental_hasher_matches_one_shot() {
+        let bytes = b"incrementally hashed object bytes";
+        for kind in [ObjectKind::Chunk, ObjectKind::Delta] {
+            let mut h = ObjectHasher::new(kind);
+            for chunk in bytes.chunks(5) {
+                h.update(chunk);
+            }
+            assert_eq!(h.finish(), hash_object(kind, bytes));
+        }
+    }
+
+    #[test]
+    fn mem_get_ref_borrows_and_verifies() {
+        let mut s = MemStore::new();
+        let id = s.put(ObjectKind::Chunk, b"resident bytes").expect("put");
+        let bytes = s.get_ref(id).expect("get_ref");
+        assert!(matches!(bytes, Cow::Borrowed(_)), "MemStore must not copy");
+        assert_eq!(&*bytes, b"resident bytes");
+        drop(bytes);
+        s.corrupt_object(id);
+        assert!(matches!(s.get_ref(id), Err(StoreError::Corrupt { .. })));
     }
 
     #[test]

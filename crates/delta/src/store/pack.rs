@@ -82,6 +82,13 @@ pub struct PackStore {
     /// when GC swaps the file), so the read path costs a seek, not an
     /// open, per object.
     reader: std::sync::Mutex<Option<File>>,
+    /// Resident pack map: the whole pack file read once and kept in
+    /// memory so [`Store::get_ref`] serves verified *slices* instead of
+    /// allocating a `Vec` per packed read. Loaded lazily on the first
+    /// `get_ref`; dropped (and lazily rebuilt) whenever the mapping could
+    /// go stale — a packed append extends the file past the map, and GC
+    /// compaction rewrites it with new offsets entirely.
+    resident: std::sync::OnceLock<Box<[u8]>>,
 }
 
 fn io_err(op: &'static str, path: &Path, e: std::io::Error) -> StoreError {
@@ -119,6 +126,7 @@ impl PackStore {
             pack_len: 0,
             loose_threshold,
             reader: std::sync::Mutex::new(None),
+            resident: std::sync::OnceLock::new(),
         };
         store.init_pack()?;
         if store.idx_path.exists() {
@@ -434,6 +442,28 @@ impl PackStore {
         Ok(())
     }
 
+    /// Whether the resident pack map is currently loaded. Tests observe
+    /// invalidation through this; callers can use it to decide whether a
+    /// first read will pay the one-time load.
+    pub fn resident_loaded(&self) -> bool {
+        self.resident.get().is_some()
+    }
+
+    /// The resident pack map: the pack file read once into memory, after
+    /// which packed [`Store::get_ref`] reads are verified slices. Reloaded
+    /// lazily after `put`/`gc` invalidate it.
+    fn resident_pack(&self) -> Result<&[u8], StoreError> {
+        if let Some(bytes) = self.resident.get() {
+            return Ok(bytes);
+        }
+        let bytes =
+            std::fs::read(&self.pack_path).map_err(|e| io_err("read", &self.pack_path, e))?;
+        // A concurrent reader may have raced the load and won; both read
+        // the same immutable file, so either copy serves.
+        let _ = self.resident.set(bytes.into_boxed_slice());
+        Ok(self.resident.get().expect("resident just set"))
+    }
+
     fn read_packed(&self, id: ObjectId, e: &Entry) -> Result<Vec<u8>, StoreError> {
         let mut guard = self.reader.lock().expect("pack reader lock");
         if guard.is_none() {
@@ -496,6 +526,12 @@ impl Store for PackStore {
                 return Err(io_err("write", &self.pack_path, e));
             }
             self.pack_len += rec.len() as u64;
+            // The resident map no longer covers the whole pack; drop it so
+            // the next get_ref reloads one consistent snapshot. (Existing
+            // offsets stay valid — the pack is append-only — so get_ref
+            // additionally bounds-checks and falls back rather than ever
+            // serving a slice the map does not cover.)
+            self.resident = std::sync::OnceLock::new();
             offset
         };
         self.entries.insert(
@@ -526,6 +562,43 @@ impl Store for PackStore {
             });
         }
         Ok(bytes)
+    }
+
+    fn get_ref(&self, id: ObjectId) -> Result<std::borrow::Cow<'_, [u8]>, StoreError> {
+        let e = *self.entries.get(&id).ok_or(StoreError::Missing { id })?;
+        if e.offset == LOOSE_OFFSET {
+            // Loose objects stay owned reads: they are the large-object
+            // tail, rare on the hot path and not worth keeping resident.
+            return self.get(id).map(std::borrow::Cow::Owned);
+        }
+        let pack = self.resident_pack()?;
+        let start = e.offset as usize;
+        let end = start + RECORD_HEADER as usize + e.len as usize;
+        let Some(rec) = pack.get(start..end) else {
+            // The record was appended after this map was loaded (the map
+            // is a still-valid prefix of the append-only pack, it just
+            // does not cover the tail). Serve the owned fallback.
+            return self.get(id).map(std::borrow::Cow::Owned);
+        };
+        let rec_id = ObjectId(
+            u64::from_le_bytes(rec[0..8].try_into().expect("8 bytes")),
+            u64::from_le_bytes(rec[8..16].try_into().expect("8 bytes")),
+        );
+        if rec_id != id {
+            return Err(StoreError::Corrupt {
+                id,
+                detail: format!("pack record at {} is for {rec_id}", e.offset),
+            });
+        }
+        let payload = &rec[RECORD_HEADER as usize..];
+        let actual = hash_object(e.kind, payload);
+        if actual != id {
+            return Err(StoreError::Corrupt {
+                id,
+                detail: format!("bytes hash to {actual}"),
+            });
+        }
+        Ok(std::borrow::Cow::Borrowed(payload))
     }
 
     fn meta(&self, id: ObjectId) -> Option<ObjectMeta> {
@@ -613,8 +686,11 @@ impl Store for PackStore {
             self.entries.get_mut(&id).expect("live entry").offset = offset;
         }
         self.pack_len = new_len;
-        // The cached read handle still points at the pre-compaction file.
+        // The cached read handle still points at the pre-compaction file,
+        // and the resident map's offsets are those of the old pack — both
+        // must go, or reads after GC would serve stale bytes.
         *self.reader.lock().expect("pack reader lock") = None;
+        self.resident = std::sync::OnceLock::new();
         self.write_index()?;
         Ok(stats)
     }
@@ -671,6 +747,63 @@ mod tests {
             Some(ObjectLocation::Packed { .. })
         ));
         assert!(matches!(s.locate(big), Some(ObjectLocation::Loose { .. })));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn get_ref_serves_resident_slices_and_survives_append_and_gc() {
+        use std::borrow::Cow;
+        let dir = temp_dir("resident");
+        let mut s = PackStore::open_with_threshold(&dir, 1 << 20).expect("open");
+        let a = s.put(ObjectKind::Chunk, b"first object").expect("put");
+        assert!(!s.resident_loaded(), "map loads lazily, not on open/put");
+        let bytes = s.get_ref(a).expect("get_ref");
+        assert!(
+            matches!(bytes, Cow::Borrowed(_)),
+            "packed reads must be slices of the resident map"
+        );
+        assert_eq!(&*bytes, b"first object");
+        drop(bytes);
+        assert!(s.resident_loaded());
+
+        // An append invalidates the map; the next get_ref reloads one
+        // snapshot covering both objects and serves slices again.
+        let b = s.put(ObjectKind::Delta, b"appended object").expect("put");
+        assert!(!s.resident_loaded(), "append must invalidate the map");
+        assert!(matches!(s.get_ref(b).expect("new"), Cow::Borrowed(_)));
+        assert_eq!(&*s.get_ref(a).expect("old"), b"first object");
+        assert!(s.resident_loaded());
+
+        // GC compaction moves offsets; a stale map would serve the wrong
+        // record. The reload must reflect the compacted pack exactly.
+        s.release(a).expect("release");
+        s.gc().expect("gc");
+        assert!(!s.resident_loaded(), "gc must invalidate the map");
+        assert_eq!(&*s.get_ref(b).expect("survivor"), b"appended object");
+        assert!(matches!(s.get_ref(a), Err(StoreError::Missing { .. })));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn get_ref_detects_on_disk_corruption() {
+        let dir = temp_dir("refcorrupt");
+        let mut s = PackStore::open_with_threshold(&dir, 1 << 20).expect("open");
+        let id = s.put(ObjectKind::Chunk, b"fragile resident").expect("put");
+        let Some(ObjectLocation::Packed { payload_offset, .. }) = s.locate(id) else {
+            panic!("expected a packed object");
+        };
+        let mut f = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .open(s.pack_path())
+            .expect("open pack");
+        f.seek(SeekFrom::Start(payload_offset)).expect("seek");
+        let mut byte = [0u8; 1];
+        f.read_exact(&mut byte).expect("read");
+        f.seek(SeekFrom::Start(payload_offset)).expect("seek");
+        f.write_all(&[byte[0] ^ 0xFF]).expect("write");
+        drop(f);
+        assert!(matches!(s.get_ref(id), Err(StoreError::Corrupt { .. })));
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -48,6 +48,14 @@
 //! [`solve_and_execute`](core::engine::Engine::solve_and_execute) runs the
 //! whole solve → store → verify chain in one call.
 //!
+//! Serving reads is its own layer: [`Checkout`](core::checkout::Checkout)
+//! is a `&self`-shareable batched reader that plans the union of a
+//! request batch's retrieval chains, hydrates shared prefixes once,
+//! reconstructs independent subtrees in parallel over borrowed
+//! (`Store::get_ref`) bytes, and keeps hot payloads in a depth-aware
+//! LRU [`CheckoutCache`](core::checkout::CheckoutCache) — gated in CI by
+//! `repro --experiment checkout --assert-speedup`.
+//!
 //! ## Quickstart
 //!
 //! ```
@@ -110,6 +118,9 @@ pub mod prelude {
     };
     pub use dsv_core::btw::{btw_msr, btw_msr_plan, btw_msr_value, BtwConfig, BtwResult};
     pub use dsv_core::cancel::CancelToken;
+    pub use dsv_core::checkout::{
+        CacheStats, Checkout, CheckoutCache, CheckoutOutcome, CheckoutStats,
+    };
     pub use dsv_core::engine::{
         AttemptOutcome, Engine, ExecuteError, Execution, MsrSweep, Portfolio, PortfolioAttempt,
         SharedWork, Solution, SolveError, SolveOptions, Solver, SolverMeta,
@@ -125,7 +136,8 @@ pub mod prelude {
     };
     pub use dsv_delta::corpus::{corpus, corpus_with_content, CorpusName};
     pub use dsv_delta::store::{
-        CorpusContent, MemStore, ObjectId, ObjectKind, PackStore, Store, StoreError, VersionSource,
+        CorpusContent, MemStore, ObjectHasher, ObjectId, ObjectKind, PackStore, Store, StoreError,
+        VersionSource,
     };
     pub use dsv_delta::transforms::{erdos_renyi_from_sketches, random_compression};
     pub use dsv_vgraph::{Cost, EdgeId, NodeId, VersionGraph};

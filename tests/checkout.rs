@@ -1,0 +1,282 @@
+//! Batched checkout integration: the serving read path.
+//!
+//! This suite pins the checkout layer's contract:
+//!
+//! * a batched checkout returns payloads **byte-identical** to
+//!   one-at-a-time checkouts and to the source content, across natural
+//!   (path/tree-like) and Erdős–Rényi fixtures on both backends;
+//! * cache hits return bytes identical to cold reconstructions
+//!   (property loop over seeded request streams);
+//! * the content-level hash used for verification equals the
+//!   `source_hashes` recorded at ingest (no `encode_payload` round-trip);
+//! * `PackStore`'s resident pack map is invalidated by append and GC —
+//!   it never serves stale slices;
+//! * the read path is `&self`-shareable: concurrent checkouts against
+//!   one reader and one cache agree with the source.
+
+use dataset_versioning::prelude::*;
+use dsv_core::checkout::{Checkout, CheckoutCache};
+use dsv_core::executor::PlanExecutor;
+use dsv_delta::store::codec;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+fn temp_dir(tag: &str) -> PathBuf {
+    static N: AtomicU64 = AtomicU64::new(0);
+    let d = std::env::temp_dir().join(format!(
+        "dsv-checkout-{tag}-{}-{}",
+        std::process::id(),
+        N.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
+/// Natural corpora (path/tree-shaped retrieval forests under MSR plans)
+/// plus an ER graph over sketch content (unnatural delta pairs).
+fn fixtures() -> Vec<(&'static str, VersionGraph, CorpusContent)> {
+    let mut out = Vec::new();
+    let c = corpus_with_content(CorpusName::Datasharing, 1.0, 31, true);
+    out.push(("datasharing", c.graph, c.content.expect("content")));
+    let c = corpus_with_content(CorpusName::Icu996, 0.015, 32, true);
+    out.push(("icu996", c.graph, c.content.expect("content")));
+    let lc = corpus_with_content(CorpusName::LeetCodeAnimation, 0.05, 33, true);
+    let sketches = lc.sketches().expect("sketch corpus").to_vec();
+    let g = erdos_renyi_from_sketches(&sketches, 0.3, 34);
+    out.push(("leetcode-er", g, CorpusContent::Sketch { sketches }));
+    out
+}
+
+fn msr_plan(g: &VersionGraph, solver: &str) -> StoragePlan {
+    let engine = Engine::with_default_solvers();
+    let problem = ProblemKind::Msr {
+        storage_budget: min_storage_value(g) * 2,
+    };
+    engine
+        .solve_with(solver, g, problem, &SolveOptions::default())
+        .expect("solve")
+        .plan
+}
+
+/// Batched checkout == one-at-a-time checkout == source content, for
+/// every version, on both backends, across fixture shapes and solvers.
+#[test]
+fn batched_checkout_matches_one_at_a_time_and_source() {
+    for (label, g, content) in fixtures() {
+        let n = g.n();
+        let expected: Vec<_> = (0..n as u32).map(|v| content.payload(v)).collect();
+        for solver in ["LMG", "DP-MSR"] {
+            let plan = msr_plan(&g, solver);
+
+            let mut mem = MemStore::new();
+            let stored_mem = PlanExecutor::new(&mut mem)
+                .ingest(&g, &plan, &content)
+                .expect("mem ingest");
+            let dir = temp_dir(label);
+            let mut pack = PackStore::open(&dir).expect("open pack");
+            let stored_pack = PlanExecutor::new(&mut pack)
+                .ingest(&g, &plan, &content)
+                .expect("pack ingest");
+
+            let all: Vec<u32> = (0..n as u32).collect();
+            // MemStore backend.
+            {
+                let reader = Checkout::new(&mem);
+                let batch = reader.checkout(&g, &stored_mem, &all).expect("batched");
+                assert_eq!(batch.payloads.len(), n);
+                for (v, exp) in expected.iter().enumerate() {
+                    assert_eq!(
+                        *batch.payloads[v], *exp,
+                        "{solver} on {label} (mem): batched v{v}"
+                    );
+                    let one = reader
+                        .checkout(&g, &stored_mem, &[v as u32])
+                        .expect("one at a time");
+                    assert_eq!(
+                        one.payloads[0], batch.payloads[v],
+                        "{solver} on {label} (mem): one-at-a-time v{v}"
+                    );
+                }
+                assert_eq!(batch.stats.hydrated, n, "union of all chains is all nodes");
+            }
+            // PackStore backend.
+            {
+                let reader = Checkout::new(&pack);
+                let batch = reader.checkout(&g, &stored_pack, &all).expect("batched");
+                for (v, exp) in expected.iter().enumerate() {
+                    assert_eq!(
+                        *batch.payloads[v], *exp,
+                        "{solver} on {label} (pack): batched v{v}"
+                    );
+                }
+            }
+
+            drop(pack);
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
+}
+
+/// The content-level hash used for verification is pinned to the
+/// `source_hashes` the executor records at ingest (which hash the
+/// *encoded* payload bytes) — the regression test for dropping the
+/// `encode_payload` round-trip.
+#[test]
+fn hash_payload_pins_to_ingested_source_hashes() {
+    for (label, g, content) in fixtures() {
+        let plan = msr_plan(&g, "LMG");
+        let mut mem = MemStore::new();
+        let stored = PlanExecutor::new(&mut mem)
+            .ingest(&g, &plan, &content)
+            .expect("ingest");
+        for v in 0..g.n() as u32 {
+            assert_eq!(
+                codec::hash_payload(&content.payload(v)),
+                stored.source_hashes[v as usize],
+                "{label}: content-level hash of v{v} must equal the ingest hash"
+            );
+        }
+    }
+}
+
+/// Property loop: random batch streams served through a cache return
+/// bytes identical to cold reconstructions, duplicates included, and the
+/// cache actually hits.
+#[test]
+fn cached_checkouts_identical_to_cold_property_loop() {
+    let (_, g, content) = fixtures().swap_remove(0);
+    let n = g.n();
+    let expected: Vec<_> = (0..n as u32).map(|v| content.payload(v)).collect();
+    let plan = msr_plan(&g, "LMG");
+    let mut mem = MemStore::new();
+    let stored = PlanExecutor::new(&mut mem)
+        .ingest(&g, &plan, &content)
+        .expect("ingest");
+
+    let mut rng = SmallRng::seed_from_u64(99);
+    let cache = CheckoutCache::new(expected.iter().map(|p| p.content_size()).sum::<u64>() / 3 + 1);
+    let cold = Checkout::new(&mem);
+    let cached = Checkout::new(&mem).with_cache(&cache);
+    for round in 0..40 {
+        let len = rng.gen_range(1..=24usize);
+        let batch: Vec<u32> = (0..len).map(|_| rng.gen_range(0..n as u32)).collect();
+        let warm = cached.checkout(&g, &stored, &batch).expect("cached");
+        let chill = cold.checkout(&g, &stored, &batch).expect("cold");
+        assert_eq!(warm.payloads.len(), batch.len());
+        for (i, &v) in batch.iter().enumerate() {
+            assert_eq!(
+                *warm.payloads[i], expected[v as usize],
+                "round {round}: cached v{v}"
+            );
+            assert_eq!(
+                warm.payloads[i], chill.payloads[i],
+                "round {round}: cached vs cold v{v}"
+            );
+        }
+    }
+    let stats = cache.stats();
+    assert!(stats.hits > 0, "hot versions must hit the cache: {stats:?}");
+    assert!(stats.admitted > 0);
+    assert!(
+        cache.used_bytes() <= cache.capacity_bytes(),
+        "cache must respect its byte budget"
+    );
+}
+
+/// Pack-map invalidation: reads through the resident pack map stay
+/// byte-correct across appends (new plan ingested) and GC (old plan
+/// collected) — stale slices are never served.
+#[test]
+fn pack_resident_map_never_serves_stale_slices() {
+    let c = corpus_with_content(CorpusName::Datasharing, 1.0, 41, true);
+    let g = c.graph;
+    let content = c.content.expect("content");
+    let n = g.n();
+    let expected: Vec<_> = (0..n as u32).map(|v| content.payload(v)).collect();
+    let all: Vec<u32> = (0..n as u32).collect();
+
+    let dir = temp_dir("invalidate");
+    let mut pack = PackStore::open(&dir).expect("open pack");
+    let plan_a = msr_plan(&g, "LMG");
+    let stored_a = PlanExecutor::new(&mut pack)
+        .ingest(&g, &plan_a, &content)
+        .expect("ingest A");
+
+    // Serve A: this faults in the resident pack map.
+    let out = Checkout::new(&pack)
+        .checkout(&g, &stored_a, &all)
+        .expect("serve A");
+    assert!(pack.resident_loaded(), "first batched read loads the map");
+    for (v, exp) in expected.iter().enumerate() {
+        assert_eq!(*out.payloads[v], *exp);
+    }
+
+    // Append plan B (different forest, overlapping objects): the packed
+    // appends invalidate the map; reads of BOTH plans must stay correct.
+    let plan_b = msr_plan(&g, "DP-MSR");
+    let stored_b = PlanExecutor::new(&mut pack)
+        .ingest(&g, &plan_b, &content)
+        .expect("ingest B");
+    for (tag, stored) in [("A", &stored_a), ("B", &stored_b)] {
+        let out = Checkout::new(&pack)
+            .checkout(&g, stored, &all)
+            .expect("serve after append");
+        for (v, exp) in expected.iter().enumerate() {
+            assert_eq!(*out.payloads[v], *exp, "plan {tag} v{v} after append");
+        }
+    }
+
+    // Release A and compact: offsets move, the map is invalidated again;
+    // B must still serve byte-identical content.
+    PlanExecutor::new(&mut pack)
+        .release(&stored_a)
+        .expect("release A");
+    pack.gc().expect("gc");
+    let out = Checkout::new(&pack)
+        .checkout(&g, &stored_b, &all)
+        .expect("serve B after gc");
+    for (v, exp) in expected.iter().enumerate() {
+        assert_eq!(*out.payloads[v], *exp, "plan B v{v} after gc");
+    }
+
+    drop(pack);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The read path is `&self`-shareable: concurrent threads serving
+/// overlapping batches through one reader and one shared cache all see
+/// source-identical bytes.
+#[test]
+fn concurrent_checkouts_share_one_reader_and_cache() {
+    let (_, g, content) = fixtures().swap_remove(0);
+    let n = g.n();
+    let expected: Vec<_> = (0..n as u32).map(|v| content.payload(v)).collect();
+    let plan = msr_plan(&g, "LMG");
+    let mut mem = MemStore::new();
+    let stored = PlanExecutor::new(&mut mem)
+        .ingest(&g, &plan, &content)
+        .expect("ingest");
+
+    let cache = CheckoutCache::new(1 << 20);
+    let reader = Checkout::new(&mem).with_cache(&cache);
+    std::thread::scope(|scope| {
+        for t in 0..4u64 {
+            let reader = &reader;
+            let g = &g;
+            let stored = &stored;
+            let expected = &expected;
+            scope.spawn(move || {
+                let mut rng = SmallRng::seed_from_u64(1000 + t);
+                for _ in 0..10 {
+                    let batch: Vec<u32> = (0..16).map(|_| rng.gen_range(0..n as u32)).collect();
+                    let out = reader.checkout(g, stored, &batch).expect("checkout");
+                    for (i, &v) in batch.iter().enumerate() {
+                        assert_eq!(*out.payloads[i], expected[v as usize]);
+                    }
+                }
+            });
+        }
+    });
+}
