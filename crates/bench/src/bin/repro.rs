@@ -37,6 +37,12 @@
 //!   a mismatch **fails** the run (exit 1). `--assert-speedup X` gates on
 //!   the aggregate skewed-workload speedup. Pack stores go under
 //!   `--store-dir` (same semantics as `store`).
+//! * `faults` — `BENCH_faults.json` (the self-healing read path: the
+//!   checkout streams served through a fault-injecting store decorator
+//!   at 0% / 0.1% / 1% per-object fault rates on both backends). The run
+//!   **fails** (exit 1) unless every repairable corruption is healed
+//!   byte-identically from the source, zero wrong bytes are served, and
+//!   the healed store passes a clean verification pass.
 
 use dsv_bench::experiments::{self, ExperimentOptions};
 use dsv_bench::Report;
@@ -99,6 +105,11 @@ const EXPERIMENTS: &[(&str, &str, &str)] = &[
         "checkout",
         "batched+cached checkout serving vs one-at-a-time reconstruction",
         "checkout-serving.csv, BENCH_checkout.json",
+    ),
+    (
+        "faults",
+        "fault injection + self-healing reads: checkout streams under corruption",
+        "fault-injection.csv, BENCH_faults.json",
     ),
     (
         "treewidth",
@@ -214,9 +225,9 @@ fn run(experiment: &str, opts: &ExperimentOptions) -> Result<Vec<Report>, String
         "treewidth" => vec![experiments::treewidth_report(opts)],
         "btw" => vec![experiments::btw_report(opts)],
         "portfolio" => vec![experiments::portfolio_report(opts)],
-        // The lmg, store, and checkout experiments produce their reports
-        // (and BENCH_*.json) in the bench section of main.
-        "lmg" | "store" | "checkout" => Vec::new(),
+        // The lmg, store, checkout, and faults experiments produce their
+        // reports (and BENCH_*.json) in the bench section of main.
+        "lmg" | "store" | "checkout" | "faults" => Vec::new(),
         "all" => {
             let mut all = vec![experiments::table4(opts)];
             all.extend(experiments::fig10(opts));
@@ -390,6 +401,42 @@ fn main() {
                 bench.skewed_speedup
             );
         }
+    }
+
+    // The faults experiments gate the self-healing read path: checkout
+    // streams served under injected faults, with every repairable
+    // corruption healed byte-identically from the source and written
+    // back — any wrong bytes, unrepairable fault, or failed post-heal
+    // verification fails the run.
+    if matches!(args.experiment.as_str(), "faults" | "all") {
+        let (base_dir, ephemeral) = match args.store_dir.clone() {
+            Some(dir) => (dir, false),
+            None => (args.out.join("store-work"), true),
+        };
+        let work_dir = base_dir.join("faults");
+        if let Err(e) = std::fs::create_dir_all(&work_dir) {
+            eprintln!("error creating {}: {e}", work_dir.display());
+            std::process::exit(1);
+        }
+        let bench = experiments::faults_bench(&args.opts, &work_dir);
+        println!("{}", bench.report.to_markdown());
+        write_report_csv(&bench.report, &args.out);
+        write_bench_json(&args.out, "BENCH_faults.json", &bench.json);
+        if ephemeral {
+            let _ = std::fs::remove_dir_all(&work_dir);
+        }
+        if !bench.agreement {
+            eprintln!(
+                "error: self-healing disagreement — wrong bytes served, a repairable \
+                 corruption left unhealed, or the post-heal verification failed \
+                 (see BENCH_faults.json)"
+            );
+            std::process::exit(1);
+        }
+        eprintln!(
+            "# faults agreement: every repairable corruption healed, every payload \
+             byte-identical"
+        );
     }
 
     // The btw experiments gate the constructive bounded-width DP: on every

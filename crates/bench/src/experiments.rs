@@ -1177,6 +1177,289 @@ pub fn checkout_bench(opts: &ExperimentOptions, work_dir: &std::path::Path) -> C
     }
 }
 
+/// Results of the fault-injection / self-healing benchmark.
+pub struct FaultsBench {
+    /// Human-readable rendering of the same data.
+    pub report: Report,
+    /// The JSON document (per-cell fault/repair counters, serve
+    /// throughput, post-heal verification).
+    pub json: String,
+    /// The CI gate: zero wrong bytes served, zero unrepairable faults,
+    /// every request served, every detected fault healed byte-identical
+    /// (and the 0%-rate rows injected nothing while the 1% rows
+    /// actually exercised the repair path).
+    pub agreement: bool,
+}
+
+/// Injected fault rates per cell (probability per object, drawn
+/// independently for the transient / permanent / bit-flip families).
+const FAULT_RATES: [f64; 3] = [0.0, 0.001, 0.01];
+
+/// The self-healing benchmark: the PR-6 checkout streams served through a
+/// [`FaultStore`](dsv_delta::FaultStore) that injects deterministic
+/// transient I/O errors, permanent read errors, and bit flips at 0%,
+/// 0.1%, and 1% per object, on both backends.
+///
+/// Each batch is served with the corpus content attached as the
+/// redundant copy ([`serve_healing`](dsv_core::executor::PlanExecutor::serve_healing)):
+/// transient errors retry, corrupt/permanent reads re-derive from the
+/// source, and every repair ticket is written back through
+/// [`Store::repair`](dsv_delta::Store::repair). Every served payload is
+/// compared byte-for-byte against the source; after the faulted stream a
+/// clean full verification pass must agree exactly. `work_dir` receives
+/// one pack-store directory per (fixture, rate); the caller owns cleanup.
+pub fn faults_bench(opts: &ExperimentOptions, work_dir: &std::path::Path) -> FaultsBench {
+    use dsv_core::baselines::min_storage_value;
+    use dsv_core::engine::{Engine, SolveOptions};
+    use dsv_core::executor::PlanExecutor;
+    use dsv_core::problem::ProblemKind;
+    use dsv_core::RepairStats;
+    use dsv_delta::store::{CorpusContent, PackStore, VersionSource};
+    use dsv_delta::{FaultPlan, FaultStore, MemStore, Store};
+    use serde_json::Value;
+    use std::collections::BTreeMap;
+
+    // Same fixtures as the checkout benchmark: one text corpus with real
+    // Myers deltas, one ER graph over sketch content.
+    let mut fixtures: Vec<(String, VersionGraph, CorpusContent)> = Vec::new();
+    {
+        let c = corpus_with_content(
+            CorpusName::Datasharing,
+            opts.scale_for(CorpusName::Datasharing),
+            opts.seed,
+            true,
+        );
+        fixtures.push((
+            "datasharing".to_string(),
+            c.graph,
+            c.content.expect("content retained"),
+        ));
+    }
+    {
+        let lc = corpus_with_content(
+            CorpusName::LeetCodeAnimation,
+            opts.scale_for(CorpusName::LeetCodeAnimation).min(0.1),
+            opts.seed,
+            true,
+        );
+        let sketches = lc.sketches().expect("sketch-mode corpus").to_vec();
+        let g = erdos_renyi_from_sketches(&sketches, 0.3, opts.seed + 3);
+        fixtures.push((
+            "leetcode-er".to_string(),
+            g,
+            CorpusContent::Sketch { sketches },
+        ));
+    }
+
+    let engine = Engine::with_default_solvers();
+    let solve_opts = SolveOptions::default();
+    let mut r = Report::new(
+        "fault-injection",
+        &[
+            "fixture",
+            "backend",
+            "rate",
+            "requests",
+            "detected",
+            "retries",
+            "rederived",
+            "unrepairable",
+            "repairs_applied",
+            "wrong_bytes",
+            "served_ok",
+            "verified_clean",
+        ],
+    );
+    let mut rows_json = Vec::new();
+    let mut agreement = true;
+    let mut detected_at_max_rate = 0u64;
+
+    // One serving pass over a faulted store: batches through
+    // serve_healing, byte-comparing every served payload.
+    #[allow(clippy::too_many_arguments)]
+    fn serve_faulted<S: Store + Sync>(
+        g: &VersionGraph,
+        stored: &dsv_core::StoredPlan,
+        store: &mut FaultStore<S>,
+        content: &CorpusContent,
+        expected: &[dsv_delta::store::codec::Payload],
+        stream: &[u32],
+    ) -> (RepairStats, usize, u64, u64, f64) {
+        use std::time::Instant;
+        let mut repair = RepairStats::default();
+        let mut applied = 0usize;
+        let mut wrong_bytes = 0u64;
+        let mut served_ok = 0u64;
+        let t0 = Instant::now();
+        for batch in stream.chunks(CHECKOUT_BATCH) {
+            let mut exec = PlanExecutor::new(store);
+            let (out, n_applied) = exec
+                .serve_healing(g, stored, batch, content)
+                .expect("plan-shape valid serve");
+            applied += n_applied;
+            repair.detected += out.repair.detected;
+            repair.retries += out.repair.retries;
+            repair.rederived += out.repair.rederived;
+            repair.unrepairable += out.repair.unrepairable;
+            for (i, &v) in batch.iter().enumerate() {
+                if let Ok(p) = &out.results[i] {
+                    served_ok += 1;
+                    if **p != expected[v as usize] {
+                        wrong_bytes += 1;
+                    }
+                }
+            }
+        }
+        let wall = t0.elapsed().as_secs_f64();
+        (repair, applied, wrong_bytes, served_ok, wall)
+    }
+
+    for (fi, (slug, g, content)) in fixtures.iter().enumerate() {
+        let n = g.n();
+        let expected: Vec<_> = (0..n as u32).map(|v| content.payload(v)).collect();
+        let stream = zipf_stream(n, CHECKOUT_REQUESTS, 1.1, opts.seed + 11 + fi as u64);
+        let smin = min_storage_value(g);
+        let problem = ProblemKind::Msr {
+            storage_budget: smin * 2,
+        };
+        let sol = engine
+            .solve_with("LMG-All", g, problem, &solve_opts)
+            .unwrap_or_else(|e| panic!("LMG-All on {slug}: {e}"));
+
+        for &rate in &FAULT_RATES {
+            let plan = FaultPlan::seeded(opts.seed ^ (rate * 1e4) as u64)
+                .with_transient_get(rate)
+                .with_permanent_get(rate)
+                .with_bit_flip(rate);
+
+            for backend in ["mem", "pack"] {
+                let (repair, applied, wrong_bytes, served_ok, wall, verified_clean) = if backend
+                    == "mem"
+                {
+                    let mut store = FaultStore::transparent(MemStore::new());
+                    let stored = PlanExecutor::new(&mut store)
+                        .ingest(g, &sol.plan, content)
+                        .unwrap_or_else(|e| panic!("ingest {slug} (mem): {e}"));
+                    store.set_plan(plan.clone());
+                    let (repair, applied, wrong, ok, wall) =
+                        serve_faulted(g, &stored, &mut store, content, &expected, &stream);
+                    store.set_plan(FaultPlan::none());
+                    let verified = PlanExecutor::new(&mut store)
+                        .execute(g, &stored)
+                        .map(|rep| rep.agreement())
+                        .unwrap_or(false);
+                    (repair, applied, wrong, ok, wall, verified)
+                } else {
+                    let dir = work_dir.join(format!("faults-{slug}-{}", (rate * 1e4) as u64));
+                    let mut store =
+                        FaultStore::transparent(PackStore::open(&dir).expect("open pack store"));
+                    let stored = PlanExecutor::new(&mut store)
+                        .ingest(g, &sol.plan, content)
+                        .unwrap_or_else(|e| panic!("ingest {slug} (pack): {e}"));
+                    store.inner_mut().flush().expect("flush pack");
+                    store.set_plan(plan.clone());
+                    let (repair, applied, wrong, ok, wall) =
+                        serve_faulted(g, &stored, &mut store, content, &expected, &stream);
+                    store.set_plan(FaultPlan::none());
+                    let verified = PlanExecutor::new(&mut store)
+                        .execute(g, &stored)
+                        .map(|rep| rep.agreement())
+                        .unwrap_or(false);
+                    (repair, applied, wrong, ok, wall, verified)
+                };
+
+                let all_served = served_ok == stream.len() as u64;
+                agreement &= wrong_bytes == 0
+                    && repair.unrepairable == 0
+                    && all_served
+                    && repair.detected == repair.rederived
+                    && verified_clean;
+                if rate == 0.0 {
+                    // A zero rate must inject nothing.
+                    agreement &= repair.detected == 0 && repair.retries == 0;
+                }
+                if rate >= FAULT_RATES[FAULT_RATES.len() - 1] {
+                    detected_at_max_rate += repair.detected;
+                }
+
+                r.push_row(vec![
+                    slug.clone(),
+                    backend.to_string(),
+                    fmt_f(rate),
+                    stream.len().to_string(),
+                    repair.detected.to_string(),
+                    repair.retries.to_string(),
+                    repair.rederived.to_string(),
+                    repair.unrepairable.to_string(),
+                    applied.to_string(),
+                    wrong_bytes.to_string(),
+                    served_ok.to_string(),
+                    verified_clean.to_string(),
+                ]);
+                let mut m = BTreeMap::new();
+                m.insert("fixture".to_string(), Value::Str(slug.clone()));
+                m.insert("backend".to_string(), Value::Str(backend.to_string()));
+                m.insert("rate".to_string(), Value::Float(rate));
+                m.insert("nodes".to_string(), Value::UInt(n as u64));
+                m.insert("requests".to_string(), Value::UInt(stream.len() as u64));
+                m.insert("batch".to_string(), Value::UInt(CHECKOUT_BATCH as u64));
+                m.insert("detected".to_string(), Value::UInt(repair.detected));
+                m.insert("retries".to_string(), Value::UInt(repair.retries));
+                m.insert("rederived".to_string(), Value::UInt(repair.rederived));
+                m.insert("unrepairable".to_string(), Value::UInt(repair.unrepairable));
+                m.insert("repairs_applied".to_string(), Value::UInt(applied as u64));
+                m.insert("wrong_bytes".to_string(), Value::UInt(wrong_bytes));
+                m.insert("served_ok".to_string(), Value::UInt(served_ok));
+                m.insert(
+                    "serve_vps".to_string(),
+                    Value::Float(stream.len() as f64 / wall.max(1e-9)),
+                );
+                m.insert("verified_clean".to_string(), Value::Bool(verified_clean));
+                rows_json.push(Value::Map(m));
+            }
+        }
+    }
+
+    // The top rate must actually exercise the repair path, or the gate
+    // is vacuous.
+    agreement &= detected_at_max_rate > 0;
+
+    r.note(format!(
+        "checkout streams served through FaultStore at rates {FAULT_RATES:?} per object \
+         (transient + permanent + bit-flip); all repairable faults healed from the source and \
+         written back via Store::repair (agreement={agreement}, detected@1%={detected_at_max_rate})"
+    ));
+
+    let mut doc = BTreeMap::new();
+    doc.insert(
+        "experiment".to_string(),
+        Value::Str("fault-injection".to_string()),
+    );
+    doc.insert("seed".to_string(), Value::UInt(opts.seed));
+    doc.insert(
+        "rates".to_string(),
+        Value::Seq(FAULT_RATES.iter().map(|&x| Value::Float(x)).collect()),
+    );
+    doc.insert(
+        "requests_per_cell".to_string(),
+        Value::UInt(CHECKOUT_REQUESTS as u64),
+    );
+    doc.insert("batch".to_string(), Value::UInt(CHECKOUT_BATCH as u64));
+    doc.insert(
+        "detected_at_max_rate".to_string(),
+        Value::UInt(detected_at_max_rate),
+    );
+    doc.insert("agreement".to_string(), Value::Bool(agreement));
+    doc.insert("cells".to_string(), Value::Seq(rows_json));
+    let json = serde_json::to_string(&Value::Map(doc)).expect("value tree serializes");
+
+    FaultsBench {
+        report: r,
+        json,
+        agreement,
+    }
+}
+
 /// Section 5.3 extension experiment: DP-BTW (exact on bounded-width
 /// graphs) against the tree-restricted DP and LMG-All on series-parallel
 /// graphs — the class the paper singles out as "highly resembl[ing] the

@@ -32,9 +32,10 @@
 use crate::executor::{ExecError, StoredPlan};
 use crate::plan::Parent;
 use dsv_delta::store::codec::{self, Payload};
-use dsv_delta::store::{ObjectId, Store};
+use dsv_delta::store::{hash_object, ObjectId, ObjectKind, Store, StoreError, VersionSource};
 use dsv_vgraph::{cost_add, Cost, VersionGraph};
 use rayon::prelude::*;
+use std::borrow::Cow;
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
@@ -278,6 +279,107 @@ impl CheckoutCache {
     }
 }
 
+/// Bounded, deterministic retry policy for store reads.
+///
+/// Transient I/O errors ([`StoreError::Io`]) are retried up to
+/// `attempts` total reads; `Corrupt` and `Missing` are never retried
+/// (re-reading cannot fix them — they go straight to repair). The
+/// backoff between attempts scales linearly with the attempt index and
+/// defaults to zero, so tests and benches stay wall-clock free.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total read attempts per object (clamped to at least 1).
+    pub attempts: u32,
+    /// Sleep before retry `k` is `backoff * k`; `Duration::ZERO`
+    /// (the default) never sleeps.
+    pub backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            attempts: 3,
+            backoff: Duration::ZERO,
+        }
+    }
+}
+
+/// A pending store repair produced by the self-healing read path.
+///
+/// The read path is `&S` and cannot mutate the store, so when it
+/// re-derives an object's bytes from the [`VersionSource`] it serves the
+/// request immediately and emits a ticket; apply tickets with
+/// [`PlanExecutor::apply_repairs`](crate::executor::PlanExecutor::apply_repairs)
+/// to write the verified bytes back (preserving refcounts).
+#[derive(Clone, Debug)]
+pub struct RepairTicket {
+    /// The version whose stored object needed repair.
+    pub node: u32,
+    /// The stored object's content address.
+    pub id: ObjectId,
+    /// The object kind recorded in the plan (chunk or delta).
+    pub kind: ObjectKind,
+    /// Re-derived bytes, already verified to hash to `id`.
+    pub bytes: Vec<u8>,
+}
+
+/// Fault-handling counters of one read batch.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RepairStats {
+    /// Object reads that failed after retries (corrupt, missing, or
+    /// persistent I/O error).
+    pub detected: u64,
+    /// Extra read attempts spent on transient errors (whether or not
+    /// the retry ultimately succeeded).
+    pub retries: u64,
+    /// Detected faults healed by re-deriving the bytes from the
+    /// version source (hash-verified before serving).
+    pub rederived: u64,
+    /// Detected faults with no redundant copy to re-derive from (no
+    /// source attached, or the source disagrees with the ingested
+    /// hash).
+    pub unrepairable: u64,
+}
+
+impl RepairStats {
+    fn absorb(&mut self, other: &RepairStats) {
+        self.detected += other.detected;
+        self.retries += other.retries;
+        self.rederived += other.rederived;
+        self.unrepairable += other.unrepairable;
+    }
+
+    /// Whether every detected fault was healed.
+    pub fn fully_healed(&self) -> bool {
+        self.detected == self.rederived && self.unrepairable == 0
+    }
+}
+
+/// The per-version results of one lenient [`Checkout::serve`] batch.
+///
+/// Unlike [`Checkout::checkout`], one poisoned version does not fail the
+/// batch: every request gets its own `Result`, and versions whose
+/// retrieval chain crossed an unrepairable object report the failing
+/// ancestor's error.
+#[derive(Clone, Debug)]
+pub struct ServeOutcome {
+    /// One result per requested version, in request order.
+    pub results: Vec<Result<Arc<Payload>, ExecError>>,
+    /// Work accounting for the batch.
+    pub stats: CheckoutStats,
+    /// Fault-handling counters for the batch.
+    pub repair: RepairStats,
+    /// Pending store repairs for faults healed from the source.
+    pub tickets: Vec<RepairTicket>,
+}
+
+impl ServeOutcome {
+    /// Whether every requested version was served.
+    pub fn all_ok(&self) -> bool {
+        self.results.iter().all(|r| r.is_ok())
+    }
+}
+
 /// What one [`Checkout::checkout`] call did.
 #[derive(Clone, Debug, Default)]
 pub struct CheckoutStats {
@@ -311,6 +413,9 @@ pub struct CheckoutOutcome {
     pub payloads: Vec<Arc<Payload>>,
     /// Work accounting for the batch.
     pub stats: CheckoutStats,
+    /// Fault-handling counters for the batch (all zero on a clean
+    /// store).
+    pub repair: RepairStats,
 }
 
 /// Measured costs from a full verification walk (executor use).
@@ -325,6 +430,8 @@ pub(crate) struct Measure {
 pub struct Checkout<'a, S: Store + ?Sized> {
     store: &'a S,
     cache: Option<&'a CheckoutCache>,
+    source: Option<&'a (dyn VersionSource + Sync)>,
+    retry: RetryPolicy,
 }
 
 struct Entry {
@@ -334,12 +441,27 @@ struct Entry {
     seed: Option<(Arc<Payload>, u32)>,
 }
 
-/// Payloads in request order, work stats, and (in measure mode) costs.
-type WalkResult = Result<(Vec<Arc<Payload>>, CheckoutStats, Option<Measure>), ExecError>;
+/// Everything one walk produced; strict and lenient callers slice it
+/// differently.
+struct WalkOut {
+    /// Per-node payload for every requested-and-hydrated version.
+    payload_of: Vec<Option<Arc<Payload>>>,
+    stats: CheckoutStats,
+    measure: Option<Measure>,
+    /// Nodes whose hydration failed, in deterministic (entry, DFS)
+    /// order. Descendants of a failed node are not listed — they were
+    /// simply never reached.
+    failed: Vec<(u32, ExecError)>,
+    repair: RepairStats,
+    tickets: Vec<RepairTicket>,
+}
 
 struct WalkCtx<'x, S: Store + ?Sized> {
     store: &'x S,
     cache: Option<&'x CheckoutCache>,
+    source: Option<&'x (dyn VersionSource + Sync)>,
+    retry: RetryPolicy,
+    g: &'x VersionGraph,
     stored: &'x StoredPlan,
     children: &'x [Vec<u32>],
     requested: &'x [bool],
@@ -350,13 +472,33 @@ struct WalkCtx<'x, S: Store + ?Sized> {
 impl<'a, S: Store + ?Sized> Checkout<'a, S> {
     /// A checkout reader over `store`, without a cache.
     pub fn new(store: &'a S) -> Self {
-        Checkout { store, cache: None }
+        Checkout {
+            store,
+            cache: None,
+            source: None,
+            retry: RetryPolicy::default(),
+        }
     }
 
     /// Attach a materialization cache (shared — many readers may point
     /// at the same cache).
     pub fn with_cache(mut self, cache: &'a CheckoutCache) -> Self {
         self.cache = Some(cache);
+        self
+    }
+
+    /// Attach a [`VersionSource`] as the redundant copy for read-path
+    /// repair: objects that fail integrity after retries are re-derived
+    /// from it, hash-verified, served, and reported as
+    /// [`RepairTicket`]s.
+    pub fn with_source(mut self, source: &'a (dyn VersionSource + Sync)) -> Self {
+        self.source = Some(source);
+        self
+    }
+
+    /// Override the transient-error retry policy.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
         self
     }
 
@@ -383,9 +525,85 @@ impl<'a, S: Store + Sync + ?Sized> Checkout<'a, S> {
         requests: &[u32],
     ) -> Result<CheckoutOutcome, ExecError> {
         let started = Instant::now();
-        let (payloads, mut stats, _) = self.walk(g, stored, requests, true, false, true)?;
-        stats.wall = started.elapsed();
-        Ok(CheckoutOutcome { payloads, stats })
+        let mut out = self.walk(g, stored, requests, true, false, true)?;
+        // Strict mode: the first hydration failure (in deterministic
+        // entry/DFS order) fails the whole batch.
+        if let Some((_, err)) = out.failed.into_iter().next() {
+            return Err(err);
+        }
+        let payloads = requests
+            .iter()
+            .map(|&v| {
+                out.payload_of[v as usize]
+                    .clone()
+                    .ok_or_else(|| ExecError::Mismatch {
+                        detail: format!("requested version v{v} was never hydrated"),
+                    })
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        out.stats.bytes_materialized = payloads.iter().map(|p| p.content_size()).sum();
+        out.stats.wall = started.elapsed();
+        Ok(CheckoutOutcome {
+            payloads,
+            stats: out.stats,
+            repair: out.repair,
+        })
+    }
+
+    /// Reconstruct a batch leniently: every requested version gets its
+    /// own `Result`, so one poisoned object degrades exactly the
+    /// versions whose retrieval chains cross it instead of failing the
+    /// batch.
+    ///
+    /// Combine with [`with_source`](Checkout::with_source) for
+    /// self-healing: detected faults are re-derived, hash-verified,
+    /// served, and reported as [`RepairTicket`]s in the outcome.
+    /// Plan-shape errors (plan/graph size mismatch, request out of
+    /// range) still fail the call as a whole.
+    pub fn serve(
+        &self,
+        g: &VersionGraph,
+        stored: &StoredPlan,
+        requests: &[u32],
+    ) -> Result<ServeOutcome, ExecError> {
+        let started = Instant::now();
+        let mut out = self.walk(g, stored, requests, true, false, true)?;
+        let failed: HashMap<u32, ExecError> = out.failed.into_iter().collect();
+        let results: Vec<Result<Arc<Payload>, ExecError>> = requests
+            .iter()
+            .map(|&v| {
+                if let Some(p) = out.payload_of[v as usize].clone() {
+                    return Ok(p);
+                }
+                // Climb the retrieval chain to the ancestor that
+                // actually failed and report its error.
+                let mut u = v;
+                loop {
+                    if let Some(err) = failed.get(&u) {
+                        return Err(err.clone());
+                    }
+                    match stored.plan.parent[u as usize] {
+                        Parent::Materialized => break,
+                        Parent::Delta(e) => u = g.edge(e).src.0,
+                    }
+                }
+                Err(ExecError::Mismatch {
+                    detail: format!("requested version v{v} was never hydrated"),
+                })
+            })
+            .collect();
+        out.stats.bytes_materialized = results
+            .iter()
+            .filter_map(|r| r.as_ref().ok())
+            .map(|p| p.content_size())
+            .sum();
+        out.stats.wall = started.elapsed();
+        Ok(ServeOutcome {
+            results,
+            stats: out.stats,
+            repair: out.repair,
+            tickets: out.tickets,
+        })
     }
 
     /// Full verification walk for the executor: every version requested,
@@ -396,8 +614,11 @@ impl<'a, S: Store + Sync + ?Sized> Checkout<'a, S> {
         stored: &StoredPlan,
     ) -> Result<(CheckoutStats, Measure), ExecError> {
         let all: Vec<u32> = (0..g.n() as u32).collect();
-        let (_, stats, measure) = self.walk(g, stored, &all, false, true, false)?;
-        Ok((stats, measure.expect("measure mode")))
+        let out = self.walk(g, stored, &all, false, true, false)?;
+        if let Some((_, err)) = out.failed.into_iter().next() {
+            return Err(err);
+        }
+        Ok((out.stats, out.measure.expect("measure mode")))
     }
 
     fn walk(
@@ -408,7 +629,7 @@ impl<'a, S: Store + Sync + ?Sized> Checkout<'a, S> {
         use_cache: bool,
         measure: bool,
         collect: bool,
-    ) -> WalkResult {
+    ) -> Result<WalkOut, ExecError> {
         let n = g.n();
         if stored.objects.len() != n
             || stored.source_hashes.len() != n
@@ -487,13 +708,16 @@ impl<'a, S: Store + Sync + ?Sized> Checkout<'a, S> {
         let ctx = WalkCtx {
             store: self.store,
             cache,
+            source: self.source,
+            retry: self.retry,
+            g,
             stored,
             children: &children,
             requested: &requested,
             measure,
             collect,
         };
-        let outs: Vec<Result<SubtreeOut, ExecError>> = entries
+        let outs: Vec<SubtreeOut> = entries
             .into_par_iter()
             .map(|entry| hydrate_subtree(&ctx, entry))
             .collect();
@@ -511,10 +735,15 @@ impl<'a, S: Store + Sync + ?Sized> Checkout<'a, S> {
             bytes_reconstructed: 0,
         });
         let mut payload_of: Vec<Option<Arc<Payload>>> = vec![None; n];
+        let mut failed: Vec<(u32, ExecError)> = Vec::new();
+        let mut repair = RepairStats::default();
+        let mut tickets: Vec<RepairTicket> = Vec::new();
         for out in outs {
-            let out = out?;
             stats.hydrated += out.hydrated;
             stats.delta_applies += out.delta_applies;
+            repair.absorb(&out.repair);
+            failed.extend(out.failed);
+            tickets.extend(out.tickets);
             if let Some(m) = meas.as_mut() {
                 m.storage = cost_add(m.storage, out.storage);
                 for (v, r) in out.retrievals {
@@ -526,22 +755,14 @@ impl<'a, S: Store + Sync + ?Sized> Checkout<'a, S> {
                 payload_of[v as usize] = Some(p);
             }
         }
-        let payloads = if collect {
-            requests
-                .iter()
-                .map(|&v| {
-                    payload_of[v as usize]
-                        .clone()
-                        .ok_or_else(|| ExecError::Mismatch {
-                            detail: format!("requested version v{v} was never hydrated"),
-                        })
-                })
-                .collect::<Result<Vec<_>, _>>()?
-        } else {
-            Vec::new()
-        };
-        stats.bytes_materialized = payloads.iter().map(|p| p.content_size()).sum();
-        Ok((payloads, stats, meas))
+        Ok(WalkOut {
+            payload_of,
+            stats,
+            measure: meas,
+            failed,
+            repair,
+            tickets,
+        })
     }
 }
 
@@ -553,12 +774,76 @@ struct SubtreeOut {
     storage: Cost,
     retrievals: Vec<(u32, Cost)>,
     bytes: u64,
+    failed: Vec<(u32, ExecError)>,
+    repair: RepairStats,
+    tickets: Vec<RepairTicket>,
 }
 
-fn hydrate_subtree<S: Store + ?Sized>(
-    ctx: &WalkCtx<'_, S>,
-    entry: Entry,
-) -> Result<SubtreeOut, ExecError> {
+/// Read one node's stored object with retry and repair.
+///
+/// Transient I/O errors are retried per the [`RetryPolicy`]; `Corrupt`
+/// and `Missing` (and exhausted retries) fall through to repair: the
+/// bytes are re-derived from the attached [`VersionSource`] (a chunk
+/// from the version's payload, a delta from its edge endpoints),
+/// verified to hash to the stored object id, served, and recorded as a
+/// [`RepairTicket`]. With no source (or a disagreeing one) the original
+/// store error surfaces.
+fn fetch_object<'x, S: Store + ?Sized>(
+    ctx: &WalkCtx<'x, S>,
+    node: u32,
+    out: &mut SubtreeOut,
+) -> Result<Cow<'x, [u8]>, ExecError> {
+    let id = ctx.stored.objects[node as usize];
+    let attempts = ctx.retry.attempts.max(1);
+    let mut last_err: Option<StoreError> = None;
+    for attempt in 0..attempts {
+        if attempt > 0 {
+            out.repair.retries += 1;
+            if !ctx.retry.backoff.is_zero() {
+                std::thread::sleep(ctx.retry.backoff * attempt);
+            }
+        }
+        match ctx.store.get_ref(id) {
+            Ok(bytes) => return Ok(bytes),
+            Err(e) => {
+                // Only transient I/O errors can succeed on re-read.
+                let transient = matches!(e, StoreError::Io { .. });
+                last_err = Some(e);
+                if !transient {
+                    break;
+                }
+            }
+        }
+    }
+    let last_err = last_err.expect("at least one attempt");
+    out.repair.detected += 1;
+    if let Some(source) = ctx.source {
+        let (kind, bytes) = match ctx.stored.plan.parent[node as usize] {
+            Parent::Materialized => (ObjectKind::Chunk, source.payload_bytes(node)),
+            Parent::Delta(e) => {
+                let edge = ctx.g.edge(e);
+                (ObjectKind::Delta, source.delta(edge.src.0, edge.dst.0))
+            }
+        };
+        // The re-derived bytes must hash to the ingested object id, or
+        // the source no longer describes the plan and serving them
+        // would be serving wrong bytes.
+        if hash_object(kind, &bytes) == id {
+            out.repair.rederived += 1;
+            out.tickets.push(RepairTicket {
+                node,
+                id,
+                kind,
+                bytes: bytes.clone(),
+            });
+            return Ok(Cow::Owned(bytes));
+        }
+    }
+    out.repair.unrepairable += 1;
+    Err(ExecError::Store(last_err))
+}
+
+fn hydrate_subtree<S: Store + ?Sized>(ctx: &WalkCtx<'_, S>, entry: Entry) -> SubtreeOut {
     let mut out = SubtreeOut::default();
     let (payload, depth) = match entry.seed {
         // Cache hit: the payload is already byte-verified (keyed by its
@@ -572,15 +857,25 @@ fn hydrate_subtree<S: Store + ?Sized>(
             // so the object id must equal the recorded source hash; the
             // store itself verifies the bytes hash to the id on read.
             if id != expected {
-                return Err(ExecError::HashMismatch {
-                    node: entry.node,
-                    expected,
-                    actual: id,
-                });
+                out.failed.push((
+                    entry.node,
+                    ExecError::HashMismatch {
+                        node: entry.node,
+                        expected,
+                        actual: id,
+                    },
+                ));
+                return out;
             }
-            let bytes = ctx.store.get_ref(id)?;
-            let payload = Arc::new(codec::decode_payload(&bytes)?);
-            drop(bytes);
+            let decoded = fetch_object(ctx, entry.node, &mut out)
+                .and_then(|bytes| Ok(codec::decode_payload(&bytes)?));
+            let payload = match decoded {
+                Ok(p) => Arc::new(p),
+                Err(e) => {
+                    out.failed.push((entry.node, e));
+                    return out;
+                }
+            };
             out.hydrated += 1;
             if ctx.measure {
                 out.storage = cost_add(out.storage, payload.content_size());
@@ -598,23 +893,35 @@ fn hydrate_subtree<S: Store + ?Sized>(
     }
 
     // DFS down the needed subtree, carrying each node's payload (shared,
-    // not cloned) while its children reconstruct.
+    // not cloned) while its children reconstruct. A failed child is
+    // recorded and its branch abandoned — descendants are never
+    // reached, and lenient callers attribute them to this ancestor.
     let mut stack: Vec<(u32, Arc<Payload>, u32, Cost)> = vec![(entry.node, payload, depth, 0)];
     while let Some((v, payload, depth, retr)) = stack.pop() {
         for &c in &ctx.children[v as usize] {
-            let delta_bytes = ctx.store.get_ref(ctx.stored.objects[c as usize])?;
-            let (child, costs) = codec::apply_delta(&payload, &delta_bytes)?;
-            drop(delta_bytes);
+            let applied = fetch_object(ctx, c, &mut out)
+                .and_then(|delta_bytes| Ok(codec::apply_delta(&payload, &delta_bytes)?));
+            let (child, costs) = match applied {
+                Ok(x) => x,
+                Err(e) => {
+                    out.failed.push((c, e));
+                    continue;
+                }
+            };
             // Verify by hashing the decoded content directly — no
             // encode_payload round-trip.
             let actual = codec::hash_payload(&child);
             let expected = ctx.stored.source_hashes[c as usize];
             if actual != expected {
-                return Err(ExecError::HashMismatch {
-                    node: c,
-                    expected,
-                    actual,
-                });
+                out.failed.push((
+                    c,
+                    ExecError::HashMismatch {
+                        node: c,
+                        expected,
+                        actual,
+                    },
+                ));
+                continue;
             }
             let child = Arc::new(child);
             out.hydrated += 1;
@@ -634,7 +941,7 @@ fn hydrate_subtree<S: Store + ?Sized>(
             stack.push((c, child, depth + 1, child_retr));
         }
     }
-    Ok(out)
+    out
 }
 
 #[cfg(test)]

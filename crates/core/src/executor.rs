@@ -38,7 +38,7 @@
 //! [`MemStore`](dsv_delta::MemStore) and the persistent
 //! [`PackStore`](dsv_delta::PackStore) run the identical code path.
 
-use crate::checkout::Checkout;
+use crate::checkout::{Checkout, RepairTicket, ServeOutcome};
 use crate::plan::{Parent, PlanCosts, StoragePlan};
 use dsv_delta::store::{hash_object, ObjectId, ObjectKind, Store, StoreError, VersionSource};
 use dsv_vgraph::{cost_add, VersionGraph};
@@ -238,6 +238,26 @@ impl<'s, S: Store + ?Sized> PlanExecutor<'s, S> {
     pub fn store(&mut self) -> &mut S {
         self.store
     }
+
+    /// Write the re-derived bytes of read-path [`RepairTicket`]s back
+    /// into the store, preserving each object's refcount. Returns the
+    /// number of repairs applied.
+    ///
+    /// Tickets for objects that have disappeared entirely
+    /// ([`StoreError::Missing`] — e.g. reclaimed by a concurrent GC)
+    /// are skipped: there is no entry left to heal, and the read path
+    /// already served the request from the re-derived bytes.
+    pub fn apply_repairs(&mut self, tickets: &[RepairTicket]) -> Result<usize, ExecError> {
+        let mut applied = 0;
+        for t in tickets {
+            match self.store.repair(t.id, t.kind, &t.bytes) {
+                Ok(()) => applied += 1,
+                Err(StoreError::Missing { .. }) => {}
+                Err(e) => return Err(e.into()),
+            }
+        }
+        Ok(applied)
+    }
 }
 
 impl<'s, S: Store + Sync + ?Sized> PlanExecutor<'s, S> {
@@ -276,6 +296,32 @@ impl<'s, S: Store + Sync + ?Sized> PlanExecutor<'s, S> {
         })
     }
 
+    /// Serve a batch with self-healing: read leniently with `source`
+    /// attached as the redundant copy, then immediately write every
+    /// repair ticket back into the store. Returns the serve outcome
+    /// (tickets included, for reporting) and the number of repairs
+    /// durably applied.
+    ///
+    /// This is the full repair loop in one call; use
+    /// [`reader`](PlanExecutor::reader) +
+    /// [`Checkout::serve`](crate::checkout::Checkout::serve) +
+    /// [`apply_repairs`](PlanExecutor::apply_repairs) to stage the
+    /// write-back separately.
+    pub fn serve_healing(
+        &mut self,
+        g: &VersionGraph,
+        stored: &StoredPlan,
+        requests: &[u32],
+        source: &(dyn VersionSource + Sync),
+    ) -> Result<(ServeOutcome, usize), ExecError> {
+        let outcome = self
+            .reader()
+            .with_source(source)
+            .serve(g, stored, requests)?;
+        let applied = self.apply_repairs(&outcome.tickets)?;
+        Ok((outcome, applied))
+    }
+
     /// Ingest then execute in one call. If execution fails, the
     /// just-ingested references are rolled back before the error
     /// propagates — the caller never sees the [`StoredPlan`], so holding
@@ -303,7 +349,7 @@ mod tests {
     use super::*;
     use crate::plan::Parent;
     use dsv_delta::store::codec::{encode_sketch_delta, Payload};
-    use dsv_delta::MemStore;
+    use dsv_delta::{FaultStore, MemStore};
     use dsv_vgraph::NodeId;
 
     /// A tiny hand-rolled sketch source: three versions, chunk churn.
@@ -378,16 +424,73 @@ mod tests {
     #[test]
     fn corruption_surfaces_as_typed_error() {
         let (g, plan) = tiny_graph();
-        let mut store = MemStore::new();
+        let mut store = FaultStore::transparent(MemStore::new());
         let mut exec = PlanExecutor::new(&mut store);
         let stored = exec.ingest(&g, &plan, &TinySource).expect("ingest");
-        store.corrupt_object(stored.objects[1]);
+        assert!(store.corrupt_object(stored.objects[1]));
         let exec = PlanExecutor::new(&mut store);
         let err = exec.execute(&g, &stored).expect_err("corrupt delta");
         assert!(
             matches!(err, ExecError::Store(StoreError::Corrupt { .. })),
             "{err}"
         );
+    }
+
+    #[test]
+    fn serve_heals_corruption_from_the_source() {
+        let (g, plan) = tiny_graph();
+        let mut store = FaultStore::transparent(MemStore::new());
+        let mut exec = PlanExecutor::new(&mut store);
+        let stored = exec.ingest(&g, &plan, &TinySource).expect("ingest");
+        // Corrupt the materialized chunk AND the v1→v2 delta.
+        assert!(store.corrupt_object(stored.objects[0]));
+        assert!(store.corrupt_object(stored.objects[2]));
+
+        let requests = [0, 1, 2];
+        let mut exec = PlanExecutor::new(&mut store);
+        let (outcome, applied) = exec
+            .serve_healing(&g, &stored, &requests, &TinySource)
+            .expect("serve");
+        assert!(outcome.all_ok(), "{:?}", outcome.repair);
+        assert_eq!(outcome.repair.detected, 2);
+        assert_eq!(outcome.repair.rederived, 2);
+        assert_eq!(outcome.repair.unrepairable, 0);
+        assert_eq!(applied, 2);
+        for (v, r) in requests.iter().zip(&outcome.results) {
+            let p = r.as_ref().expect("served");
+            assert_eq!(**p, TinySource.payload(*v), "byte-identical payload");
+        }
+        // The store itself is healed: a plain strict checkout (no
+        // source attached) now succeeds, and refcounts are untouched.
+        let report = PlanExecutor::new(&mut store)
+            .execute(&g, &stored)
+            .expect("healed store verifies");
+        assert!(report.agreement());
+        for &id in &stored.objects {
+            assert_eq!(store.meta(id).expect("meta").refcount, 1);
+        }
+    }
+
+    #[test]
+    fn unrepairable_corruption_degrades_only_dependent_versions() {
+        let (g, plan) = tiny_graph();
+        let mut store = FaultStore::transparent(MemStore::new());
+        let mut exec = PlanExecutor::new(&mut store);
+        let stored = exec.ingest(&g, &plan, &TinySource).expect("ingest");
+        // Corrupt the v1→v2 delta; serve WITHOUT a source. v0 and v1
+        // still serve; only v2 (whose chain crosses the delta) fails.
+        assert!(store.corrupt_object(stored.objects[2]));
+        let exec = PlanExecutor::new(&mut store);
+        let outcome = exec.reader().serve(&g, &stored, &[0, 1, 2]).expect("serve");
+        assert!(outcome.results[0].is_ok());
+        assert!(outcome.results[1].is_ok());
+        assert!(matches!(
+            outcome.results[2],
+            Err(ExecError::Store(StoreError::Corrupt { .. }))
+        ));
+        assert_eq!(outcome.repair.detected, 1);
+        assert_eq!(outcome.repair.unrepairable, 1);
+        assert!(outcome.tickets.is_empty());
     }
 
     #[test]

@@ -57,7 +57,10 @@ pub mod reductions;
 pub mod tree;
 
 pub use cancel::CancelToken;
-pub use checkout::{CacheStats, Checkout, CheckoutCache, CheckoutOutcome, CheckoutStats};
+pub use checkout::{
+    CacheStats, Checkout, CheckoutCache, CheckoutOutcome, CheckoutStats, RepairStats, RepairTicket,
+    RetryPolicy, ServeOutcome,
+};
 pub use engine::{Engine, Portfolio, Solution, SolveError, SolveOptions, Solver, SolverMeta};
 pub use executor::{ExecError, ExecutionReport, PlanExecutor, StoredPlan};
 pub use plan::{Parent, StoragePlan};

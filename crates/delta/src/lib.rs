@@ -66,6 +66,6 @@ pub use chunks::ChunkSketch;
 pub use corpus::{corpus, corpus_with_content, CorpusName, CorpusResult};
 pub use script::EditScript;
 pub use store::{
-    CorpusContent, MemStore, ObjectHasher, ObjectId, ObjectKind, PackStore, Store, StoreError,
-    VersionSource,
+    CorpusContent, CrashPoint, Durability, FaultOp, FaultPlan, FaultStats, FaultStore, MemStore,
+    ObjectHasher, ObjectId, ObjectKind, PackOptions, PackStore, Store, StoreError, VersionSource,
 };

@@ -27,10 +27,12 @@
 //! they were stored under.
 
 pub mod codec;
+pub mod fault;
 pub mod pack;
 pub mod source;
 
-pub use pack::PackStore;
+pub use fault::{FaultOp, FaultPlan, FaultStats, FaultStore};
+pub use pack::{CrashPoint, Durability, PackOptions, PackStore};
 pub use source::{CorpusContent, VersionSource};
 
 use std::borrow::Cow;
@@ -282,6 +284,14 @@ pub trait Store {
 
     /// Persist any buffered state (no-op for in-memory backends).
     fn flush(&mut self) -> Result<(), StoreError>;
+
+    /// Rewrite the bytes of an *existing* object in place — the recovery
+    /// half of self-healing reads. The bytes must hash to `id` under
+    /// `kind` (anything else is rejected as [`StoreError::Corrupt`]
+    /// without touching the store), and the object must already have an
+    /// entry (repairing an absent object is [`StoreError::Missing`]).
+    /// The reference count is preserved exactly.
+    fn repair(&mut self, id: ObjectId, kind: ObjectKind, bytes: &[u8]) -> Result<(), StoreError>;
 }
 
 /// The in-memory backend: the synthesized corpus held behind the [`Store`]
@@ -303,19 +313,6 @@ impl MemStore {
     /// An empty store.
     pub fn new() -> Self {
         Self::default()
-    }
-
-    /// Fault-injection hook: flip one payload byte of a stored object so
-    /// the next [`Store::get`] fails with [`StoreError::Corrupt`]. Returns
-    /// `false` if the object is absent or empty.
-    pub fn corrupt_object(&mut self, id: ObjectId) -> bool {
-        match self.objects.get_mut(&id) {
-            Some(obj) if !obj.bytes.is_empty() => {
-                obj.bytes[0] ^= 0xFF;
-                true
-            }
-            _ => false,
-        }
     }
 }
 
@@ -403,6 +400,23 @@ impl Store for MemStore {
     fn flush(&mut self) -> Result<(), StoreError> {
         Ok(())
     }
+
+    fn repair(&mut self, id: ObjectId, kind: ObjectKind, bytes: &[u8]) -> Result<(), StoreError> {
+        let actual = hash_object(kind, bytes);
+        if actual != id {
+            return Err(StoreError::Corrupt {
+                id,
+                detail: format!("repair bytes hash to {actual}"),
+            });
+        }
+        let obj = self
+            .objects
+            .get_mut(&id)
+            .ok_or(StoreError::Missing { id })?;
+        obj.kind = kind;
+        obj.bytes = bytes.to_vec();
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -443,7 +457,7 @@ mod tests {
         assert!(matches!(bytes, Cow::Borrowed(_)), "MemStore must not copy");
         assert_eq!(&*bytes, b"resident bytes");
         drop(bytes);
-        s.corrupt_object(id);
+        s.objects.get_mut(&id).expect("present").bytes[0] ^= 0xFF;
         assert!(matches!(s.get_ref(id), Err(StoreError::Corrupt { .. })));
     }
 
@@ -478,11 +492,27 @@ mod tests {
     }
 
     #[test]
-    fn mem_corruption_is_detected() {
+    fn mem_corruption_is_detected_and_repairable() {
         let mut s = MemStore::new();
         let id = s.put(ObjectKind::Chunk, b"precious bytes").expect("put");
-        assert!(s.corrupt_object(id));
+        s.retain(id).expect("retain");
+        s.objects.get_mut(&id).expect("present").bytes[0] ^= 0xFF;
         assert!(matches!(s.get(id), Err(StoreError::Corrupt { .. })));
+        // Repair restores the bytes without touching the refcount.
+        s.repair(id, ObjectKind::Chunk, b"precious bytes")
+            .expect("repair");
+        assert_eq!(s.get(id).expect("healed"), b"precious bytes");
+        assert_eq!(s.meta(id).expect("meta").refcount, 2);
+        // Wrong bytes and absent objects are typed rejections.
+        assert!(matches!(
+            s.repair(id, ObjectKind::Chunk, b"imposter bytes"),
+            Err(StoreError::Corrupt { .. })
+        ));
+        let ghost = hash_object(ObjectKind::Delta, b"ghost");
+        assert!(matches!(
+            s.repair(ghost, ObjectKind::Delta, b"ghost"),
+            Err(StoreError::Missing { .. })
+        ));
     }
 
     #[test]

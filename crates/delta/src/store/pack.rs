@@ -21,6 +21,26 @@
 //! [`Store::gc`] compacts: dead loose files are unlinked and the pack is
 //! rewritten with only live records (then atomically swapped in), so
 //! reclaimed bytes are returned to the filesystem, not just forgotten.
+//!
+//! # Durability
+//!
+//! Under [`Durability::Full`] (the default) every write site issues the
+//! fsync barriers that make its atomicity real: loose files and the index
+//! are written tmp → `sync_all` → rename → directory fsync, the pack file
+//! is synced *before* the index that points into it, and GC persists the
+//! zero refcounts *before* destroying any bytes. Acknowledgement contract:
+//! a loose `put` is durable when it returns; packed `put`s are durable at
+//! the next [`Store::flush`]. [`Durability::None`] skips every sync (for
+//! benches and throwaway stores) while keeping the same write ordering.
+//!
+//! Crash consistency is tested, not assumed: [`PackStore::arm_crash`]
+//! makes the next write at a chosen [`CrashPoint`] tear its bytes
+//! mid-operation and poison the store, exactly as a power loss would, and
+//! the crash-matrix test reopens after each point. Recovery on open cleans
+//! stray tmp files, validates the index against the pack (a stale index —
+//! e.g. a crash between GC's pack swap and its index write — is rebuilt
+//! from the pack with reference counts carried over by id), scans back any
+//! unindexed appended records, and truncates torn tails.
 
 use super::{hash_object, GcStats, ObjectId, ObjectKind, ObjectMeta, Store, StoreError};
 use std::collections::BTreeMap;
@@ -39,6 +59,72 @@ pub const DEFAULT_LOOSE_THRESHOLD: u64 = 32 * 1024;
 
 /// Sentinel offset marking a loose object in the index.
 const LOOSE_OFFSET: u64 = u64::MAX;
+
+/// Which fsync barriers a [`PackStore`] issues. See the module docs.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Durability {
+    /// No syncs at all: fastest, survives process crashes (the kernel
+    /// still writes the data back) but not power loss.
+    None,
+    /// Every write site issues its full barrier sequence; an acknowledged
+    /// loose put or a completed flush survives power loss.
+    #[default]
+    Full,
+}
+
+/// Options controlling how a [`PackStore`] is opened.
+#[derive(Clone, Copy, Debug)]
+pub struct PackOptions {
+    /// Objects at or above this many bytes become loose files.
+    pub loose_threshold: u64,
+    /// Which fsync barriers the store issues.
+    pub durability: Durability,
+}
+
+impl Default for PackOptions {
+    fn default() -> Self {
+        PackOptions {
+            loose_threshold: DEFAULT_LOOSE_THRESHOLD,
+            durability: Durability::Full,
+        }
+    }
+}
+
+/// The enumerated write sites where [`PackStore::arm_crash`] can simulate
+/// power loss: the write tears mid-operation (half the bytes land, or the
+/// rename never happens) and the store poisons itself — every later call
+/// fails until the caller drops it and reopens.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CrashPoint {
+    /// Mid-append of a packed record.
+    PackAppend,
+    /// Mid-write of a loose object's tmp file.
+    LooseWrite,
+    /// Mid-write of the index tmp file.
+    IndexWrite,
+    /// After the index tmp is written but before the rename.
+    IndexRename,
+    /// Mid-write of the GC-compacted pack tmp file.
+    GcRewrite,
+    /// After the compacted pack tmp is written but before the rename.
+    GcRename,
+    /// After the compacted pack is swapped in but before the final index
+    /// write — the window where the on-disk index is stale.
+    GcIndex,
+}
+
+impl CrashPoint {
+    /// Every enumerated crash point, for matrix tests.
+    pub const ALL: [CrashPoint; 7] = [
+        CrashPoint::PackAppend,
+        CrashPoint::LooseWrite,
+        CrashPoint::IndexWrite,
+        CrashPoint::IndexRename,
+        CrashPoint::GcRewrite,
+        CrashPoint::GcRename,
+        CrashPoint::GcIndex,
+    ];
+}
 
 #[derive(Clone, Copy, Debug)]
 struct Entry {
@@ -78,6 +164,13 @@ pub struct PackStore {
     entries: BTreeMap<ObjectId, Entry>,
     pack_len: u64,
     loose_threshold: u64,
+    durability: Durability,
+    /// Armed crash point (single-shot; see [`PackStore::arm_crash`]).
+    crash: Option<CrashPoint>,
+    /// Set when an armed crash point fired: the store refuses every
+    /// operation and [`Drop`] skips the index write, as a dead process
+    /// would.
+    crashed: bool,
     /// Cached read handle for the pack file (lazily opened, invalidated
     /// when GC swaps the file), so the read path costs a seek, not an
     /// open, per object.
@@ -100,10 +193,9 @@ fn io_err(op: &'static str, path: &Path, e: std::io::Error) -> StoreError {
 }
 
 impl PackStore {
-    /// Open (or create) a store under `dir` with the default loose
-    /// threshold.
+    /// Open (or create) a store under `dir` with default options.
     pub fn open(dir: impl Into<PathBuf>) -> Result<Self, StoreError> {
-        Self::open_with_threshold(dir, DEFAULT_LOOSE_THRESHOLD)
+        Self::open_with(dir, PackOptions::default())
     }
 
     /// Open (or create) a store under `dir`, storing objects of at least
@@ -112,6 +204,17 @@ impl PackStore {
         dir: impl Into<PathBuf>,
         loose_threshold: u64,
     ) -> Result<Self, StoreError> {
+        Self::open_with(
+            dir,
+            PackOptions {
+                loose_threshold,
+                ..PackOptions::default()
+            },
+        )
+    }
+
+    /// Open (or create) a store under `dir` with explicit [`PackOptions`].
+    pub fn open_with(dir: impl Into<PathBuf>, options: PackOptions) -> Result<Self, StoreError> {
         let dir = dir.into();
         let objects = dir.join("objects");
         std::fs::create_dir_all(&objects).map_err(|e| io_err("create_dir", &objects, e))?;
@@ -124,18 +227,62 @@ impl PackStore {
             idx_path,
             entries: BTreeMap::new(),
             pack_len: 0,
-            loose_threshold,
+            loose_threshold: options.loose_threshold,
+            durability: options.durability,
+            crash: None,
+            crashed: false,
             reader: std::sync::Mutex::new(None),
             resident: std::sync::OnceLock::new(),
         };
+        // A crash can leave half-written tmp files anywhere we stage
+        // writes; none of them is referenced by anything, so clear them
+        // before reading any state.
+        store.clean_stale_tmp()?;
         store.init_pack()?;
         if store.idx_path.exists() {
-            store.load_index()?;
-            // Crash recovery: records appended after the index was last
-            // written (put without flush) are scanned back in; a torn
-            // trailing record is truncated away so future appends land on
-            // a valid boundary.
-            store.scan_pack_tail()?;
+            let parsed = store.parse_index()?;
+            if store.index_matches_pack(&parsed)? {
+                store.entries = parsed.into_iter().collect();
+                // Crash recovery: records appended after the index was last
+                // written (put without flush) are scanned back in; a torn
+                // trailing record is truncated away so future appends land
+                // on a valid boundary.
+                store.scan_pack_tail()?;
+                // A crash mid-GC can leave dead loose entries whose files
+                // were already unlinked; the unlink was the desired end
+                // state, so finish the job. (A *live* loose entry with a
+                // missing file is real data loss and is left to surface
+                // as a read error.)
+                let orphaned: Vec<ObjectId> = store
+                    .entries
+                    .iter()
+                    .filter(|(&id, e)| {
+                        e.offset == LOOSE_OFFSET
+                            && e.refcount == 0
+                            && !store.loose_path(id).exists()
+                    })
+                    .map(|(&id, _)| id)
+                    .collect();
+                for id in orphaned {
+                    store.entries.remove(&id);
+                }
+            } else {
+                // The index is stale — e.g. a crash landed between GC's
+                // pack swap and its index write, so the entries point into
+                // a pack that no longer matches. Rebuild from the pack and
+                // loose directory, then carry reference counts over by id:
+                // ids absent from the rebuilt state were dead and simply
+                // drop out.
+                let stale: BTreeMap<ObjectId, u32> =
+                    parsed.into_iter().map(|(id, e)| (id, e.refcount)).collect();
+                store.rebuild_index()?;
+                for (id, e) in store.entries.iter_mut() {
+                    if let Some(&rc) = stale.get(id) {
+                        e.refcount = rc;
+                    }
+                }
+                store.write_index()?;
+            }
         } else if store.pack_len > PACK_MAGIC.len() as u64 || store.any_loose()? {
             // Recovery: no index but data exists — rebuild from the pack
             // and the loose directory. Reference counts are unknown; every
@@ -143,6 +290,93 @@ impl PackStore {
             store.rebuild_index()?;
         }
         Ok(store)
+    }
+
+    /// Arm a single-shot simulated power loss at `point`: the next write
+    /// reaching that site tears its bytes mid-operation, the store marks
+    /// itself crashed, and every later call fails with [`StoreError::Io`]
+    /// until the caller drops the store (which skips the exit index write,
+    /// as a dead process would) and reopens.
+    pub fn arm_crash(&mut self, point: CrashPoint) {
+        self.crash = Some(point);
+    }
+
+    /// Whether an armed crash point has fired.
+    pub fn crashed(&self) -> bool {
+        self.crashed
+    }
+
+    /// The store's durability mode.
+    pub fn durability(&self) -> Durability {
+        self.durability
+    }
+
+    fn durable(&self) -> bool {
+        self.durability == Durability::Full
+    }
+
+    fn check_crashed(&self) -> Result<(), StoreError> {
+        if self.crashed {
+            return Err(StoreError::Io {
+                op: "crashed",
+                path: self.dir.display().to_string(),
+                detail: "store hit a simulated crash point; reopen to recover".into(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Consume an armed crash point if it matches `point`.
+    fn hit_crash(&mut self, point: CrashPoint) -> bool {
+        if self.crash == Some(point) {
+            self.crash = None;
+            self.crashed = true;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn crash_err(&self, point: CrashPoint) -> StoreError {
+        StoreError::Io {
+            op: "injected-crash",
+            path: self.dir.display().to_string(),
+            detail: format!("simulated power loss at {point:?}"),
+        }
+    }
+
+    /// fsync a directory so a just-renamed or just-unlinked entry is
+    /// durable (no-op under [`Durability::None`]).
+    fn fsync_dir(&self, dir: &Path) -> Result<(), StoreError> {
+        if !self.durable() {
+            return Ok(());
+        }
+        File::open(dir)
+            .and_then(|f| f.sync_all())
+            .map_err(|e| io_err("fsync-dir", dir, e))
+    }
+
+    /// Remove stray `*.tmp` staging files left by a crash: the pack
+    /// compaction tmp, the index tmp, and loose-object tmps.
+    fn clean_stale_tmp(&self) -> Result<(), StoreError> {
+        for tmp in [
+            self.pack_path.with_extension("dsv.tmp"),
+            self.idx_path.with_extension("idx.tmp"),
+        ] {
+            if tmp.exists() {
+                std::fs::remove_file(&tmp).map_err(|e| io_err("remove", &tmp, e))?;
+            }
+        }
+        let objects = self.dir.join("objects");
+        let rd = std::fs::read_dir(&objects).map_err(|e| io_err("read_dir", &objects, e))?;
+        for dirent in rd {
+            let dirent = dirent.map_err(|e| io_err("read_dir", &objects, e))?;
+            let path = dirent.path();
+            if path.extension().is_some_and(|ext| ext == "tmp") {
+                std::fs::remove_file(&path).map_err(|e| io_err("remove", &path, e))?;
+            }
+        }
+        Ok(())
     }
 
     /// The store's directory.
@@ -217,7 +451,12 @@ impl PackStore {
         Ok(())
     }
 
-    fn load_index(&mut self) -> Result<(), StoreError> {
+    /// Parse the index file into entries. A malformed header, truncated
+    /// body, or unknown kind tag is a hard [`StoreError::InvalidFormat`] —
+    /// the file is not an index. Offsets are *not* validated here:
+    /// staleness against the pack is [`Self::index_matches_pack`]'s job,
+    /// and a stale index is recoverable, not fatal.
+    fn parse_index(&self) -> Result<Vec<(ObjectId, Entry)>, StoreError> {
         let bytes = std::fs::read(&self.idx_path).map_err(|e| io_err("read", &self.idx_path, e))?;
         let bad = |detail: String| StoreError::InvalidFormat { detail };
         if bytes.len() < 16 || &bytes[..8] != IDX_MAGIC {
@@ -231,6 +470,7 @@ impl PackStore {
                 bytes.len()
             )));
         }
+        let mut parsed = Vec::with_capacity(count);
         for i in 0..count {
             let e = &bytes[16 + i * IDX_ENTRY..16 + (i + 1) * IDX_ENTRY];
             let id = ObjectId(
@@ -242,21 +482,7 @@ impl PackStore {
             let kind = ObjectKind::from_tag(e[32])
                 .ok_or_else(|| bad(format!("index entry {i} has kind tag {}", e[32])))?;
             let refcount = u32::from_le_bytes(e[36..40].try_into().expect("4 bytes"));
-            // A packed entry must lie entirely inside the pack file; a
-            // corrupted index must fail typed here, not as an absurd
-            // allocation in the read path.
-            if offset != LOOSE_OFFSET {
-                let end = offset
-                    .checked_add(RECORD_HEADER)
-                    .and_then(|x| x.checked_add(len));
-                if offset < PACK_MAGIC.len() as u64 || end.is_none_or(|end| end > self.pack_len) {
-                    return Err(bad(format!(
-                        "index entry {i} ({id}) spans {offset}+{len} outside the {} byte pack",
-                        self.pack_len
-                    )));
-                }
-            }
-            self.entries.insert(
+            parsed.push((
                 id,
                 Entry {
                     offset,
@@ -264,9 +490,47 @@ impl PackStore {
                     kind,
                     refcount,
                 },
-            );
+            ));
         }
-        Ok(())
+        Ok(parsed)
+    }
+
+    /// Whether a parsed index actually describes the current pack file:
+    /// every packed entry must lie in bounds *and* the 16-byte record id
+    /// at its offset must match. Either check failing means the index is
+    /// stale (a crash window, or external corruption) and the caller must
+    /// rebuild — loading it as-is could serve wrong bytes or read past
+    /// EOF.
+    fn index_matches_pack(&self, parsed: &[(ObjectId, Entry)]) -> Result<bool, StoreError> {
+        let packed: Vec<&(ObjectId, Entry)> = parsed
+            .iter()
+            .filter(|(_, e)| e.offset != LOOSE_OFFSET)
+            .collect();
+        if packed.is_empty() {
+            return Ok(true);
+        }
+        let mut f = File::open(&self.pack_path).map_err(|e| io_err("open", &self.pack_path, e))?;
+        for (id, e) in packed {
+            let end = e
+                .offset
+                .checked_add(RECORD_HEADER)
+                .and_then(|x| x.checked_add(e.len));
+            if e.offset < PACK_MAGIC.len() as u64 || end.is_none_or(|end| end > self.pack_len) {
+                return Ok(false);
+            }
+            let mut rec_id = [0u8; 16];
+            f.seek(SeekFrom::Start(e.offset))
+                .and_then(|_| f.read_exact(&mut rec_id))
+                .map_err(|err| io_err("read", &self.pack_path, err))?;
+            let actual = ObjectId(
+                u64::from_le_bytes(rec_id[0..8].try_into().expect("8 bytes")),
+                u64::from_le_bytes(rec_id[8..16].try_into().expect("8 bytes")),
+            );
+            if actual != *id {
+                return Ok(false);
+            }
+        }
+        Ok(true)
     }
 
     /// Recover records appended after the index was last written (a crash
@@ -336,8 +600,12 @@ impl PackStore {
         Ok(())
     }
 
-    /// Write the fixed-width sorted index atomically (tmp + rename).
-    fn write_index(&self) -> Result<(), StoreError> {
+    /// Write the fixed-width sorted index atomically: tmp → (sync) →
+    /// rename → (directory fsync). The syncs make the rename a real
+    /// barrier under [`Durability::Full`] — without them the rename can
+    /// land before the tmp's data and a power loss leaves a valid-looking
+    /// index full of garbage.
+    fn write_index(&mut self) -> Result<(), StoreError> {
         let mut out = Vec::with_capacity(16 + self.entries.len() * IDX_ENTRY);
         out.extend_from_slice(IDX_MAGIC);
         out.extend_from_slice(&(self.entries.len() as u64).to_le_bytes());
@@ -352,8 +620,22 @@ impl PackStore {
             out.extend_from_slice(&e.refcount.to_le_bytes());
         }
         let tmp = self.idx_path.with_extension("idx.tmp");
-        std::fs::write(&tmp, &out).map_err(|e| io_err("write", &tmp, e))?;
+        if self.hit_crash(CrashPoint::IndexWrite) {
+            let _ = std::fs::write(&tmp, &out[..out.len() / 2]);
+            return Err(self.crash_err(CrashPoint::IndexWrite));
+        }
+        {
+            let mut f = File::create(&tmp).map_err(|e| io_err("create", &tmp, e))?;
+            f.write_all(&out).map_err(|e| io_err("write", &tmp, e))?;
+            if self.durable() {
+                f.sync_all().map_err(|e| io_err("sync", &tmp, e))?;
+            }
+        }
+        if self.hit_crash(CrashPoint::IndexRename) {
+            return Err(self.crash_err(CrashPoint::IndexRename));
+        }
         std::fs::rename(&tmp, &self.idx_path).map_err(|e| io_err("rename", &self.idx_path, e))?;
+        self.fsync_dir(&self.dir)?;
         Ok(())
     }
 
@@ -494,45 +776,88 @@ impl PackStore {
         }
         Ok(payload)
     }
+
+    /// Append one record to the pack, returning its offset. Shared by
+    /// `put` and `repair`. The append itself is not synced — packed writes
+    /// are acknowledged durable at the next flush (which syncs the pack
+    /// before the index pointing into it).
+    fn append_record(
+        &mut self,
+        id: ObjectId,
+        kind: ObjectKind,
+        bytes: &[u8],
+    ) -> Result<u64, StoreError> {
+        let mut f = OpenOptions::new()
+            .append(true)
+            .open(&self.pack_path)
+            .map_err(|e| io_err("open", &self.pack_path, e))?;
+        let offset = self.pack_len;
+        let mut rec = Vec::with_capacity(RECORD_HEADER as usize + bytes.len());
+        rec.extend_from_slice(&id.0.to_le_bytes());
+        rec.extend_from_slice(&id.1.to_le_bytes());
+        rec.push(kind.tag());
+        rec.extend_from_slice(&(bytes.len() as u64).to_le_bytes());
+        rec.extend_from_slice(bytes);
+        if self.hit_crash(CrashPoint::PackAppend) {
+            // Tear the record: half its bytes land past the committed
+            // length, exactly what a power loss mid-append leaves behind.
+            // pack_len and the entry map are NOT updated — the record was
+            // never acknowledged. Reopen truncates the torn tail.
+            let _ = f.write_all(&rec[..rec.len() / 2]);
+            return Err(self.crash_err(CrashPoint::PackAppend));
+        }
+        if let Err(e) = f.write_all(&rec) {
+            // A partial append leaves garbage past pack_len; truncate
+            // it away so the next put's recorded offset stays honest.
+            let _ = f.set_len(self.pack_len);
+            return Err(io_err("write", &self.pack_path, e));
+        }
+        self.pack_len += rec.len() as u64;
+        // The resident map no longer covers the whole pack; drop it so
+        // the next get_ref reloads one consistent snapshot. (Existing
+        // offsets stay valid — the pack is append-only — so get_ref
+        // additionally bounds-checks and falls back rather than ever
+        // serving a slice the map does not cover.)
+        self.resident = std::sync::OnceLock::new();
+        Ok(offset)
+    }
+
+    /// Write a loose object: tmp → (sync) → rename → (directory fsync),
+    /// so a crash mid-write can never leave a half-written file under the
+    /// object's final name. Shared by `put` and `repair`.
+    fn write_loose(&mut self, id: ObjectId, bytes: &[u8]) -> Result<(), StoreError> {
+        let path = self.loose_path(id);
+        let tmp = path.with_extension("tmp");
+        if self.hit_crash(CrashPoint::LooseWrite) {
+            let _ = std::fs::write(&tmp, &bytes[..bytes.len() / 2]);
+            return Err(self.crash_err(CrashPoint::LooseWrite));
+        }
+        {
+            let mut f = File::create(&tmp).map_err(|e| io_err("create", &tmp, e))?;
+            f.write_all(bytes).map_err(|e| io_err("write", &tmp, e))?;
+            if self.durable() {
+                f.sync_all().map_err(|e| io_err("sync", &tmp, e))?;
+            }
+        }
+        std::fs::rename(&tmp, &path).map_err(|e| io_err("rename", &path, e))?;
+        self.fsync_dir(&self.dir.join("objects"))?;
+        Ok(())
+    }
 }
 
 impl Store for PackStore {
     fn put(&mut self, kind: ObjectKind, bytes: &[u8]) -> Result<ObjectId, StoreError> {
+        self.check_crashed()?;
         let id = hash_object(kind, bytes);
         if let Some(e) = self.entries.get_mut(&id) {
             e.refcount += 1;
             return Ok(id);
         }
         let offset = if bytes.len() as u64 >= self.loose_threshold {
-            let path = self.loose_path(id);
-            std::fs::write(&path, bytes).map_err(|e| io_err("write", &path, e))?;
+            self.write_loose(id, bytes)?;
             LOOSE_OFFSET
         } else {
-            let mut f = OpenOptions::new()
-                .append(true)
-                .open(&self.pack_path)
-                .map_err(|e| io_err("open", &self.pack_path, e))?;
-            let offset = self.pack_len;
-            let mut rec = Vec::with_capacity(RECORD_HEADER as usize + bytes.len());
-            rec.extend_from_slice(&id.0.to_le_bytes());
-            rec.extend_from_slice(&id.1.to_le_bytes());
-            rec.push(kind.tag());
-            rec.extend_from_slice(&(bytes.len() as u64).to_le_bytes());
-            rec.extend_from_slice(bytes);
-            if let Err(e) = f.write_all(&rec) {
-                // A partial append leaves garbage past pack_len; truncate
-                // it away so the next put's recorded offset stays honest.
-                let _ = f.set_len(self.pack_len);
-                return Err(io_err("write", &self.pack_path, e));
-            }
-            self.pack_len += rec.len() as u64;
-            // The resident map no longer covers the whole pack; drop it so
-            // the next get_ref reloads one consistent snapshot. (Existing
-            // offsets stay valid — the pack is append-only — so get_ref
-            // additionally bounds-checks and falls back rather than ever
-            // serving a slice the map does not cover.)
-            self.resident = std::sync::OnceLock::new();
-            offset
+            self.append_record(id, kind, bytes)?
         };
         self.entries.insert(
             id,
@@ -547,6 +872,7 @@ impl Store for PackStore {
     }
 
     fn get(&self, id: ObjectId) -> Result<Vec<u8>, StoreError> {
+        self.check_crashed()?;
         let e = *self.entries.get(&id).ok_or(StoreError::Missing { id })?;
         let bytes = if e.offset == LOOSE_OFFSET {
             let path = self.loose_path(id);
@@ -565,6 +891,7 @@ impl Store for PackStore {
     }
 
     fn get_ref(&self, id: ObjectId) -> Result<std::borrow::Cow<'_, [u8]>, StoreError> {
+        self.check_crashed()?;
         let e = *self.entries.get(&id).ok_or(StoreError::Missing { id })?;
         if e.offset == LOOSE_OFFSET {
             // Loose objects stay owned reads: they are the large-object
@@ -610,6 +937,7 @@ impl Store for PackStore {
     }
 
     fn retain(&mut self, id: ObjectId) -> Result<(), StoreError> {
+        self.check_crashed()?;
         let e = self
             .entries
             .get_mut(&id)
@@ -619,6 +947,7 @@ impl Store for PackStore {
     }
 
     fn release(&mut self, id: ObjectId) -> Result<(), StoreError> {
+        self.check_crashed()?;
         let e = self
             .entries
             .get_mut(&id)
@@ -631,6 +960,7 @@ impl Store for PackStore {
     }
 
     fn gc(&mut self) -> Result<GcStats, StoreError> {
+        self.check_crashed()?;
         let mut stats = GcStats::default();
         let dead: Vec<ObjectId> = self
             .entries
@@ -641,14 +971,32 @@ impl Store for PackStore {
         if dead.is_empty() {
             return Ok(stats);
         }
+        // Durability barrier: persist the zero refcounts *before*
+        // destroying any bytes. Without this, a crash mid-GC reopens with
+        // an older index whose counts say some unlinked object is live —
+        // a resurrected dead record at best, a lost "live" object at
+        // worst.
+        if self.durable() {
+            self.write_index()?;
+        }
+        let mut unlinked_loose = false;
         for &id in &dead {
             let e = self.entries.remove(&id).expect("dead entry exists");
             stats.collected_objects += 1;
             stats.reclaimed_bytes += e.len;
             if e.offset == LOOSE_OFFSET {
                 let path = self.loose_path(id);
-                std::fs::remove_file(&path).map_err(|err| io_err("remove", &path, err))?;
+                // A prior crashed GC may already have unlinked this file;
+                // its absence is the desired state, not an error.
+                match std::fs::remove_file(&path) {
+                    Ok(()) => unlinked_loose = true,
+                    Err(err) if err.kind() == std::io::ErrorKind::NotFound => {}
+                    Err(err) => return Err(io_err("remove", &path, err)),
+                }
             }
+        }
+        if unlinked_loose {
+            self.fsync_dir(&self.dir.join("objects"))?;
         }
         // Compact the pack: rewrite only live packed records, then swap.
         // New offsets are staged and applied only once the rename has
@@ -667,6 +1015,7 @@ impl Store for PackStore {
                 .filter(|(_, e)| e.offset != LOOSE_OFFSET)
                 .map(|(&id, _)| id)
                 .collect();
+            let mut torn = false;
             for id in live {
                 let e = self.entries[&id];
                 let payload = self.read_packed(id, &e)?;
@@ -676,12 +1025,29 @@ impl Store for PackStore {
                 rec.push(e.kind.tag());
                 rec.extend_from_slice(&(payload.len() as u64).to_le_bytes());
                 rec.extend_from_slice(&payload);
+                if self.hit_crash(CrashPoint::GcRewrite) {
+                    let _ = out.write_all(&rec[..rec.len() / 2]);
+                    torn = true;
+                    break;
+                }
                 out.write_all(&rec).map_err(|e| io_err("write", &tmp, e))?;
                 staged_offsets.push((id, new_len));
                 new_len += rec.len() as u64;
             }
+            if torn {
+                return Err(self.crash_err(CrashPoint::GcRewrite));
+            }
+            if self.durable() {
+                // The compacted pack's data must be on disk before the
+                // rename makes it the pack.
+                out.sync_all().map_err(|e| io_err("sync", &tmp, e))?;
+            }
+        }
+        if self.hit_crash(CrashPoint::GcRename) {
+            return Err(self.crash_err(CrashPoint::GcRename));
         }
         std::fs::rename(&tmp, &self.pack_path).map_err(|e| io_err("rename", &self.pack_path, e))?;
+        self.fsync_dir(&self.dir)?;
         for (id, offset) in staged_offsets {
             self.entries.get_mut(&id).expect("live entry").offset = offset;
         }
@@ -691,6 +1057,12 @@ impl Store for PackStore {
         // must go, or reads after GC would serve stale bytes.
         *self.reader.lock().expect("pack reader lock") = None;
         self.resident = std::sync::OnceLock::new();
+        if self.hit_crash(CrashPoint::GcIndex) {
+            // The new pack is in place but the on-disk index still
+            // describes the old one — the stale-index window that reopen
+            // must detect and rebuild.
+            return Err(self.crash_err(CrashPoint::GcIndex));
+        }
         self.write_index()?;
         Ok(stats)
     }
@@ -704,14 +1076,53 @@ impl Store for PackStore {
     }
 
     fn flush(&mut self) -> Result<(), StoreError> {
+        self.check_crashed()?;
+        if self.durable() {
+            // Pack data before the index that points into it: an index
+            // entry must never outlive a power loss that its record does
+            // not survive.
+            let f = File::open(&self.pack_path).map_err(|e| io_err("open", &self.pack_path, e))?;
+            f.sync_all()
+                .map_err(|e| io_err("sync", &self.pack_path, e))?;
+        }
         self.write_index()
+    }
+
+    fn repair(&mut self, id: ObjectId, kind: ObjectKind, bytes: &[u8]) -> Result<(), StoreError> {
+        self.check_crashed()?;
+        let actual = hash_object(kind, bytes);
+        if actual != id {
+            return Err(StoreError::Corrupt {
+                id,
+                detail: format!("repair bytes hash to {actual}"),
+            });
+        }
+        let e = *self.entries.get(&id).ok_or(StoreError::Missing { id })?;
+        if e.offset == LOOSE_OFFSET {
+            // Atomically replace the loose file under the same name.
+            self.write_loose(id, bytes)?;
+        } else {
+            // Append a fresh record and point the entry at it; the
+            // orphaned corrupt record is dropped at the next GC
+            // compaction, and index rebuilds adopt the later record (the
+            // pack scan inserts last-wins by offset).
+            let offset = self.append_record(id, kind, bytes)?;
+            let e = self.entries.get_mut(&id).expect("entry exists");
+            e.offset = offset;
+            e.len = bytes.len() as u64;
+            e.kind = kind;
+        }
+        Ok(())
     }
 }
 
 impl Drop for PackStore {
     fn drop(&mut self) {
         // Best-effort index persistence; callers needing guarantees flush.
-        let _ = self.write_index();
+        // A crashed store writes nothing — the process it simulates died.
+        if !self.crashed {
+            let _ = self.write_index();
+        }
     }
 }
 
@@ -899,22 +1310,148 @@ mod tests {
     }
 
     #[test]
-    fn corrupted_index_entry_is_rejected_as_invalid_format() {
+    fn corrupted_index_entry_triggers_rebuild_with_refcount_carryover() {
         let dir = temp_dir("badidx");
+        let (victim, other);
+        {
+            let mut s = PackStore::open_with_threshold(&dir, 1 << 20).expect("open");
+            victim = s.put(ObjectKind::Chunk, b"victim").expect("put");
+            other = s.put(ObjectKind::Delta, b"bystander").expect("put");
+            s.retain(other).expect("retain");
+            s.flush().expect("flush");
+        }
+        // Blow up the first entry's length field (bytes 24..32 after the
+        // 16-byte header and 16-byte id). The index no longer matches the
+        // pack, so open must treat it as stale and rebuild — not refuse.
+        let mut idx = std::fs::read(dir.join("pack.idx")).expect("read idx");
+        idx[16 + 24..16 + 32].copy_from_slice(&u64::MAX.to_le_bytes());
+        std::fs::write(dir.join("pack.idx"), idx).expect("write idx");
+        let s = PackStore::open_with_threshold(&dir, 1 << 20).expect("rebuild");
+        assert_eq!(s.get(victim).expect("get"), b"victim");
+        assert_eq!(s.get(other).expect("get"), b"bystander");
+        // Refcounts carried over from the (parseable) stale entries.
+        assert_eq!(s.meta(other).expect("meta").refcount, 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn malformed_index_header_is_still_invalid_format() {
+        let dir = temp_dir("badhdr");
         {
             let mut s = PackStore::open_with_threshold(&dir, 1 << 20).expect("open");
             s.put(ObjectKind::Chunk, b"victim").expect("put");
             s.flush().expect("flush");
         }
-        // Blow up the entry's length field (bytes 24..32 of the first
-        // entry, after the 16-byte header and 16-byte id).
         let mut idx = std::fs::read(dir.join("pack.idx")).expect("read idx");
-        idx[16 + 24..16 + 32].copy_from_slice(&u64::MAX.to_le_bytes());
+        idx[..8].copy_from_slice(b"NOTANIDX");
         std::fs::write(dir.join("pack.idx"), idx).expect("write idx");
         assert!(matches!(
             PackStore::open_with_threshold(&dir, 1 << 20),
             Err(StoreError::InvalidFormat { .. })
         ));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn repair_restores_packed_and_loose_objects_in_place() {
+        let dir = temp_dir("repair");
+        let mut s = PackStore::open_with_threshold(&dir, 16).expect("open");
+        let packed = s.put(ObjectKind::Chunk, b"small").expect("put");
+        let loose_bytes = vec![5u8; 64];
+        let loose = s.put(ObjectKind::Chunk, &loose_bytes).expect("put");
+        s.retain(packed).expect("retain");
+
+        // Corrupt both on disk.
+        let Some(ObjectLocation::Packed { payload_offset, .. }) = s.locate(packed) else {
+            panic!("expected packed");
+        };
+        let mut f = OpenOptions::new()
+            .write(true)
+            .open(s.pack_path())
+            .expect("open pack");
+        f.seek(SeekFrom::Start(payload_offset)).expect("seek");
+        f.write_all(&[b's' ^ 0xFF]).expect("write");
+        drop(f);
+        let Some(ObjectLocation::Loose { path }) = s.locate(loose) else {
+            panic!("expected loose");
+        };
+        let mut corrupted = loose_bytes.clone();
+        corrupted[0] ^= 0xFF;
+        std::fs::write(&path, &corrupted).expect("corrupt loose");
+
+        assert!(matches!(s.get(packed), Err(StoreError::Corrupt { .. })));
+        assert!(matches!(s.get(loose), Err(StoreError::Corrupt { .. })));
+
+        s.repair(packed, ObjectKind::Chunk, b"small")
+            .expect("repair");
+        s.repair(loose, ObjectKind::Chunk, &loose_bytes)
+            .expect("repair");
+        assert_eq!(s.get(packed).expect("healed"), b"small");
+        assert_eq!(s.get(loose).expect("healed"), loose_bytes);
+        assert_eq!(s.meta(packed).expect("meta").refcount, 2, "rc preserved");
+
+        // The repair survives flush + reopen (rebuilds adopt the newer
+        // record), and GC drops the orphaned corrupt record.
+        s.flush().expect("flush");
+        drop(s);
+        let mut s = PackStore::open_with_threshold(&dir, 16).expect("reopen");
+        assert_eq!(s.get(packed).expect("still healed"), b"small");
+        s.release(packed).expect("release");
+        s.release(packed).expect("release");
+        s.release(loose).expect("release");
+        s.gc().expect("gc");
+        assert_eq!(s.get(loose).err(), Some(StoreError::Missing { id: loose }));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn wrong_repair_bytes_are_rejected_untouched() {
+        let dir = temp_dir("badrepair");
+        let mut s = PackStore::open_with_threshold(&dir, 1 << 20).expect("open");
+        let id = s.put(ObjectKind::Chunk, b"original").expect("put");
+        assert!(matches!(
+            s.repair(id, ObjectKind::Chunk, b"imposter"),
+            Err(StoreError::Corrupt { .. })
+        ));
+        assert_eq!(s.get(id).expect("intact"), b"original");
+        let ghost = hash_object(ObjectKind::Delta, b"ghost");
+        assert!(matches!(
+            s.repair(ghost, ObjectKind::Delta, b"ghost"),
+            Err(StoreError::Missing { .. })
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn armed_crash_poisons_store_and_skips_exit_index_write() {
+        let dir = temp_dir("crashpoison");
+        let idx_before;
+        {
+            let mut s = PackStore::open_with_threshold(&dir, 1 << 20).expect("open");
+            s.put(ObjectKind::Chunk, b"acknowledged").expect("put");
+            s.flush().expect("flush");
+            idx_before = std::fs::read(dir.join("pack.idx")).expect("read idx");
+            s.arm_crash(CrashPoint::PackAppend);
+            assert!(matches!(
+                s.put(ObjectKind::Chunk, b"torn away"),
+                Err(StoreError::Io { .. })
+            ));
+            assert!(s.crashed());
+            // Every later op fails until reopen.
+            assert!(s.put(ObjectKind::Chunk, b"more").is_err());
+            assert!(s.flush().is_err());
+            assert!(s.gc().is_err());
+        }
+        // Drop must NOT have rewritten the index (the process "died").
+        let idx_after = std::fs::read(dir.join("pack.idx")).expect("read idx");
+        assert_eq!(idx_before, idx_after);
+        // Reopen recovers: the torn tail is truncated, the acknowledged
+        // object survives.
+        let mut s = PackStore::open_with_threshold(&dir, 1 << 20).expect("reopen");
+        let id = hash_object(ObjectKind::Chunk, b"acknowledged");
+        assert_eq!(s.get(id).expect("survivor"), b"acknowledged");
+        let fresh = s.put(ObjectKind::Chunk, b"post-crash").expect("put");
+        assert_eq!(s.get(fresh).expect("get"), b"post-crash");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

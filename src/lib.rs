@@ -119,7 +119,8 @@ pub mod prelude {
     pub use dsv_core::btw::{btw_msr, btw_msr_plan, btw_msr_value, BtwConfig, BtwResult};
     pub use dsv_core::cancel::CancelToken;
     pub use dsv_core::checkout::{
-        CacheStats, Checkout, CheckoutCache, CheckoutOutcome, CheckoutStats,
+        CacheStats, Checkout, CheckoutCache, CheckoutOutcome, CheckoutStats, RepairStats,
+        RepairTicket, RetryPolicy, ServeOutcome,
     };
     pub use dsv_core::engine::{
         AttemptOutcome, Engine, ExecuteError, Execution, MsrSweep, Portfolio, PortfolioAttempt,
@@ -136,7 +137,8 @@ pub mod prelude {
     };
     pub use dsv_delta::corpus::{corpus, corpus_with_content, CorpusName};
     pub use dsv_delta::store::{
-        CorpusContent, MemStore, ObjectHasher, ObjectId, ObjectKind, PackStore, Store, StoreError,
+        CorpusContent, CrashPoint, Durability, FaultOp, FaultPlan, FaultStats, FaultStore,
+        MemStore, ObjectHasher, ObjectId, ObjectKind, PackOptions, PackStore, Store, StoreError,
         VersionSource,
     };
     pub use dsv_delta::transforms::{erdos_renyi_from_sketches, random_compression};
