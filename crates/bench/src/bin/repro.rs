@@ -43,6 +43,14 @@
 //!   **fails** (exit 1) unless every repairable corruption is healed
 //!   byte-identically from the source, zero wrong bytes are served, and
 //!   the healed store passes a clean verification pass.
+//! * `service` — `BENCH_service.json` (the versioning service under an
+//!   open-loop Zipf overload: throughput, p50/p99 latency, shed rate,
+//!   degradation-tier histogram, fault/repair counters). The run
+//!   **fails** (exit 1) unless the queue stays bounded, the burst sheds
+//!   with typed `Overloaded` errors, both degraded tiers answer, p99
+//!   stays under the deadline, and zero wrong bytes are served under
+//!   injected faults; `--assert-throughput X` additionally gates on
+//!   served replies/sec.
 
 use dsv_bench::experiments::{self, ExperimentOptions};
 use dsv_bench::Report;
@@ -112,6 +120,11 @@ const EXPERIMENTS: &[(&str, &str, &str)] = &[
         "fault-injection.csv, BENCH_faults.json",
     ),
     (
+        "service",
+        "versioning service under overload: shed / degrade / heal gate",
+        "service-overload.csv, BENCH_service.json",
+    ),
+    (
         "treewidth",
         "treewidth upper bounds of the corpora (footnote 7)",
         "treewidth-of-corpora.csv",
@@ -141,6 +154,7 @@ struct Args {
     store_dir: Option<PathBuf>,
     opts: ExperimentOptions,
     assert_speedup: Option<f64>,
+    assert_throughput: Option<f64>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -149,6 +163,7 @@ fn parse_args() -> Result<Args, String> {
     let mut store_dir = None;
     let mut opts = ExperimentOptions::default();
     let mut assert_speedup = None;
+    let mut assert_throughput = None;
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         let mut value = |name: &str| it.next().ok_or_else(|| format!("missing value for {name}"));
@@ -188,6 +203,13 @@ fn parse_args() -> Result<Args, String> {
                         .map_err(|e| format!("bad --assert-speedup: {e}"))?,
                 )
             }
+            "--assert-throughput" => {
+                assert_throughput = Some(
+                    value("--assert-throughput")?
+                        .parse()
+                        .map_err(|e| format!("bad --assert-throughput: {e}"))?,
+                )
+            }
             "--list" | "-l" => {
                 print!("{}", experiment_list());
                 std::process::exit(0);
@@ -197,7 +219,7 @@ fn parse_args() -> Result<Args, String> {
                     "usage: repro [--experiment NAME] [--list]\n\
                      \x20            [--scale F] [--max-nodes N] [--seed N] [--points N]\n\
                      \x20            [--opt-limit N] [--out DIR] [--store-dir DIR]\n\
-                     \x20            [--assert-speedup X]\n\n{}",
+                     \x20            [--assert-speedup X] [--assert-throughput X]\n\n{}",
                     experiment_list()
                 );
                 std::process::exit(0);
@@ -211,6 +233,7 @@ fn parse_args() -> Result<Args, String> {
         store_dir,
         opts,
         assert_speedup,
+        assert_throughput,
     })
 }
 
@@ -225,9 +248,10 @@ fn run(experiment: &str, opts: &ExperimentOptions) -> Result<Vec<Report>, String
         "treewidth" => vec![experiments::treewidth_report(opts)],
         "btw" => vec![experiments::btw_report(opts)],
         "portfolio" => vec![experiments::portfolio_report(opts)],
-        // The lmg, store, checkout, and faults experiments produce their
-        // reports (and BENCH_*.json) in the bench section of main.
-        "lmg" | "store" | "checkout" | "faults" => Vec::new(),
+        // The lmg, store, checkout, faults, and service experiments
+        // produce their reports (and BENCH_*.json) in the bench section
+        // of main.
+        "lmg" | "store" | "checkout" | "faults" | "service" => Vec::new(),
         "all" => {
             let mut all = vec![experiments::table4(opts)];
             all.extend(experiments::fig10(opts));
@@ -437,6 +461,56 @@ fn main() {
             "# faults agreement: every repairable corruption healed, every payload \
              byte-identical"
         );
+    }
+
+    // The service experiments gate the request/response layer: an
+    // open-loop overload storm against the versioning service over a
+    // fault-injected store — bounded queue, typed shedding, deadline
+    // propagation, graceful degradation, and self-healing reads all
+    // asserted in one run.
+    if matches!(args.experiment.as_str(), "service" | "all") {
+        let (base_dir, ephemeral) = match args.store_dir.clone() {
+            Some(dir) => (dir, false),
+            None => (args.out.join("store-work"), true),
+        };
+        let work_dir = base_dir.join("service");
+        if let Err(e) = std::fs::create_dir_all(&work_dir) {
+            eprintln!("error creating {}: {e}", work_dir.display());
+            std::process::exit(1);
+        }
+        let bench = experiments::service_bench(&args.opts, &work_dir);
+        println!("{}", bench.report.to_markdown());
+        write_report_csv(&bench.report, &args.out);
+        write_bench_json(&args.out, "BENCH_service.json", &bench.json);
+        if ephemeral {
+            let _ = std::fs::remove_dir_all(&work_dir);
+        }
+        if !bench.agreement {
+            eprintln!(
+                "error: service disagreement — unbounded queue depth, no shedding under \
+                 the overload burst, a degradation tier failed to answer, p99 over the \
+                 deadline, or wrong bytes served (see BENCH_service.json)"
+            );
+            std::process::exit(1);
+        }
+        eprintln!(
+            "# service agreement: bounded queue, typed shedding, degraded tiers answered, \
+             zero wrong bytes"
+        );
+        if let Some(min) = args.assert_throughput {
+            if bench.throughput_rps < min {
+                eprintln!(
+                    "error: service throughput {:.2} replies/sec below the asserted \
+                     minimum {min:.2}",
+                    bench.throughput_rps
+                );
+                std::process::exit(1);
+            }
+            eprintln!(
+                "# throughput assertion passed: {:.2} >= {min:.2} replies/sec",
+                bench.throughput_rps
+            );
+        }
     }
 
     // The btw experiments gate the constructive bounded-width DP: on every

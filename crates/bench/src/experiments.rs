@@ -1729,6 +1729,407 @@ pub fn treewidth_report(opts: &ExperimentOptions) -> Report {
     r
 }
 
+/// Outcome of the service-under-overload experiment.
+pub struct ServiceBench {
+    /// Human-readable rendering of the same data.
+    pub report: Report,
+    /// The JSON document (throughput, latency percentiles, shed rate,
+    /// degradation-tier histogram, fault/repair counters).
+    pub json: String,
+    /// The CI gate: queue depth stayed bounded, the overload burst shed
+    /// requests instead of queueing without limit, every degradation
+    /// tier answered, admitted requests met their deadline at p99, and
+    /// zero wrong bytes were served under injected faults.
+    pub agreement: bool,
+    /// Served replies per second over the storm, for
+    /// `--assert-throughput`.
+    pub throughput_rps: f64,
+}
+
+/// Overload waves in the storm: each wave floods the bounded queue in
+/// one unpaced burst, then drains before the next.
+const SERVICE_STORM_WAVES: usize = 8;
+/// Checkout batches fired per wave.
+const SERVICE_STORM_BATCHES: usize = 64;
+/// Versions per checkout batch in the storm.
+const SERVICE_BATCH: usize = 8;
+/// A `Solve` is interleaved into each wave every this many batches.
+const SERVICE_SOLVE_EVERY: usize = 16;
+
+/// The robustness gate for the versioning service: an open-loop Zipf
+/// request storm against a [`VersioningService`](dsv_core::service::VersioningService)
+/// over a fault-injected [`PackStore`](dsv_delta::PackStore).
+///
+/// The storm submits checkout batches (plus interleaved solves) faster
+/// than the workers can drain them, so the bounded queue must shed with
+/// typed `Overloaded` errors rather than queueing without limit; every
+/// admitted request carries the default 500 ms deadline. After the storm
+/// two probes exercise the degradation ladder on a fresh budget: a
+/// 100 ms deadline (below the full-tier threshold) must answer from the
+/// LMG-All heuristic, and a follow-up below the heuristic threshold must
+/// answer from the warmed memo without computing. Served payloads are
+/// byte-compared against the source throughout — the store injects 3%
+/// transient + permanent + bit-flip faults, so the self-healing reader
+/// must repair, never mis-serve. `work_dir` receives one pack-store
+/// directory; the caller owns cleanup.
+pub fn service_bench(opts: &ExperimentOptions, work_dir: &std::path::Path) -> ServiceBench {
+    use dsv_core::baselines::min_storage_value;
+    use dsv_core::problem::ProblemKind;
+    use dsv_core::service::{
+        Reply, Request, ServeTier, ServiceConfig, ServiceError, Ticket, VersioningService,
+    };
+    use dsv_delta::store::{PackStore, VersionSource};
+    use dsv_delta::{FaultPlan, FaultStore, Store};
+    use serde_json::Value;
+    use std::collections::BTreeMap;
+    use std::sync::Arc;
+    use std::time::{Duration, Instant};
+
+    // Fixture: the text corpus with real Myers deltas; the retained
+    // content is both the ground truth for byte comparison and the
+    // redundant copy the healing reader re-derives from. Floored at 2x
+    // paper size (58 versions): the overload/fault assertions need a
+    // real object population even under a small `--scale`.
+    let c = corpus_with_content(
+        CorpusName::Datasharing,
+        opts.scale_for(CorpusName::Datasharing).max(2.0),
+        opts.seed,
+        true,
+    );
+    let graph = Arc::new(c.graph);
+    let content = Arc::new(c.content.expect("content retained"));
+    let n = graph.n();
+    let expected: Vec<dsv_delta::store::codec::Payload> =
+        (0..n as u32).map(|v| content.payload(v)).collect();
+    let smin = min_storage_value(&graph);
+    let budget = smin * 2;
+
+    let deadline = Duration::from_millis(500);
+    let cfg = ServiceConfig {
+        queue_capacity: 32,
+        default_deadline: deadline,
+        ..ServiceConfig::default()
+    };
+    let queue_capacity = cfg.queue_capacity;
+    let full_tier_min = cfg.full_tier_min;
+    let heuristic_tier_min = cfg.heuristic_tier_min;
+    let store = FaultStore::transparent(
+        PackStore::open(work_dir.join("service-pack")).expect("open pack store"),
+    );
+    let svc = VersioningService::with_config(store, cfg);
+
+    // Plan + commit through the service itself (generous deadline).
+    let generous = Duration::from_secs(120);
+    let Reply::Solved { solution, .. } = svc
+        .submit_with_deadline(
+            Request::Solve {
+                graph: graph.clone(),
+                problem: ProblemKind::Msr {
+                    storage_budget: budget,
+                },
+            },
+            generous,
+        )
+        .expect("admitted")
+        .wait()
+        .expect("solves")
+    else {
+        panic!("expected Solved");
+    };
+    let Reply::Committed { plan, .. } = svc
+        .submit_with_deadline(
+            Request::Commit {
+                graph: graph.clone(),
+                plan: solution.plan.clone(),
+                source: content.clone() as Arc<dyn VersionSource + Send + Sync>,
+            },
+            generous,
+        )
+        .expect("admitted")
+        .wait()
+        .expect("commits")
+    else {
+        panic!("expected Committed");
+    };
+    svc.with_store_mut(|s| s.inner_mut().flush())
+        .expect("flush");
+
+    // Arm 3% transient + permanent + bit-flip faults for the storm
+    // (deterministic per object id, so the marked subset faults on
+    // every fetch).
+    svc.with_store_mut(|s| {
+        s.set_plan(
+            FaultPlan::seeded(opts.seed ^ 0x5E41)
+                .with_transient_get(0.03)
+                .with_permanent_get(0.03)
+                .with_bit_flip(0.03),
+        )
+    });
+
+    // Open-loop storm in waves: each wave submits one unpaced burst
+    // (shedding is expected once the queue fills), then drains its
+    // admitted tickets — measuring latency, byte-comparing every served
+    // payload — before the next burst, so the healing read path sees
+    // coverage across many distinct retrieval chains.
+    struct InFlight {
+        at: Instant,
+        versions: Option<Vec<u32>>,
+        ticket: Ticket,
+    }
+    let stream = zipf_stream(
+        n,
+        SERVICE_STORM_WAVES * SERVICE_STORM_BATCHES * SERVICE_BATCH,
+        1.1,
+        opts.seed + 29,
+    );
+    let mut shed = 0u64;
+    let mut min_hint = Duration::MAX;
+    let mut latencies_ms: Vec<f64> = Vec::new();
+    let mut served = 0u64;
+    let mut cancelled = 0u64;
+    let mut wrong_bytes = 0u64;
+    let mut versions_served = 0u64;
+    let mut tiers: BTreeMap<&'static str, u64> =
+        [("full", 0), ("heuristic", 0), ("cached", 0)].into();
+    let storm_start = Instant::now();
+    for wave in stream.chunks(SERVICE_STORM_BATCHES * SERVICE_BATCH) {
+        let mut in_flight: Vec<InFlight> = Vec::new();
+        for (i, batch) in wave.chunks(SERVICE_BATCH).enumerate() {
+            let mut push = |req: Request, versions: Option<Vec<u32>>| match svc.submit(req) {
+                Ok(ticket) => in_flight.push(InFlight {
+                    at: Instant::now(),
+                    versions,
+                    ticket,
+                }),
+                Err(ServiceError::Overloaded {
+                    queue_depth,
+                    capacity,
+                    retry_after_hint,
+                }) => {
+                    assert!(queue_depth >= capacity, "shed implies a full queue");
+                    min_hint = min_hint.min(retry_after_hint);
+                    shed += 1;
+                }
+                Err(other) => panic!("unexpected admission error: {other}"),
+            };
+            push(
+                Request::Checkout {
+                    plan,
+                    versions: batch.to_vec(),
+                },
+                Some(batch.to_vec()),
+            );
+            if i % SERVICE_SOLVE_EVERY == 0 {
+                push(
+                    Request::Solve {
+                        graph: graph.clone(),
+                        problem: ProblemKind::Msr {
+                            storage_budget: budget,
+                        },
+                    },
+                    None,
+                );
+            }
+        }
+        for flight in in_flight {
+            match flight.ticket.wait() {
+                Ok(reply) => {
+                    latencies_ms.push(flight.at.elapsed().as_secs_f64() * 1e3);
+                    served += 1;
+                    match reply {
+                        Reply::CheckedOut { payloads, .. } => {
+                            let versions = flight.versions.expect("checkout kept its batch");
+                            for (v, got) in versions.iter().zip(&payloads) {
+                                match got {
+                                    Ok(p) if **p == expected[*v as usize] => versions_served += 1,
+                                    _ => wrong_bytes += 1,
+                                }
+                            }
+                        }
+                        Reply::Solved { tier, .. } => *tiers.entry(tier.label()).or_default() += 1,
+                        Reply::Committed { .. } => {}
+                    }
+                }
+                Err(ServiceError::Cancelled { .. }) => cancelled += 1,
+                Err(other) => panic!("unexpected reply error: {other}"),
+            }
+        }
+    }
+    let submitted = served + cancelled + shed;
+    let storm_wall = storm_start.elapsed().as_secs_f64();
+    let throughput_rps = served as f64 / storm_wall.max(1e-9);
+    let p50 = percentile(&mut latencies_ms, 0.50);
+    let p99 = percentile(&mut latencies_ms, 0.99);
+
+    // Degradation probes on an idle service, fresh budget so the warm
+    // memo cannot answer the first one. Below the full-tier threshold
+    // the heuristic must answer; below the heuristic threshold the
+    // now-warmed memo must answer without computing.
+    let probe_budget = budget + 1;
+    let probe = |limit: Duration| -> ServeTier {
+        let Reply::Solved { tier, .. } = svc
+            .submit_with_deadline(
+                Request::Solve {
+                    graph: graph.clone(),
+                    problem: ProblemKind::Msr {
+                        storage_budget: probe_budget,
+                    },
+                },
+                limit,
+            )
+            .expect("idle service admits")
+            .wait()
+            .expect("probe solves")
+        else {
+            panic!("expected Solved");
+        };
+        tier
+    };
+    let heuristic_tier = probe(full_tier_min.mul_f64(0.5).max(heuristic_tier_min * 2));
+    let cached_tier = probe(heuristic_tier_min.mul_f64(0.5));
+    *tiers.entry(heuristic_tier.label()).or_default() += 1;
+    *tiers.entry(cached_tier.label()).or_default() += 1;
+
+    // Disarm faults; a clean full checkout must verify byte-identical
+    // with nothing left to detect or repair.
+    svc.with_store_mut(|s| s.set_plan(FaultPlan::none()));
+    let all: Vec<u32> = (0..n as u32).collect();
+    let Reply::CheckedOut {
+        payloads, repair, ..
+    } = svc
+        .submit_with_deadline(
+            Request::Checkout {
+                plan,
+                versions: all.clone(),
+            },
+            generous,
+        )
+        .expect("admitted")
+        .wait()
+        .expect("clean serve")
+    else {
+        panic!("expected CheckedOut");
+    };
+    let verified_clean = repair.detected == 0
+        && payloads.len() == n
+        && all
+            .iter()
+            .zip(&payloads)
+            .all(|(v, got)| matches!(got, Ok(p) if **p == expected[*v as usize]));
+
+    let stats = svc.stats();
+    let agreement = stats.queue_high_water <= queue_capacity as u64
+        && shed > 0
+        && shed == stats.shed
+        && heuristic_tier == ServeTier::Heuristic
+        && cached_tier == ServeTier::Cached
+        && wrong_bytes == 0
+        && p99 < deadline.as_secs_f64() * 1e3
+        && stats.faults_detected > 0
+        && stats.repairs_applied > 0
+        && verified_clean
+        && svc.queue_depth() == 0;
+
+    let mut r = Report::new(
+        "service-overload",
+        &[
+            "metric",
+            "submitted",
+            "served",
+            "shed",
+            "cancelled",
+            "p50_ms",
+            "p99_ms",
+            "rps",
+            "tiers",
+        ],
+    );
+    r.push_row(vec![
+        "storm".to_string(),
+        submitted.to_string(),
+        served.to_string(),
+        shed.to_string(),
+        cancelled.to_string(),
+        fmt_f(p50),
+        fmt_f(p99),
+        fmt_f(throughput_rps),
+        format!(
+            "full={} heuristic={} cached={}",
+            tiers["full"], tiers["heuristic"], tiers["cached"]
+        ),
+    ]);
+    r.note(format!(
+        "open-loop Zipf storm over a bounded queue (capacity {queue_capacity}, high water {}) \
+         with 3% injected faults: {versions_served} versions byte-verified, {wrong_bytes} wrong, \
+         {} faults detected / {} repairs applied, clean pass verified={verified_clean} \
+         (agreement={agreement})",
+        stats.queue_high_water, stats.faults_detected, stats.repairs_applied
+    ));
+
+    let mut doc = BTreeMap::new();
+    doc.insert("experiment".to_string(), Value::Str("service".to_string()));
+    doc.insert("seed".to_string(), Value::UInt(opts.seed));
+    doc.insert("nodes".to_string(), Value::UInt(n as u64));
+    doc.insert("workers".to_string(), Value::UInt(stats.workers as u64));
+    doc.insert(
+        "queue_capacity".to_string(),
+        Value::UInt(queue_capacity as u64),
+    );
+    doc.insert(
+        "deadline_ms".to_string(),
+        Value::Float(deadline.as_secs_f64() * 1e3),
+    );
+    doc.insert("submitted".to_string(), Value::UInt(submitted));
+    doc.insert("served".to_string(), Value::UInt(served));
+    doc.insert("shed".to_string(), Value::UInt(shed));
+    doc.insert("cancelled".to_string(), Value::UInt(cancelled));
+    doc.insert(
+        "expired_in_queue".to_string(),
+        Value::UInt(stats.expired_in_queue),
+    );
+    doc.insert(
+        "queue_high_water".to_string(),
+        Value::UInt(stats.queue_high_water),
+    );
+    doc.insert(
+        "min_retry_after_hint_ms".to_string(),
+        Value::Float(if min_hint == Duration::MAX {
+            0.0
+        } else {
+            min_hint.as_secs_f64() * 1e3
+        }),
+    );
+    doc.insert("throughput_rps".to_string(), Value::Float(throughput_rps));
+    doc.insert("p50_ms".to_string(), Value::Float(p50));
+    doc.insert("p99_ms".to_string(), Value::Float(p99));
+    let mut tier_map = BTreeMap::new();
+    for (k, v) in &tiers {
+        tier_map.insert(k.to_string(), Value::UInt(*v));
+    }
+    doc.insert("tiers".to_string(), Value::Map(tier_map));
+    doc.insert("versions_served".to_string(), Value::UInt(versions_served));
+    doc.insert("wrong_bytes".to_string(), Value::UInt(wrong_bytes));
+    doc.insert(
+        "faults_detected".to_string(),
+        Value::UInt(stats.faults_detected),
+    );
+    doc.insert(
+        "repairs_applied".to_string(),
+        Value::UInt(stats.repairs_applied),
+    );
+    doc.insert("verified_clean".to_string(), Value::Bool(verified_clean));
+    doc.insert("agreement".to_string(), Value::Bool(agreement));
+    let json = serde_json::to_string(&Value::Map(doc)).expect("value tree serializes");
+
+    svc.shutdown();
+    ServiceBench {
+        report: r,
+        json,
+        agreement,
+        throughput_rps,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -18,6 +18,11 @@ use std::time::{Duration, Instant};
 #[derive(Debug)]
 struct Inner {
     flag: AtomicBool,
+    /// Effective deadline: the **min** of this token's own deadline and
+    /// every ancestor's, folded at construction time (parent deadlines
+    /// are immutable, so the min never changes afterwards). A child with
+    /// a generous limit therefore still honors an earlier parent
+    /// deadline without walking the chain on every poll.
     deadline: Option<Instant>,
     parent: Option<Arc<Inner>>,
 }
@@ -42,6 +47,15 @@ impl Inner {
             .deadline
             .is_some_and(|deadline| Instant::now() >= deadline);
         own || self.parent.as_ref().is_some_and(|p| p.deadline_exceeded())
+    }
+}
+
+/// The earlier of two optional deadlines (`None` = unbounded).
+fn min_deadline(a: Option<Instant>, b: Option<Instant>) -> Option<Instant> {
+    match (a, b) {
+        (Some(a), Some(b)) => Some(a.min(b)),
+        (Some(a), None) => Some(a),
+        (None, b) => b,
     }
 }
 
@@ -80,12 +94,16 @@ impl CancelToken {
 
     /// A child token with its own deadline `limit` from now (`None` = no
     /// own deadline). With an inert parent and no deadline this stays a
-    /// plain manual token.
+    /// plain manual token. The child's effective deadline is the **min**
+    /// of its own limit and every ancestor deadline — a generous child
+    /// limit never outlives an earlier parent deadline.
     pub fn child_with_deadline(&self, limit: Option<Duration>) -> Self {
+        let own = limit.map(|l| Instant::now() + l);
+        let inherited = self.deadline_instant();
         CancelToken {
             inner: Some(Arc::new(Inner {
                 flag: AtomicBool::new(false),
-                deadline: limit.map(|l| Instant::now() + l),
+                deadline: min_deadline(own, inherited),
                 parent: self.inner.clone(),
             })),
         }
@@ -117,6 +135,19 @@ impl CancelToken {
     /// a timeout from a manual/short-circuit cancellation when reporting.
     pub fn deadline_exceeded(&self) -> bool {
         self.inner.as_ref().is_some_and(|i| i.deadline_exceeded())
+    }
+
+    /// The effective deadline instant (min over this token and every
+    /// ancestor), or `None` if no deadline applies anywhere on the chain.
+    pub fn deadline_instant(&self) -> Option<Instant> {
+        self.inner.as_ref().and_then(|i| i.deadline)
+    }
+
+    /// Time left until the effective deadline: `None` when unbounded,
+    /// `Some(ZERO)` once the deadline has passed.
+    pub fn remaining(&self) -> Option<Duration> {
+        self.deadline_instant()
+            .map(|d| d.saturating_duration_since(Instant::now()))
     }
 }
 
@@ -168,5 +199,43 @@ mod tests {
         let c = t.clone();
         c.cancel();
         assert!(t.is_cancelled());
+    }
+
+    #[test]
+    fn child_deadline_is_min_of_chain() {
+        // A child with a *generous* limit must still honor an earlier
+        // parent deadline: the effective deadline is min over the chain.
+        let parent = CancelToken::with_deadline(Duration::from_millis(1));
+        let child = parent.child_with_deadline(Some(Duration::from_secs(3600)));
+        let eff = child.deadline_instant().expect("child carries a deadline");
+        assert_eq!(
+            eff,
+            parent.deadline_instant().expect("parent has a deadline"),
+            "earlier parent deadline wins over a later child limit"
+        );
+        assert!(child.remaining().expect("bounded") <= Duration::from_millis(1));
+
+        // And the other direction: an earlier child limit wins.
+        let parent = CancelToken::with_deadline(Duration::from_secs(3600));
+        let child = parent.child_with_deadline(Some(Duration::ZERO));
+        assert!(child.is_cancelled(), "own zero limit fires immediately");
+        assert!(child.deadline_exceeded());
+        assert!(!parent.is_cancelled(), "parent unaffected by child expiry");
+
+        // Grandchild with no limit of its own inherits the chain min.
+        let root = CancelToken::with_deadline(Duration::from_millis(2));
+        let mid = root.child_with_deadline(Some(Duration::from_secs(10)));
+        let leaf = mid.child();
+        assert_eq!(leaf.deadline_instant(), root.deadline_instant());
+    }
+
+    #[test]
+    fn remaining_reports_time_left() {
+        assert_eq!(CancelToken::new().remaining(), None, "unbounded");
+        let t = CancelToken::with_deadline(Duration::from_secs(3600));
+        let left = t.remaining().expect("bounded");
+        assert!(left > Duration::from_secs(3500) && left <= Duration::from_secs(3600));
+        let expired = CancelToken::with_deadline(Duration::ZERO);
+        assert_eq!(expired.remaining(), Some(Duration::ZERO));
     }
 }

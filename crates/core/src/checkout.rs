@@ -279,30 +279,7 @@ impl CheckoutCache {
     }
 }
 
-/// Bounded, deterministic retry policy for store reads.
-///
-/// Transient I/O errors ([`StoreError::Io`]) are retried up to
-/// `attempts` total reads; `Corrupt` and `Missing` are never retried
-/// (re-reading cannot fix them — they go straight to repair). The
-/// backoff between attempts scales linearly with the attempt index and
-/// defaults to zero, so tests and benches stay wall-clock free.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub struct RetryPolicy {
-    /// Total read attempts per object (clamped to at least 1).
-    pub attempts: u32,
-    /// Sleep before retry `k` is `backoff * k`; `Duration::ZERO`
-    /// (the default) never sleeps.
-    pub backoff: Duration,
-}
-
-impl Default for RetryPolicy {
-    fn default() -> Self {
-        RetryPolicy {
-            attempts: 3,
-            backoff: Duration::ZERO,
-        }
-    }
-}
+pub use crate::retry::RetryPolicy;
 
 /// A pending store repair produced by the self-healing read path.
 ///
@@ -794,14 +771,14 @@ fn fetch_object<'x, S: Store + ?Sized>(
     out: &mut SubtreeOut,
 ) -> Result<Cow<'x, [u8]>, ExecError> {
     let id = ctx.stored.objects[node as usize];
-    let attempts = ctx.retry.attempts.max(1);
+    let attempts = ctx.retry.effective_attempts();
     let mut last_err: Option<StoreError> = None;
     for attempt in 0..attempts {
         if attempt > 0 {
             out.repair.retries += 1;
-            if !ctx.retry.backoff.is_zero() {
-                std::thread::sleep(ctx.retry.backoff * attempt);
-            }
+            // Salted by object id: concurrent retries of different
+            // objects decorrelate, replays wait identically.
+            ctx.retry.wait(attempt, id.0 ^ id.1);
         }
         match ctx.store.get_ref(id) {
             Ok(bytes) => return Ok(bytes),

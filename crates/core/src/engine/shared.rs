@@ -98,8 +98,9 @@ pub struct SharedWork {
 }
 
 /// FNV-1a over the graph's full cost structure — cheap relative to any
-/// solver, computed once per memo.
-fn fingerprint(g: &VersionGraph) -> u64 {
+/// solver, computed once per memo. Also used by the service layer to key
+/// its per-graph memo LRU.
+pub(crate) fn fingerprint(g: &VersionGraph) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     let mut mix = |x: u64| {
         h ^= x;
@@ -184,6 +185,29 @@ impl SharedWork {
                 }
             }
         }
+    }
+
+    /// Non-computing lookup: the memoized LMG-All result at `budget` if a
+    /// previous call already completed it, without triggering (or waiting
+    /// on) any computation. This is the service's **cached degradation
+    /// tier**: with no time left to solve, a previously-seen
+    /// `(graph, budget)` can still be answered from the memo instantly.
+    #[allow(clippy::type_complexity)]
+    pub fn peek_lmg_all(&self, budget: Cost) -> Option<Option<(StoragePlan, LmgAllStats)>> {
+        let cell = {
+            let cells = self.inner.cells.lock().expect("shared-work cells");
+            cells.get(&WorkKey::LmgAll { budget })?.clone()
+        };
+        let state = cell.state.lock().expect("shared-work cell");
+        match &*state {
+            CellState::Done(WorkValue::LmgAll(v)) => Some(v.clone()),
+            _ => None,
+        }
+    }
+
+    /// The graph fingerprint this memo is claimed by (`None` = unclaimed).
+    pub(crate) fn claimed_fingerprint(&self) -> Option<u64> {
+        self.inner.fingerprint.get().copied()
     }
 
     /// LMG-All at `budget`, computed once per memo. Inner `None` =

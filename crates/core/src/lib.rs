@@ -54,14 +54,21 @@ pub mod heuristics;
 pub mod plan;
 pub mod problem;
 pub mod reductions;
+pub mod retry;
+pub mod service;
 pub mod tree;
 
 pub use cancel::CancelToken;
 pub use checkout::{
     CacheStats, Checkout, CheckoutCache, CheckoutOutcome, CheckoutStats, RepairStats, RepairTicket,
-    RetryPolicy, ServeOutcome,
+    ServeOutcome,
 };
 pub use engine::{Engine, Portfolio, Solution, SolveError, SolveOptions, Solver, SolverMeta};
 pub use executor::{ExecError, ExecutionReport, PlanExecutor, StoredPlan};
 pub use plan::{Parent, StoragePlan};
 pub use problem::{Objective, ProblemKind};
+pub use retry::RetryPolicy;
+pub use service::{
+    PlanId, Reply, Request, ServeTier, ServiceConfig, ServiceError, ServiceStats, Ticket,
+    VersioningService,
+};

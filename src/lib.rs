@@ -56,6 +56,24 @@
 //! LRU [`CheckoutCache`](core::checkout::CheckoutCache) — gated in CI by
 //! `repro --experiment checkout --assert-speedup`.
 //!
+//! ## Serving a shared engine
+//!
+//! [`VersioningService`](core::service::VersioningService) turns the
+//! engine + store into a multi-client service: `Solve`, `Checkout`, and
+//! `Commit` requests flow through a **bounded** queue onto a
+//! thread-per-core worker pool. Over capacity, requests are shed
+//! immediately with a typed `Overloaded { retry_after_hint }` instead of
+//! queueing forever; every admitted request carries a deadline that
+//! becomes a chained [`CancelToken`](core::cancel::CancelToken) polled
+//! inside the DPs, so expired work is preempted and surfaces as
+//! `Cancelled` — never as a late result. Under deadline pressure a
+//! `Solve` walks a degradation ladder (full portfolio → LMG-All
+//! heuristic → cached plan from a previously-seen graph fingerprint),
+//! each reply labeled with the tier that produced it; `Checkout`s go
+//! through the self-healing batched reader, so injected store faults
+//! heal instead of failing requests. Gated in CI by `repro --experiment
+//! service --assert-throughput`.
+//!
 //! ## Quickstart
 //!
 //! ```
@@ -120,7 +138,7 @@ pub mod prelude {
     pub use dsv_core::cancel::CancelToken;
     pub use dsv_core::checkout::{
         CacheStats, Checkout, CheckoutCache, CheckoutOutcome, CheckoutStats, RepairStats,
-        RepairTicket, RetryPolicy, ServeOutcome,
+        RepairTicket, ServeOutcome,
     };
     pub use dsv_core::engine::{
         AttemptOutcome, Engine, ExecuteError, Execution, MsrSweep, Portfolio, PortfolioAttempt,
@@ -132,6 +150,11 @@ pub mod prelude {
     pub use dsv_core::plan::{Parent, PlanCosts, StoragePlan};
     pub use dsv_core::problem::{Objective, ProblemKind};
     pub use dsv_core::reductions::{bsr_via_msr, mmr_on_graph};
+    pub use dsv_core::retry::RetryPolicy;
+    pub use dsv_core::service::{
+        PlanId, Reply, Request, ServeTier, ServiceConfig, ServiceError, ServiceStats, Ticket,
+        VersioningService,
+    };
     pub use dsv_core::tree::{
         dp_bmr_on_graph, dp_msr_on_graph, dp_msr_sweep, extract_tree, DpMsrConfig,
     };
