@@ -19,6 +19,11 @@
 //! * `lmg` — `BENCH_lmg.json` (incremental vs from-scratch LMG-All wall
 //!   times on ER graphs, byte-identical plans asserted); there
 //!   `--assert-speedup X` gates on the n = 4000 speedup.
+//! * `shard` — `BENCH_shard.json` (whole-graph LMG-All vs the sharded
+//!   hierarchical pipeline on large multi-cluster forests;
+//!   thread-count-independent plans and the declared regret bound are
+//!   asserted in-run); there `--assert-speedup X` gates on the n = 64k
+//!   sharded speedup.
 //! * `store` — `BENCH_store.json` (solver plans round-tripped through the
 //!   on-disk content-addressed store: predicted vs measured costs, hash
 //!   verification, bytes/sec, GC accounting). The run itself **fails**
@@ -103,6 +108,11 @@ const EXPERIMENTS: &[(&str, &str, &str)] = &[
         "lmg",
         "incremental vs from-scratch LMG-All perf bench",
         "lmg-bench.csv, BENCH_lmg.json",
+    ),
+    (
+        "shard",
+        "sharded hierarchical solving vs whole-graph LMG-All at scale",
+        "shard-scale.csv, BENCH_shard.json",
     ),
     (
         "store",
@@ -248,10 +258,10 @@ fn run(experiment: &str, opts: &ExperimentOptions) -> Result<Vec<Report>, String
         "treewidth" => vec![experiments::treewidth_report(opts)],
         "btw" => vec![experiments::btw_report(opts)],
         "portfolio" => vec![experiments::portfolio_report(opts)],
-        // The lmg, store, checkout, faults, and service experiments
+        // The lmg, shard, store, checkout, faults, and service experiments
         // produce their reports (and BENCH_*.json) in the bench section
         // of main.
-        "lmg" | "store" | "checkout" | "faults" | "service" => Vec::new(),
+        "lmg" | "shard" | "store" | "checkout" | "faults" | "service" => Vec::new(),
         "all" => {
             let mut all = vec![experiments::table4(opts)];
             all.extend(experiments::fig10(opts));
@@ -342,6 +352,30 @@ fn main() {
             eprintln!(
                 "# speedup assertion passed: {:.2}x >= {min:.2}x (n = 4000)",
                 bench.speedup_4k
+            );
+        }
+    }
+
+    // The shard experiment tracks the hierarchical solving path at scale
+    // (thread-count-independent plans and the declared regret bound are
+    // asserted inside the bench itself).
+    if matches!(args.experiment.as_str(), "shard" | "all") {
+        let bench = experiments::shard_bench(&args.opts);
+        println!("{}", bench.report.to_markdown());
+        write_report_csv(&bench.report, &args.out);
+        write_bench_json(&args.out, "BENCH_shard.json", &bench.json);
+        if let Some(min) = args.assert_speedup {
+            if bench.speedup_64k < min {
+                eprintln!(
+                    "error: sharded solving speedup {:.2}x below the asserted minimum \
+                     {min:.2}x on the n = 64k shard forest (regret {:.3})",
+                    bench.speedup_64k, bench.regret_64k
+                );
+                std::process::exit(1);
+            }
+            eprintln!(
+                "# speedup assertion passed: {:.2}x >= {min:.2}x (n = 64k, regret {:.3})",
+                bench.speedup_64k, bench.regret_64k
             );
         }
     }

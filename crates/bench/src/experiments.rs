@@ -577,6 +577,187 @@ pub fn lmg_bench(opts: &ExperimentOptions) -> LmgBench {
     }
 }
 
+/// Machine-readable sharded-solving benchmark, written by `repro` as
+/// `BENCH_shard.json` so the hierarchical path's perf trajectory is
+/// tracked across PRs (introduced with the sharded solver).
+#[derive(Clone, Debug)]
+pub struct ShardBench {
+    /// Human-readable rendering of the same data.
+    pub report: Report,
+    /// The JSON document (per-size wall times of whole-graph LMG-All vs
+    /// the sharded pipeline, speedups, and regret ratios).
+    pub json: String,
+    /// Sharded speedup on the n = 64k forest (the acceptance gate):
+    /// whole-graph wall / sharded wall.
+    pub speedup_64k: f64,
+    /// Sharded objective / whole-graph objective on the n = 64k forest;
+    /// asserted `<=` [`dsv_core::engine::sharded::SHARD_REGRET_BOUND`].
+    pub regret_64k: f64,
+}
+
+/// Iterations per timing mode in [`shard_bench`] (min is reported).
+pub const SHARD_BENCH_ITERS: usize = 2;
+
+/// Time whole-graph LMG-All vs the sharded hierarchical pipeline on large
+/// multi-cluster forests (`shard_forest`: clusters merged into one
+/// component by cross links, so the separator splitter is actually
+/// exercised). Budget = half the materialize-all cost. Asserts that the
+/// sharded plan is **byte-identical across pool widths 1 and 4** and that
+/// its objective stays within the declared regret bound of the whole-graph
+/// plan, so the reported speedup is a like-for-like measurement under the
+/// quality gate.
+///
+/// The benchmark sizes are **fixed** (exempt from `--scale`/`--max-nodes`
+/// capping): n = 16k always runs, and the n = 64k row — the cross-PR
+/// acceptance gate, required in every BENCH_shard.json — runs unless the
+/// harness is explicitly shrunk below `--max-nodes 1000` (smoke-test
+/// escape hatch used by the test suite).
+pub fn shard_bench(opts: &ExperimentOptions) -> ShardBench {
+    use dsv_core::cancel::CancelToken;
+    use dsv_core::engine::sharded::{sharded_msr, ShardConfig, SHARD_REGRET_BOUND};
+    use dsv_core::heuristics::lmg_all::lmg_all_with_stats;
+    use dsv_core::plan::StoragePlan;
+    use dsv_vgraph::generators::{shard_forest, CostModel};
+    use serde_json::Value;
+    use std::collections::BTreeMap;
+    use std::time::Instant;
+
+    // (clusters, nodes per cluster, cross links): 16 × 1024 = 16k warm-up,
+    // 32 × 2048 = 64k acceptance gate.
+    let mut shapes = vec![(16usize, 1_024usize, 32usize)];
+    if opts.max_nodes >= 1_000 {
+        shapes.push((32, 2_048, 64));
+    }
+    let cfg = ShardConfig {
+        max_shard_nodes: 4_096,
+        min_graph_nodes: 0,
+    };
+
+    let mut r = Report::new(
+        "shard-scale",
+        &[
+            "n",
+            "m",
+            "shards",
+            "whole_ms",
+            "sharded_ms",
+            "speedup",
+            "regret",
+        ],
+    );
+    let mut rows_json = Vec::new();
+    let mut speedup_64k = 0.0f64;
+    let mut regret_64k = 0.0f64;
+    let mut plans_identical = true;
+    for &(clusters, per, links) in &shapes {
+        let g = shard_forest(clusters, per, links, &CostModel::default(), opts.seed);
+        let n = g.n();
+        let budget = StoragePlan::materialize_all(&g).storage_cost(&g) / 2;
+
+        let mut whole_ms = f64::INFINITY;
+        let mut whole = None;
+        for _ in 0..SHARD_BENCH_ITERS {
+            let t0 = Instant::now();
+            let result = lmg_all_with_stats(&g, budget);
+            whole_ms = whole_ms.min(t0.elapsed().as_secs_f64() * 1e3);
+            whole = Some(result.expect("half materialize-all is feasible"));
+        }
+        let whole = whole.expect("at least one iteration");
+
+        let mut sharded_ms = f64::INFINITY;
+        let mut sharded = None;
+        for _ in 0..SHARD_BENCH_ITERS {
+            let t0 = Instant::now();
+            let result = sharded_msr(&g, budget, &cfg, &CancelToken::inert());
+            sharded_ms = sharded_ms.min(t0.elapsed().as_secs_f64() * 1e3);
+            sharded = Some(result.expect("half materialize-all is shard-feasible"));
+        }
+        let (sharded_plan, stats) = sharded.expect("at least one iteration");
+
+        // Determinism across pool widths: a one-thread pool must
+        // reproduce the plan byte for byte (timed runs use the ambient
+        // pool, i.e. DSV_NUM_THREADS).
+        let single = rayon::ThreadPoolBuilder::new()
+            .num_threads(1)
+            .build()
+            .expect("pool")
+            .install(|| sharded_msr(&g, budget, &cfg, &CancelToken::inert()))
+            .expect("feasible")
+            .0;
+        plans_identical &= single == sharded_plan;
+        assert_eq!(
+            single, sharded_plan,
+            "sharded plan must be thread-count independent (n = {n})"
+        );
+
+        let speedup = whole_ms / sharded_ms.max(1e-9);
+        let regret = stats.total_retrieval as f64 / whole.1.total_retrieval.max(1) as f64;
+        assert!(
+            regret <= SHARD_REGRET_BOUND,
+            "sharded objective regret {regret:.3} exceeds the declared bound (n = {n})"
+        );
+        if n >= 64_000 {
+            speedup_64k = speedup;
+            regret_64k = regret;
+        }
+        r.push_row(vec![
+            n.to_string(),
+            g.m().to_string(),
+            stats.shards.to_string(),
+            fmt_f(whole_ms),
+            fmt_f(sharded_ms),
+            fmt_f(speedup),
+            fmt_f(regret),
+        ]);
+        let mut m = BTreeMap::new();
+        m.insert("n".to_string(), Value::UInt(n as u64));
+        m.insert("m".to_string(), Value::UInt(g.m() as u64));
+        m.insert("shards".to_string(), Value::UInt(stats.shards as u64));
+        m.insert("cut_edges".to_string(), Value::UInt(stats.cut_edges as u64));
+        m.insert(
+            "coarse_deltas".to_string(),
+            Value::UInt(stats.coarse_deltas as u64),
+        );
+        m.insert("whole_ms".to_string(), Value::Float(whole_ms));
+        m.insert("sharded_ms".to_string(), Value::Float(sharded_ms));
+        m.insert("speedup".to_string(), Value::Float(speedup));
+        m.insert("regret".to_string(), Value::Float(regret));
+        rows_json.push(Value::Map(m));
+    }
+    r.note(format!(
+        "whole-graph LMG-All vs sharded pipeline on shard_forest graphs \
+         (budget = materialize-all / 2), best of {SHARD_BENCH_ITERS}, \
+         {} threads; plans thread-count independent (asserted), regret bound \
+         {SHARD_REGRET_BOUND}x (asserted); n=64k speedup {speedup_64k:.2}x",
+        rayon::current_num_threads(),
+    ));
+
+    let mut doc = BTreeMap::new();
+    doc.insert(
+        "experiment".to_string(),
+        Value::Str("shard-scale".to_string()),
+    );
+    doc.insert("iters".to_string(), Value::UInt(SHARD_BENCH_ITERS as u64));
+    doc.insert("seed".to_string(), Value::UInt(opts.seed));
+    doc.insert(
+        "threads".to_string(),
+        Value::UInt(rayon::current_num_threads() as u64),
+    );
+    doc.insert("plans_identical".to_string(), Value::Bool(plans_identical));
+    doc.insert("regret_bound".to_string(), Value::Float(SHARD_REGRET_BOUND));
+    doc.insert("speedup_64k".to_string(), Value::Float(speedup_64k));
+    doc.insert("regret_64k".to_string(), Value::Float(regret_64k));
+    doc.insert("sizes".to_string(), Value::Seq(rows_json));
+    let json = serde_json::to_string(&Value::Map(doc)).expect("value tree serializes");
+
+    ShardBench {
+        report: r,
+        json,
+        speedup_64k,
+        regret_64k,
+    }
+}
+
 /// Machine-readable store round-trip benchmark, written by `repro` as
 /// `BENCH_store.json`: solver plans executed against the on-disk
 /// content-addressed store, with measured costs checked against the plans'

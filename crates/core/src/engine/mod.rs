@@ -66,9 +66,11 @@
 //! assert!(sol.costs.storage <= 1_100);
 //! ```
 
+pub mod sharded;
 pub mod shared;
 pub mod solvers;
 
+pub use sharded::{sharded_msr, ShardConfig, ShardStats, ShardedSolver, SHARD_REGRET_BOUND};
 pub use shared::SharedWork;
 
 use crate::cancel::CancelToken;
@@ -464,12 +466,15 @@ impl Engine {
         }
     }
 
-    /// The standard registry, in preference order: scalable DPs first,
-    /// greedies as fallback, exact solvers (bounded-width DP, ILP, brute
-    /// force) last — they refuse instances beyond their resource limits.
+    /// The standard registry, in preference order: the sharded hierarchical
+    /// path first (it refuses everything below its scale threshold, so
+    /// small-graph dispatch is unchanged), then scalable DPs, greedies as
+    /// fallback, and exact solvers (bounded-width DP, ILP, brute force)
+    /// last — they refuse instances beyond their resource limits.
     pub fn with_default_solvers() -> Self {
         let mut e = Engine::new();
-        e.register(Box::new(solvers::DpMsrSolver))
+        e.register(Box::new(sharded::ShardedSolver::default()))
+            .register(Box::new(solvers::DpMsrSolver))
             .register(Box::new(solvers::DpBmrSolver))
             .register(Box::new(solvers::LmgAllSolver))
             .register(Box::new(solvers::LmgSolver))

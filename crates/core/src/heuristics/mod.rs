@@ -176,8 +176,18 @@ pub(crate) struct MoveEffect {
 pub(crate) struct IncrementalPlanView {
     /// Forest parent of each node ([`NO_PARENT`] = materialized root).
     parent: Vec<u32>,
-    /// Children lists of the stored-delta forest (order irrelevant).
-    children: Vec<Vec<u32>>,
+    /// Children of the stored-delta forest as intrusive doubly-linked
+    /// sibling lists over three flat `u32` arrays ([`NO_PARENT`] = nil):
+    /// O(1) attach/detach and zero per-node heap allocations, so a view
+    /// over `n` nodes is a fixed set of flat `u32`/`u64` arrays end-to-end
+    /// (the SoA memory diet the sharded million-node solve path relies on).
+    /// List order is irrelevant to move selection — every consumer either
+    /// sums over children (commutative) or feeds a lazily re-scored heap
+    /// with a total order on entries — so the push-front discipline is
+    /// byte-identical-safe, as the differential oracle tests verify.
+    first_child: Vec<u32>,
+    next_sibling: Vec<u32>,
+    prev_sibling: Vec<u32>,
     /// Retrieval cost per node.
     pub r: Vec<Cost>,
     /// Subtree size (including the node) in the stored-delta forest.
@@ -203,10 +213,19 @@ impl IncrementalPlanView {
         let n = g.n();
         let pf = plan.parent_fn(g);
         let parent: Vec<u32> = pf.iter().map(|p| p.map_or(NO_PARENT, |p| p.0)).collect();
-        let mut children: Vec<Vec<u32>> = vec![Vec::new(); n];
-        for (v, p) in pf.iter().enumerate() {
-            if let Some(p) = p {
-                children[p.index()].push(v as u32);
+        let mut first_child = vec![NO_PARENT; n];
+        let mut next_sibling = vec![NO_PARENT; n];
+        let mut prev_sibling = vec![NO_PARENT; n];
+        // Push-front in reverse node order so lists start out ascending
+        // (cosmetic: list order is irrelevant, see the field docs).
+        for v in (0..n).rev() {
+            if let Some(p) = pf[v] {
+                let head = first_child[p.index()];
+                next_sibling[v] = head;
+                if head != NO_PARENT {
+                    prev_sibling[head as usize] = v as u32;
+                }
+                first_child[p.index()] = v as u32;
             }
         }
         let (tin, tout) = dsv_vgraph::traversal::euler_tour(&pf);
@@ -238,7 +257,9 @@ impl IncrementalPlanView {
         let retrieval_sum = r.iter().map(|&c| c as u128).sum();
         IncrementalPlanView {
             parent,
-            children,
+            first_child,
+            next_sibling,
+            prev_sibling,
             r,
             size,
             paid,
@@ -326,7 +347,8 @@ impl IncrementalPlanView {
         let size_v = self.size[v];
         let mut path = Vec::new();
 
-        // Detach from the old parent; sizes along the old ancestor path.
+        // Detach from the old parent (O(1) intrusive-list unlink); sizes
+        // along the old ancestor path.
         let op = self.parent[v];
         if op != NO_PARENT {
             let mut x = op;
@@ -335,18 +357,33 @@ impl IncrementalPlanView {
                 self.size[x as usize] -= size_v;
                 x = self.parent[x as usize];
             }
-            let siblings = &mut self.children[op as usize];
-            let pos = siblings
-                .iter()
-                .position(|&c| c as usize == v)
-                .expect("child listed under its parent");
-            siblings.swap_remove(pos);
+            let (prev, next) = (self.prev_sibling[v], self.next_sibling[v]);
+            if prev == NO_PARENT {
+                debug_assert_eq!(
+                    self.first_child[op as usize], v as u32,
+                    "child listed under its parent"
+                );
+                self.first_child[op as usize] = next;
+            } else {
+                self.next_sibling[prev as usize] = next;
+            }
+            if next != NO_PARENT {
+                self.prev_sibling[next as usize] = prev;
+            }
+            self.next_sibling[v] = NO_PARENT;
+            self.prev_sibling[v] = NO_PARENT;
         }
 
-        // Attach to the new parent; sizes along the new ancestor path.
+        // Attach to the new parent (push-front); sizes along the new
+        // ancestor path.
         self.parent[v] = np;
         if np != NO_PARENT {
-            self.children[np as usize].push(v as u32);
+            let head = self.first_child[np as usize];
+            self.next_sibling[v] = head;
+            if head != NO_PARENT {
+                self.prev_sibling[head as usize] = v as u32;
+            }
+            self.first_child[np as usize] = v as u32;
             let mut x = np;
             while x != NO_PARENT {
                 path.push(x);
@@ -386,7 +423,11 @@ impl IncrementalPlanView {
             }
             self.retrieval_sum += self.r[xi] as u128;
             subtree.push(x);
-            stack.extend_from_slice(&self.children[xi]);
+            let mut c = self.first_child[xi];
+            while c != NO_PARENT {
+                stack.push(c);
+                c = self.next_sibling[c as usize];
+            }
         }
 
         plan.parent[v] = new_parent;

@@ -63,7 +63,10 @@ pub use checkout::{
     CacheStats, Checkout, CheckoutCache, CheckoutOutcome, CheckoutStats, RepairStats, RepairTicket,
     ServeOutcome,
 };
-pub use engine::{Engine, Portfolio, Solution, SolveError, SolveOptions, Solver, SolverMeta};
+pub use engine::{
+    sharded_msr, Engine, Portfolio, ShardConfig, ShardStats, ShardedSolver, Solution, SolveError,
+    SolveOptions, Solver, SolverMeta, SHARD_REGRET_BOUND,
+};
 pub use executor::{ExecError, ExecutionReport, PlanExecutor, StoredPlan};
 pub use plan::{Parent, StoragePlan};
 pub use problem::{Objective, ProblemKind};

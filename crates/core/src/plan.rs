@@ -164,25 +164,42 @@ impl StoragePlan {
     }
 
     /// Retrieval cost of every version.
+    ///
+    /// The stored-delta forest is indexed as a flat CSR (counting sort by
+    /// parent: two `u32` arrays, no per-node allocations), so costing a
+    /// plan stays cheap at million-node scale.
     pub fn retrievals(&self, g: &VersionGraph) -> Vec<Cost> {
         let n = g.n();
         let mut r = vec![Cost::MAX; n];
-        // Children lists of the stored-delta forest.
-        let mut children: Vec<Vec<u32>> = vec![Vec::new(); n];
-        let mut roots = Vec::new();
-        for (v, p) in self.parent.iter().enumerate() {
-            match p {
-                Parent::Materialized => roots.push(v as u32),
-                Parent::Delta(e) => children[g.edge(*e).src.index()].push(v as u32),
+        let mut offsets = vec![0u32; n + 1];
+        for p in &self.parent {
+            if let Parent::Delta(e) = p {
+                offsets[g.edge(*e).src.index() + 1] += 1;
             }
         }
-        let mut stack = roots;
-        for &v in &stack {
-            r[v as usize] = 0;
+        for i in 1..=n {
+            offsets[i] += offsets[i - 1];
+        }
+        let mut children = vec![0u32; offsets[n] as usize];
+        let mut cursor = offsets.clone();
+        let mut stack = Vec::new();
+        for (v, p) in self.parent.iter().enumerate() {
+            match p {
+                Parent::Materialized => {
+                    r[v] = 0;
+                    stack.push(v as u32);
+                }
+                Parent::Delta(e) => {
+                    let slot = &mut cursor[g.edge(*e).src.index()];
+                    children[*slot as usize] = v as u32;
+                    *slot += 1;
+                }
+            }
         }
         while let Some(v) = stack.pop() {
             let base = r[v as usize];
-            for &c in &children[v as usize] {
+            let vi = v as usize;
+            for &c in &children[offsets[vi] as usize..offsets[vi + 1] as usize] {
                 let e = match self.parent[c as usize] {
                     Parent::Delta(e) => e,
                     Parent::Materialized => unreachable!("roots are not children"),

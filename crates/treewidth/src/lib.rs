@@ -12,6 +12,9 @@
 //! * [`nice`] — conversion into a *nice* tree decomposition (Definition 12)
 //!   with leaf/introduce/forget/join nodes, the input shape the DP-BTW
 //!   algorithm consumes;
+//! * [`separator`] — balanced vertex splits (decomposition bags are
+//!   separators) used by the sharded solving pipeline to cut oversized
+//!   components along their branch structure;
 //! * [`width`] — treewidth upper-bound estimation for arbitrary
 //!   [`dsv_vgraph::VersionGraph`]s (used to reproduce footnote 7: the
 //!   GitHub-derived graphs all have low treewidth).
@@ -21,9 +24,11 @@
 pub mod decomposition;
 pub mod elimination;
 pub mod nice;
+pub mod separator;
 pub mod width;
 
 pub use decomposition::TreeDecomposition;
 pub use elimination::{elimination_order, EliminationHeuristic};
 pub use nice::{NiceDecomposition, NiceNode};
+pub use separator::split_component;
 pub use width::treewidth_upper_bound;

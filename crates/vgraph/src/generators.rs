@@ -221,6 +221,72 @@ pub fn erdos_renyi_bidirectional(n: usize, p: f64, model: &CostModel, seed: u64)
     g
 }
 
+/// A large branchy multi-component graph: `shards` clusters of
+/// `shard_nodes` nodes each — alternating random trees and sparse ER
+/// graphs (avg total degree ≈ 4, plus a spanning tree so each cluster is
+/// connected) — joined by `cross_links` seeded bidirectional edges between
+/// uniformly random nodes of adjacent clusters. With `cross_links == 0`
+/// the result has exactly `shards` connected components; with more it
+/// models a monorepo of loosely-coupled long-lived branches. This is the
+/// fixture family for shard tests and the `shard` benchmark.
+pub fn shard_forest(
+    shards: usize,
+    shard_nodes: usize,
+    cross_links: usize,
+    model: &CostModel,
+    seed: u64,
+) -> VersionGraph {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut g = VersionGraph::new();
+    let mut cluster_base = Vec::with_capacity(shards);
+    for s in 0..shards {
+        let base = g.n();
+        cluster_base.push(base);
+        let nodes: Vec<NodeId> = (0..shard_nodes)
+            .map(|_| g.add_node(model.sample_node(&mut rng)))
+            .collect();
+        // Spanning tree keeps the cluster connected.
+        for i in 1..shard_nodes {
+            let p = nodes[rng.gen_range(0..i)];
+            let (st, r) = model.sample_edge(&mut rng);
+            g.add_edge(p, nodes[i], st, r);
+            let (st, r) = model.sample_edge(&mut rng);
+            g.add_edge(nodes[i], p, st, r);
+        }
+        // Even clusters stay trees; odd ones get ER chords (avg total
+        // degree ~4 including the tree) so both branchy and dense shard
+        // shapes are represented.
+        if s % 2 == 1 && shard_nodes > 2 {
+            for _ in 0..shard_nodes {
+                let i = rng.gen_range(0..shard_nodes);
+                let j = rng.gen_range(0..shard_nodes);
+                if i == j {
+                    continue;
+                }
+                let (st, r) = model.sample_edge(&mut rng);
+                g.add_edge(nodes[i], nodes[j], st, r);
+                let (st, r) = model.sample_edge(&mut rng);
+                g.add_edge(nodes[j], nodes[i], st, r);
+            }
+        }
+    }
+    // Seeded cross-links between adjacent clusters (wrapping), spread
+    // round-robin so every boundary gets roughly the same count.
+    if shards > 1 && shard_nodes > 0 {
+        for l in 0..cross_links {
+            let a = l % shards;
+            let b = (a + 1) % shards;
+            let u = NodeId::new(cluster_base[a] + rng.gen_range(0..shard_nodes));
+            let v = NodeId::new(cluster_base[b] + rng.gen_range(0..shard_nodes));
+            let (st, r) = model.sample_edge(&mut rng);
+            g.add_edge(u, v, st, r);
+            let (st, r) = model.sample_edge(&mut rng);
+            g.add_edge(v, u, st, r);
+        }
+    }
+    g
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -277,5 +343,22 @@ mod tests {
         let a = random_tree(12, &CostModel::default(), 42);
         let b = random_tree(12, &CostModel::default(), 42);
         assert_eq!(a.edges(), b.edges());
+    }
+
+    #[test]
+    fn shard_forest_component_structure() {
+        let model = CostModel::default();
+        let isolated = shard_forest(4, 10, 0, &model, 1);
+        assert_eq!(isolated.n(), 40);
+        assert_eq!(isolated.connected_components().len(), 4);
+        assert!(isolated.is_bidirectional());
+
+        // Cross-links wrap around every boundary, merging everything.
+        let linked = shard_forest(4, 10, 8, &model, 1);
+        assert_eq!(linked.connected_components().len(), 1);
+        assert_eq!(linked.m(), isolated.m() + 16);
+
+        let again = shard_forest(4, 10, 8, &model, 1);
+        assert_eq!(linked.edges(), again.edges(), "seeded determinism");
     }
 }

@@ -70,8 +70,17 @@ struct AdjCsr {
     in_list: Vec<EdgeId>,
 }
 
+/// Largest number of edges the CSR index can address: offsets and cursors
+/// are `u32`, so the edge arena must stay strictly below `u32::MAX`.
+pub const MAX_EDGES: usize = u32::MAX as usize;
+
 impl AdjCsr {
     fn build(n: usize, edges: &[EdgeData]) -> AdjCsr {
+        assert!(
+            edges.len() < MAX_EDGES,
+            "edge count {} exceeds the u32 CSR offset range ({MAX_EDGES} max)",
+            edges.len()
+        );
         let mut out_offsets = vec![0u32; n + 1];
         let mut in_offsets = vec![0u32; n + 1];
         for e in edges {
@@ -180,6 +189,9 @@ impl Deserialize for VersionGraph {
         // then the full adjacency/arena agreement check; the validated
         // lists are then dropped and the canonical CSR serves queries.
         let n = node_storage.len();
+        if edges.len() >= MAX_EDGES {
+            return Err(Error::new("edge count exceeds the u32 CSR offset range"));
+        }
         if out_adj.len() != n || in_adj.len() != n {
             return Err(Error::new("adjacency lists do not match node count"));
         }
@@ -265,6 +277,10 @@ impl VersionGraph {
     pub fn add_edge(&mut self, src: NodeId, dst: NodeId, storage: Cost, retrieval: Cost) -> EdgeId {
         assert!(src.index() < self.n(), "edge source out of bounds");
         assert!(dst.index() < self.n(), "edge target out of bounds");
+        assert!(
+            self.edges.len() < MAX_EDGES,
+            "edge count would exceed the u32 CSR offset range ({MAX_EDGES} max)"
+        );
         let id = EdgeId::new(self.edges.len());
         self.edges.push(EdgeData {
             src,

@@ -22,9 +22,11 @@
 //! * [`traversal`], [`topo`] — BFS/DFS/Euler tours and topological orders,
 //! * [`unionfind`], [`skew_heap`], [`indexed_heap`] — data-structure
 //!   substrates,
+//! * [`partition`] — connected components and bounded-size shard
+//!   partitioning (splitter-injected) for the sharded solve path,
 //! * [`generators`] — synthetic graph families (paths, stars, caterpillars,
-//!   series-parallel graphs, Erdős–Rényi digraphs) used by tests and the
-//!   experiment harness,
+//!   series-parallel graphs, Erdős–Rényi digraphs, multi-component shard
+//!   forests) used by tests and the experiment harness,
 //! * [`io`] — (de)serialization of graphs.
 
 #![warn(missing_docs)]
@@ -37,6 +39,7 @@ pub mod ids;
 pub mod indexed_heap;
 pub mod io;
 pub mod mst;
+pub mod partition;
 pub mod skew_heap;
 pub mod topo;
 pub mod traversal;
@@ -45,6 +48,7 @@ pub mod validate;
 
 pub use graph::{EdgeData, VersionGraph};
 pub use ids::{EdgeId, NodeId};
+pub use partition::{partition_graph, Components, Partition, PartitionError};
 
 /// Cost unit used throughout the system (bytes in the paper's experiments).
 ///

@@ -74,6 +74,22 @@
 //! heal instead of failing requests. Gated in CI by `repro --experiment
 //! service --assert-throughput`.
 //!
+//! ## Scale: sharded hierarchical solving
+//!
+//! Past a few tens of thousands of versions, one monolithic solve stops
+//! scaling. [`ShardedSolver`](core::engine::sharded::ShardedSolver) —
+//! registered first in the default engine — partitions the graph into
+//! bounded-size shards ([`vgraph::partition`]: connected components, then
+//! treewidth-separator cuts from [`treewidth::separator`]), solves the
+//! shards in parallel under a deterministic budget split, and stitches the
+//! local plans through a coarsened cross-shard solve. Results are
+//! byte-identical at any thread count, exactly budget-safe, and gated
+//! within a declared regret bound
+//! ([`SHARD_REGRET_BOUND`](core::engine::sharded::SHARD_REGRET_BOUND)) of
+//! whole-graph LMG-All by `repro --experiment shard --assert-speedup` in
+//! CI. Small graphs are refused deterministically, so everyday dispatch
+//! is unchanged; `DSV_SHARD_MODE=off` disables the path entirely.
+//!
 //! ## Quickstart
 //!
 //! ```
@@ -141,8 +157,9 @@ pub mod prelude {
         RepairTicket, ServeOutcome,
     };
     pub use dsv_core::engine::{
-        AttemptOutcome, Engine, ExecuteError, Execution, MsrSweep, Portfolio, PortfolioAttempt,
-        SharedWork, Solution, SolveError, SolveOptions, Solver, SolverMeta,
+        sharded_msr, AttemptOutcome, Engine, ExecuteError, Execution, MsrSweep, Portfolio,
+        PortfolioAttempt, ShardConfig, ShardStats, ShardedSolver, SharedWork, Solution, SolveError,
+        SolveOptions, Solver, SolverMeta, SHARD_REGRET_BOUND,
     };
     pub use dsv_core::exact::{brute_force, msr_opt};
     pub use dsv_core::executor::{ExecError, ExecutionReport, PlanExecutor, StoredPlan};
@@ -165,5 +182,8 @@ pub mod prelude {
         VersionSource,
     };
     pub use dsv_delta::transforms::{erdos_renyi_from_sketches, random_compression};
-    pub use dsv_vgraph::{Cost, EdgeId, NodeId, VersionGraph};
+    pub use dsv_treewidth::split_component;
+    pub use dsv_vgraph::{
+        partition_graph, Components, Cost, EdgeId, NodeId, Partition, PartitionError, VersionGraph,
+    };
 }
