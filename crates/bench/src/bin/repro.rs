@@ -56,6 +56,12 @@
 //!   stays under the deadline, and zero wrong bytes are served under
 //!   injected faults; `--assert-throughput X` additionally gates on
 //!   served replies/sec.
+//! * `online` — `BENCH_online.json` (256-commit mutation streams absorbed
+//!   into a live plan + migrated against a pack store, vs the from-scratch
+//!   solve + re-ingest baseline). The run **fails** (exit 1) unless the
+//!   declared regret bound holds at every sampled point and the migrated
+//!   store hash-verifies throughout; `--assert-speedup X` gates on the
+//!   n = 4000 per-commit speedup.
 
 use dsv_bench::experiments::{self, ExperimentOptions};
 use dsv_bench::Report;
@@ -133,6 +139,11 @@ const EXPERIMENTS: &[(&str, &str, &str)] = &[
         "service",
         "versioning service under overload: shed / degrade / heal gate",
         "service-overload.csv, BENCH_service.json",
+    ),
+    (
+        "online",
+        "online absorption + live migration vs from-scratch solve + re-ingest",
+        "online-absorb.csv, BENCH_online.json",
     ),
     (
         "treewidth",
@@ -258,10 +269,10 @@ fn run(experiment: &str, opts: &ExperimentOptions) -> Result<Vec<Report>, String
         "treewidth" => vec![experiments::treewidth_report(opts)],
         "btw" => vec![experiments::btw_report(opts)],
         "portfolio" => vec![experiments::portfolio_report(opts)],
-        // The lmg, shard, store, checkout, faults, and service experiments
-        // produce their reports (and BENCH_*.json) in the bench section
-        // of main.
-        "lmg" | "shard" | "store" | "checkout" | "faults" | "service" => Vec::new(),
+        // The lmg, shard, store, checkout, faults, service, and online
+        // experiments produce their reports (and BENCH_*.json) in the
+        // bench section of main.
+        "lmg" | "shard" | "store" | "checkout" | "faults" | "service" | "online" => Vec::new(),
         "all" => {
             let mut all = vec![experiments::table4(opts)];
             all.extend(experiments::fig10(opts));
@@ -543,6 +554,53 @@ fn main() {
             eprintln!(
                 "# throughput assertion passed: {:.2} >= {min:.2} replies/sec",
                 bench.throughput_rps
+            );
+        }
+    }
+
+    // The online experiments gate absorption + live migration: a commit
+    // stream absorbed into a live plan and migrated against a pack store,
+    // with the regret bound and hash verification asserted in-run;
+    // --assert-speedup gates on the n = 4000 per-commit speedup over the
+    // from-scratch solve + re-ingest baseline.
+    if matches!(args.experiment.as_str(), "online" | "all") {
+        let (base_dir, ephemeral) = match args.store_dir.clone() {
+            Some(dir) => (dir, false),
+            None => (args.out.join("store-work"), true),
+        };
+        let work_dir = base_dir.join("online");
+        if let Err(e) = std::fs::create_dir_all(&work_dir) {
+            eprintln!("error creating {}: {e}", work_dir.display());
+            std::process::exit(1);
+        }
+        let bench = experiments::online_bench(&args.opts, &work_dir);
+        println!("{}", bench.report.to_markdown());
+        write_report_csv(&bench.report, &args.out);
+        write_bench_json(&args.out, "BENCH_online.json", &bench.json);
+        if ephemeral {
+            let _ = std::fs::remove_dir_all(&work_dir);
+        }
+        if !bench.agreement {
+            eprintln!(
+                "error: online disagreement — the regret bound was violated, a fallback \
+                 re-solve failed, or a migrated store failed hash verification \
+                 (see BENCH_online.json)"
+            );
+            std::process::exit(1);
+        }
+        eprintln!("# online agreement: regret bound held and every migrated store hash-verified");
+        if let Some(min) = args.assert_speedup {
+            if bench.speedup_4k < min {
+                eprintln!(
+                    "error: online absorption speedup {:.2}x below the asserted minimum \
+                     {min:.2}x on the n = 4000 commit stream",
+                    bench.speedup_4k
+                );
+                std::process::exit(1);
+            }
+            eprintln!(
+                "# speedup assertion passed: {:.2}x >= {min:.2}x (n = 4000 commit stream)",
+                bench.speedup_4k
             );
         }
     }

@@ -2128,7 +2128,7 @@ pub fn service_bench(opts: &ExperimentOptions, work_dir: &std::path::Path) -> Se
                             }
                         }
                         Reply::Solved { tier, .. } => *tiers.entry(tier.label()).or_default() += 1,
-                        Reply::Committed { .. } => {}
+                        Reply::Committed { .. } | Reply::Absorbed { .. } => {}
                     }
                 }
                 Err(ServiceError::Cancelled { .. }) => cancelled += 1,
@@ -2308,6 +2308,313 @@ pub fn service_bench(opts: &ExperimentOptions, work_dir: &std::path::Path) -> Se
         json,
         agreement,
         throughput_rps,
+    }
+}
+
+/// Machine-readable online-absorption benchmark, written by `repro` as
+/// `BENCH_online.json` (introduced with the online planner).
+#[derive(Clone, Debug)]
+pub struct OnlineBench {
+    /// Human-readable rendering of the same data.
+    pub report: Report,
+    /// The JSON document (per-size commit-stream walls, migration bytes,
+    /// regret, and the speedups).
+    pub json: String,
+    /// Whether the declared regret bound held and every sampled
+    /// verification passed — the run fails when false.
+    pub agreement: bool,
+    /// Online speedup on the n = 4000 stream (the acceptance gate):
+    /// mean (from-scratch solve + fresh re-ingest) wall over mean
+    /// (absorb + migrate) wall per commit.
+    pub speedup_4k: f64,
+}
+
+/// Commits per stream in [`online_bench`].
+pub const ONLINE_BENCH_COMMITS: usize = 256;
+
+/// Synthetic chunk-manifest source for the online bench: version `v` owns
+/// six rolling chunks shared with its neighbours plus two private ones
+/// (private ids live in a disjoint namespace so sizes never conflict).
+/// `count` trims the view so the executor's exact-count check matches the
+/// graph as it grows.
+struct RollingManifests {
+    manifests: std::sync::Arc<Vec<Vec<(u64, u32)>>>,
+    count: usize,
+}
+
+impl RollingManifests {
+    fn manifest(v: u64) -> Vec<(u64, u32)> {
+        let mut m: Vec<(u64, u32)> = (v..v + 6).map(|c| (c + 1, 64 + (c % 7) as u32)).collect();
+        m.push((1_000_000 + 2 * v + 1, 128));
+        m.push((1_000_000 + 2 * v + 2, 96));
+        m
+    }
+
+    fn build(total: usize) -> std::sync::Arc<Vec<Vec<(u64, u32)>>> {
+        std::sync::Arc::new((0..total as u64).map(Self::manifest).collect())
+    }
+
+    fn covering(all: &std::sync::Arc<Vec<Vec<(u64, u32)>>>, count: usize) -> Self {
+        assert!(count <= all.len());
+        RollingManifests {
+            manifests: all.clone(),
+            count,
+        }
+    }
+}
+
+impl dsv_delta::store::VersionSource for RollingManifests {
+    fn version_count(&self) -> usize {
+        self.count
+    }
+    fn payload(&self, v: u32) -> dsv_delta::store::codec::Payload {
+        dsv_delta::store::codec::Payload::Sketch(self.manifests[v as usize].clone())
+    }
+    fn delta(&self, src: u32, dst: u32) -> Vec<u8> {
+        let (a, b) = (&self.manifests[src as usize], &self.manifests[dst as usize]);
+        let removed: Vec<u64> = a
+            .iter()
+            .filter(|(id, _)| !b.iter().any(|(bid, _)| bid == id))
+            .map(|&(id, _)| id)
+            .collect();
+        let added: Vec<(u64, u32)> = b
+            .iter()
+            .filter(|(id, _)| !a.iter().any(|(aid, _)| aid == id))
+            .copied()
+            .collect();
+        dsv_delta::store::codec::encode_sketch_delta(&removed, &added)
+    }
+}
+
+/// The online-absorption benchmark: a 256-commit mutation stream (new
+/// version + 2 bidirectional deltas each, a retirement every 16th) against
+/// a live [`OnlinePlanner`](dsv_core::online::OnlinePlanner) and a
+/// persistent pack store, where every commit is absorbed incrementally and
+/// the plan **migrated** (only changed objects written) — versus the
+/// from-scratch baseline (full LMG-All solve + fresh ingest), sampled at
+/// five points along the stream to keep the baseline affordable.
+///
+/// In-run gates: at every sample the regret bound
+/// ([`ONLINE_REGRET_BOUND`](dsv_core::online::ONLINE_REGRET_BOUND)) must
+/// hold against the from-scratch objective and the migrated store must
+/// hash-verify every version; either failing flips `agreement` and fails
+/// the `repro` run. Like `lmg`, the sizes are fixed: n = 4000 always runs
+/// (the cross-PR gate), n = 16000 is opt-in via `--max-nodes 16000`.
+pub fn online_bench(opts: &ExperimentOptions, work_dir: &std::path::Path) -> OnlineBench {
+    use dsv_core::baselines::min_storage_value;
+    use dsv_core::executor::PlanExecutor;
+    use dsv_core::heuristics::lmg_all::lmg_all_with_stats;
+    use dsv_core::online::{OnlinePlanner, ONLINE_REGRET_BOUND};
+    use dsv_delta::store::{PackStore, Store};
+    use dsv_vgraph::generators::{erdos_renyi_bidirectional, CostModel};
+    use dsv_vgraph::NodeId;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+    use serde_json::Value;
+    use std::collections::BTreeMap;
+    use std::time::Instant;
+
+    let mut sizes = vec![4_000usize];
+    if opts.max_nodes >= 16_000 {
+        sizes.push(16_000);
+    }
+    let commits = ONLINE_BENCH_COMMITS;
+
+    let mut r = Report::new(
+        "online-absorb",
+        &[
+            "n",
+            "commits",
+            "online_ms",
+            "scratch_ms",
+            "speedup",
+            "mig_kb/commit",
+            "reingest_kb",
+            "regret_max",
+        ],
+    );
+    let mut rows_json = Vec::new();
+    let mut agreement = true;
+    let mut speedup_4k = 0.0f64;
+    for &n in &sizes {
+        let p_edge = 4.0 / n as f64;
+        let g = erdos_renyi_bidirectional(n, p_edge, &CostModel::default(), opts.seed);
+        let budget = min_storage_value(&g) * 2;
+        let manifests = RollingManifests::build(n + commits);
+
+        let mut planner = OnlinePlanner::new(g, budget).expect("budget 2x smin is feasible");
+        let dir = work_dir.join(format!("online-{n}"));
+        let mut store = PackStore::open(&dir).expect("open pack store");
+        let mut exec = PlanExecutor::new(&mut store);
+        let mut stored = exec
+            .ingest(
+                planner.graph(),
+                planner.plan(),
+                &RollingManifests::covering(&manifests, n),
+            )
+            .expect("initial ingest");
+
+        let mut rng = SmallRng::seed_from_u64(opts.seed ^ 0x00a1_1ce5);
+        let mut online_total_ms = 0.0f64;
+        let mut online_max_ms = 0.0f64;
+        let mut migration_bytes = 0u64;
+        let mut fallback_resolves = 0u64;
+        let mut regret_max = 0.0f64;
+        let mut scratch_total_ms = 0.0f64;
+        let mut scratch_samples = 0u64;
+        let mut reingest_bytes = 0u64;
+        // Sample the from-scratch baseline sparsely: a full solve + fresh
+        // ingest per commit would dominate the run without changing the
+        // per-commit number.
+        let sample_every = commits / 5;
+        for c in 0..commits {
+            let t0 = Instant::now();
+            if c % 16 == 15 {
+                // Retire a random still-live version (the stream keeps far
+                // fewer retirees than versions, so a few tries suffice).
+                let live_n = planner.graph().n() as u32;
+                for _ in 0..64 {
+                    let cand = NodeId(rng.gen_range(0..live_n));
+                    if !planner.graph().is_retired(cand) {
+                        planner.retire_version(cand);
+                        break;
+                    }
+                }
+            }
+            let prev_n = planner.graph().n() as u32;
+            let v = planner.add_version(5_000 + rng.gen_range(0..10_000u64));
+            for _ in 0..2 {
+                let mut u = NodeId(rng.gen_range(0..prev_n));
+                while planner.graph().is_retired(u) {
+                    u = NodeId(rng.gen_range(0..prev_n));
+                }
+                let (s, rr) = (rng.gen_range(50..500u64), rng.gen_range(50..500u64));
+                planner.add_edge(u, v, s, rr);
+                planner.add_edge(v, u, s + 10, rr + 10);
+            }
+            if !planner.within_budget() {
+                // The degradation ladder's next rung; feasibility is
+                // guaranteed here (budget 2x smin with adds-only churn).
+                fallback_resolves += 1;
+                if !planner.resolve_scratch() {
+                    agreement = false;
+                }
+            }
+            let nn = planner.graph().n();
+            let source = RollingManifests::covering(&manifests, nn);
+            let (migrated, mstats) = exec
+                .migrate(planner.graph(), &stored, planner.plan(), &source)
+                .expect("migrate");
+            stored = migrated;
+            let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+            online_total_ms += wall_ms;
+            online_max_ms = online_max_ms.max(wall_ms);
+            migration_bytes += mstats.bytes_moved;
+
+            if c % sample_every == sample_every - 1 {
+                // From-scratch baseline: what this commit would have cost
+                // without the online path.
+                let t1 = Instant::now();
+                let (splan, scosts) =
+                    lmg_all_with_stats(planner.graph(), budget).expect("scratch feasible");
+                let mut fresh_store = dsv_delta::store::MemStore::new();
+                let fresh = PlanExecutor::new(&mut fresh_store)
+                    .ingest(planner.graph(), &splan, &source)
+                    .expect("fresh ingest");
+                scratch_total_ms += t1.elapsed().as_secs_f64() * 1e3;
+                scratch_samples += 1;
+                reingest_bytes = fresh.ingest_bytes;
+                let regret =
+                    planner.total_retrieval() as f64 / scosts.total_retrieval.max(1) as f64;
+                regret_max = regret_max.max(regret);
+                if regret > ONLINE_REGRET_BOUND {
+                    agreement = false;
+                }
+                // The migrated store still hash-verifies every version.
+                let report = exec.execute(planner.graph(), &stored).expect("verify");
+                if report.verified != nn {
+                    agreement = false;
+                }
+            }
+        }
+        // Reclaim everything the migrations superseded; the live plan must
+        // survive compaction.
+        exec.store().gc().expect("gc");
+        let report = exec
+            .execute(planner.graph(), &stored)
+            .expect("verify after gc");
+        if report.verified != planner.graph().n() {
+            agreement = false;
+        }
+
+        let online_mean_ms = online_total_ms / commits as f64;
+        let scratch_mean_ms = scratch_total_ms / scratch_samples.max(1) as f64;
+        let speedup = scratch_mean_ms / online_mean_ms.max(1e-9);
+        if n == 4_000 {
+            speedup_4k = speedup;
+        }
+        let ostats = planner.stats();
+        r.push_row(vec![
+            n.to_string(),
+            commits.to_string(),
+            fmt_f(online_mean_ms),
+            fmt_f(scratch_mean_ms),
+            fmt_f(speedup),
+            fmt_f(migration_bytes as f64 / commits as f64 / 1024.0),
+            fmt_f(reingest_bytes as f64 / 1024.0),
+            fmt_f(regret_max),
+        ]);
+        let mut m = BTreeMap::new();
+        m.insert("n".to_string(), Value::UInt(n as u64));
+        m.insert("commits".to_string(), Value::UInt(commits as u64));
+        m.insert("online_mean_ms".to_string(), Value::Float(online_mean_ms));
+        m.insert("online_max_ms".to_string(), Value::Float(online_max_ms));
+        m.insert("scratch_mean_ms".to_string(), Value::Float(scratch_mean_ms));
+        m.insert("speedup".to_string(), Value::Float(speedup));
+        m.insert(
+            "migration_bytes_total".to_string(),
+            Value::UInt(migration_bytes),
+        );
+        m.insert("reingest_bytes".to_string(), Value::UInt(reingest_bytes));
+        m.insert("regret_max".to_string(), Value::Float(regret_max));
+        m.insert(
+            "fallback_resolves".to_string(),
+            Value::UInt(fallback_resolves),
+        );
+        m.insert("absorbed".to_string(), Value::UInt(ostats.absorbed as u64));
+        m.insert("moves".to_string(), Value::UInt(ostats.moves as u64));
+        m.insert("rescored".to_string(), Value::UInt(ostats.rescored as u64));
+        m.insert("repairs".to_string(), Value::UInt(ostats.repairs as u64));
+        m.insert(
+            "scratch_solves".to_string(),
+            Value::UInt(ostats.scratch_solves as u64),
+        );
+        rows_json.push(Value::Map(m));
+    }
+    r.note(format!(
+        "{commits}-commit mutation streams absorbed online + migrated vs from-scratch \
+         solve + re-ingest (sampled); regret bound {ONLINE_REGRET_BOUND} asserted in-run; \
+         n=4k speedup {speedup_4k:.2}x (agreement={agreement})"
+    ));
+
+    let mut doc = BTreeMap::new();
+    doc.insert("experiment".to_string(), Value::Str("online".to_string()));
+    doc.insert("seed".to_string(), Value::UInt(opts.seed));
+    doc.insert("commits".to_string(), Value::UInt(commits as u64));
+    doc.insert(
+        "regret_bound".to_string(),
+        Value::Float(ONLINE_REGRET_BOUND),
+    );
+    doc.insert("agreement".to_string(), Value::Bool(agreement));
+    doc.insert("speedup_4k".to_string(), Value::Float(speedup_4k));
+    doc.insert("sizes".to_string(), Value::Seq(rows_json));
+    let json = serde_json::to_string(&Value::Map(doc)).expect("value tree serializes");
+
+    OnlineBench {
+        report: r,
+        json,
+        agreement,
+        speedup_4k,
     }
 }
 

@@ -97,27 +97,13 @@ pub struct SharedWork {
     inner: Arc<Inner>,
 }
 
-/// FNV-1a over the graph's full cost structure — cheap relative to any
-/// solver, computed once per memo. Also used by the service layer to key
-/// its per-graph memo LRU.
+/// Graph identity for memo keys: the graph's **rolling fingerprint**
+/// ([`VersionGraph::fingerprint`]), maintained in O(1) per mutation by the
+/// graph itself rather than recomputed O(n + m) here on every lookup — the
+/// online commit path consults memo keys once per absorbed mutation. Also
+/// used by the service layer to key its per-graph memo LRU.
 pub(crate) fn fingerprint(g: &VersionGraph) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    let mut mix = |x: u64| {
-        h ^= x;
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    };
-    mix(g.n() as u64);
-    mix(g.m() as u64);
-    for v in 0..g.n() {
-        mix(g.node_storage(NodeId::new(v)));
-    }
-    for e in g.edges() {
-        mix(e.src.0 as u64);
-        mix(e.dst.0 as u64);
-        mix(e.storage);
-        mix(e.retrieval);
-    }
-    h
+    g.fingerprint()
 }
 
 impl SharedWork {

@@ -114,6 +114,32 @@ pub struct StoredPlan {
     pub ingest_wall: Duration,
 }
 
+/// Outcome of one live plan migration ([`PlanExecutor::migrate`]): how
+/// much of the old stored plan survived untouched and how many bytes
+/// actually moved.
+#[derive(Clone, Debug, Default)]
+pub struct MigrationStats {
+    /// Nodes covered by the new plan.
+    pub nodes: usize,
+    /// Pre-existing nodes whose stored object was replaced because their
+    /// plan entry changed (materialize ↔ deltify, or a different delta).
+    pub changed: usize,
+    /// Nodes new to the graph since the old plan was stored.
+    pub added: usize,
+    /// Objects inherited from the old stored plan without touching the
+    /// store at all.
+    pub reused: usize,
+    /// Old objects whose references were released (GC can reclaim any
+    /// that no other live plan shares).
+    pub released: usize,
+    /// Bytes handed to the store for changed and added nodes — the
+    /// migration's whole write traffic, to compare against a full
+    /// re-ingest's [`StoredPlan::ingest_bytes`].
+    pub bytes_moved: u64,
+    /// Wall-clock time of the migration.
+    pub wall: Duration,
+}
+
 /// Measured-vs-predicted outcome of executing one plan.
 #[derive(Clone, Debug)]
 pub struct ExecutionReport {
@@ -216,6 +242,133 @@ impl<'s, S: Store + ?Sized> PlanExecutor<'s, S> {
             ingest_bytes,
             ingest_wall: started.elapsed(),
         })
+    }
+
+    /// Migrate a live stored plan to `new_plan` without re-ingesting the
+    /// corpus: only nodes whose plan entry differs (and nodes new to the
+    /// graph) touch the store.
+    ///
+    /// **Retain-before-release**: every replacement object is written
+    /// first; the superseded objects are released only after all writes
+    /// succeed, so at no point is a live version unreadable — a reader
+    /// holding `old` mid-migration still resolves every chain. If a write
+    /// fails, the objects already written by this call are rolled back
+    /// and `old` is left fully intact.
+    ///
+    /// On success the returned [`StoredPlan`] *inherits* the old plan's
+    /// store references for unchanged nodes: `old` is consumed and must
+    /// not be released afterwards (its changed-node references are gone,
+    /// its unchanged-node references now belong to the new plan). Source
+    /// hashes are plan-independent and carried over; only added nodes are
+    /// hashed fresh. The new plan's `ingest_bytes`/`ingest_wall`
+    /// accumulate the migration's traffic on top of the old plan's, so
+    /// they stay "total bytes/time this stored plan ever cost".
+    pub fn migrate(
+        &mut self,
+        g: &VersionGraph,
+        old: &StoredPlan,
+        new_plan: &StoragePlan,
+        source: &dyn VersionSource,
+    ) -> Result<(StoredPlan, MigrationStats), ExecError> {
+        let started = Instant::now();
+        let n = g.n();
+        if source.version_count() != n {
+            return Err(ExecError::Mismatch {
+                detail: format!(
+                    "source has {} versions, graph has {n} nodes",
+                    source.version_count()
+                ),
+            });
+        }
+        if let Err(reason) = new_plan.validate(g) {
+            return Err(ExecError::Mismatch { detail: reason });
+        }
+        let old_n = old.plan.parent.len();
+        if old_n > n || old.objects.len() != old_n || old.source_hashes.len() != old_n {
+            return Err(ExecError::Mismatch {
+                detail: format!(
+                    "old stored plan covers {old_n} nodes ({} objects) against a graph of {n}",
+                    old.objects.len()
+                ),
+            });
+        }
+
+        let mut stats = MigrationStats {
+            nodes: n,
+            ..MigrationStats::default()
+        };
+        let mut objects = Vec::with_capacity(n);
+        let mut source_hashes = Vec::with_capacity(n);
+        // Phase 1 — write every replacement object. Nothing is released
+        // yet, so a failure can roll back to exactly the old state.
+        let mut fresh: Vec<ObjectId> = Vec::new();
+        let mut result = Ok(());
+        for v in 0..n {
+            if v < old_n && old.plan.parent[v] == new_plan.parent[v] {
+                objects.push(old.objects[v]);
+                source_hashes.push(old.source_hashes[v]);
+                stats.reused += 1;
+                continue;
+            }
+            if v < old_n {
+                stats.changed += 1;
+                source_hashes.push(old.source_hashes[v]);
+            } else {
+                stats.added += 1;
+                source_hashes.push(hash_object(
+                    ObjectKind::Chunk,
+                    &source.payload_bytes(v as u32),
+                ));
+            }
+            let put = match new_plan.parent[v] {
+                Parent::Materialized => {
+                    let payload_bytes = source.payload_bytes(v as u32);
+                    stats.bytes_moved += payload_bytes.len() as u64;
+                    self.store.put(ObjectKind::Chunk, &payload_bytes)
+                }
+                Parent::Delta(e) => {
+                    let edge = g.edge(e);
+                    let delta = source.delta(edge.src.0, edge.dst.0);
+                    stats.bytes_moved += delta.len() as u64;
+                    self.store.put(ObjectKind::Delta, &delta)
+                }
+            };
+            match put {
+                Ok(id) => {
+                    fresh.push(id);
+                    objects.push(id);
+                }
+                Err(e) => {
+                    result = Err(e.into());
+                    break;
+                }
+            }
+        }
+        if let Err(e) = result {
+            for &id in &fresh {
+                let _ = self.store.release(id);
+            }
+            return Err(e);
+        }
+        // Phase 2 — all replacements are durable; release the superseded
+        // objects so GC can reclaim exactly the dead ones.
+        for v in 0..old_n {
+            if old.plan.parent[v] != new_plan.parent[v] {
+                self.store.release(old.objects[v])?;
+                stats.released += 1;
+            }
+        }
+        stats.wall = started.elapsed();
+        Ok((
+            StoredPlan {
+                plan: new_plan.clone(),
+                objects,
+                source_hashes,
+                ingest_bytes: old.ingest_bytes + stats.bytes_moved,
+                ingest_wall: old.ingest_wall + stats.wall,
+            },
+            stats,
+        ))
     }
 
     /// Drop the stored plan's references so [`Store::gc`] can reclaim
@@ -491,6 +644,66 @@ mod tests {
         assert_eq!(outcome.repair.detected, 1);
         assert_eq!(outcome.repair.unrepairable, 1);
         assert!(outcome.tickets.is_empty());
+    }
+
+    #[test]
+    fn migrate_moves_only_changed_objects() {
+        let (g, plan) = tiny_graph();
+        let mut store = MemStore::new();
+        let mut exec = PlanExecutor::new(&mut store);
+        let (stored, _) = exec.run(&g, &plan, &TinySource).expect("roundtrip");
+        // Materialize v1 instead of storing the 0→1 delta; keep the rest.
+        let new_plan = StoragePlan {
+            parent: vec![Parent::Materialized, Parent::Materialized, plan.parent[2]],
+        };
+        let (migrated, stats) = exec
+            .migrate(&g, &stored, &new_plan, &TinySource)
+            .expect("migrate");
+        assert_eq!(stats.changed, 1);
+        assert_eq!(stats.reused, 2);
+        assert_eq!(stats.released, 1);
+        assert_eq!(stats.added, 0);
+        assert!(stats.bytes_moved < stored.ingest_bytes);
+        // The migrated store still hash-verifies every version.
+        let report = exec.execute(&g, &migrated).expect("verify");
+        assert_eq!(report.verified, 3);
+        assert!(report.agreement(), "{report:?}");
+        // GC drains exactly the one dead object (the superseded delta).
+        let gc = exec.store().gc().expect("gc");
+        assert_eq!(gc.collected_objects, 1);
+        // Byte-identical to a fresh ingest of the new plan: the store is
+        // content-addressed, so equal object ids mean equal bytes.
+        let mut store2 = MemStore::new();
+        let fresh = PlanExecutor::new(&mut store2)
+            .ingest(&g, &new_plan, &TinySource)
+            .expect("fresh ingest");
+        assert_eq!(migrated.objects, fresh.objects);
+        assert_eq!(migrated.source_hashes, fresh.source_hashes);
+    }
+
+    #[test]
+    fn failed_migration_leaves_the_old_plan_intact() {
+        let (g, plan) = tiny_graph();
+        let mut store = MemStore::new();
+        let mut exec = PlanExecutor::new(&mut store);
+        let stored = exec.ingest(&g, &plan, &TinySource).expect("ingest");
+        // A plan the validator rejects: v0 routed through the 0→1 edge,
+        // which enters v1, not v0.
+        let bogus = StoragePlan {
+            parent: vec![
+                Parent::Delta(dsv_vgraph::EdgeId(0)),
+                plan.parent[1],
+                plan.parent[2],
+            ],
+        };
+        let err = exec
+            .migrate(&g, &stored, &bogus, &TinySource)
+            .expect_err("invalid plan");
+        assert!(matches!(err, ExecError::Mismatch { .. }));
+        // Old plan still verifies; nothing was written or released.
+        let report = exec.execute(&g, &stored).expect("old plan intact");
+        assert!(report.agreement());
+        assert_eq!(exec.store().object_count(), 3);
     }
 
     #[test]

@@ -283,8 +283,10 @@ fn run_scratch(
 
 /// Score one candidate move against the current incremental state.
 /// Mirrors the oracle's `eval_edge`/`eval_mat` exactly, with the budget
-/// test split out as [`Scored::Park`].
-fn score(
+/// test split out as [`Scored::Park`]. Shared with the online planner
+/// (`crate::online`), which runs the same greedy loop over a mutating
+/// graph.
+pub(crate) fn score(
     g: &VersionGraph,
     plan: &StoragePlan,
     view: &mut IncrementalPlanView,

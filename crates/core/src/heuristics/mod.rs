@@ -323,6 +323,51 @@ impl IncrementalPlanView {
         self.tour_valid = true;
     }
 
+    /// Extend the view with one fresh node, materialized (a version
+    /// arriving online starts stored in full; the greedy loop then decides
+    /// whether a delta serves it better). O(1): only the flat arrays grow,
+    /// the forest is untouched, and the tour re-stamps lazily.
+    pub(crate) fn push_node(&mut self, storage: Cost) {
+        self.parent.push(NO_PARENT);
+        self.first_child.push(NO_PARENT);
+        self.next_sibling.push(NO_PARENT);
+        self.prev_sibling.push(NO_PARENT);
+        self.r.push(0);
+        self.size.push(1);
+        self.paid.push(storage);
+        self.depth.push(0);
+        self.storage_sum += storage as u128;
+        self.tin.push(0);
+        self.tout.push(0);
+        self.tour_valid = false;
+        self.walk_budget = self.walk_budget.max(2 * self.parent.len() as u64);
+    }
+
+    /// Re-read `v`'s paid storage from the graph + plan after a graph-side
+    /// cost change (retirement zeroes a node's materialization cost), and
+    /// fix the running storage aggregate. The caller guarantees no *stored*
+    /// delta edge changed cost (retirement detaches them first), so `r`
+    /// stays valid.
+    pub(crate) fn refresh_paid(&mut self, g: &VersionGraph, plan: &StoragePlan, v: usize) {
+        let new_paid = match plan.parent[v] {
+            Parent::Materialized => g.node_storage(NodeId::new(v)),
+            Parent::Delta(e) => g.edge(e).storage,
+        };
+        self.storage_sum = self.storage_sum - self.paid[v] as u128 + new_paid as u128;
+        self.paid[v] = new_paid;
+    }
+
+    /// Children of `v` in the stored-delta forest (order unspecified).
+    pub(crate) fn children_of(&self, v: usize) -> Vec<u32> {
+        let mut out = Vec::new();
+        let mut c = self.first_child[v];
+        while c != NO_PARENT {
+            out.push(c);
+            c = self.next_sibling[c as usize];
+        }
+        out
+    }
+
     /// Apply the move "change `v`'s parent to `new_parent`" to both the
     /// plan and the view, updating only `subtree(v)`, the old/new ancestor
     /// paths, and the running aggregates. Returns the dirty region.

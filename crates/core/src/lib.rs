@@ -51,6 +51,7 @@ pub mod engine;
 pub mod exact;
 pub mod executor;
 pub mod heuristics;
+pub mod online;
 pub mod plan;
 pub mod problem;
 pub mod reductions;
@@ -67,11 +68,12 @@ pub use engine::{
     sharded_msr, Engine, Portfolio, ShardConfig, ShardStats, ShardedSolver, Solution, SolveError,
     SolveOptions, Solver, SolverMeta, SHARD_REGRET_BOUND,
 };
-pub use executor::{ExecError, ExecutionReport, PlanExecutor, StoredPlan};
+pub use executor::{ExecError, ExecutionReport, MigrationStats, PlanExecutor, StoredPlan};
+pub use online::{OnlinePlanner, OnlineStats, ONLINE_REGRET_BOUND};
 pub use plan::{Parent, StoragePlan};
 pub use problem::{Objective, ProblemKind};
 pub use retry::RetryPolicy;
 pub use service::{
-    PlanId, Reply, Request, ServeTier, ServiceConfig, ServiceError, ServiceStats, Ticket,
+    Mutation, PlanId, Reply, Request, ServeTier, ServiceConfig, ServiceError, ServiceStats, Ticket,
     VersioningService,
 };

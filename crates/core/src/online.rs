@@ -1,0 +1,595 @@
+//! Online planning: absorb version-graph mutations into a live LMG-All
+//! plan without re-solving from scratch.
+//!
+//! A production version store receives a continuous commit stream; paying
+//! O(solve) per commit does not scale. [`OnlinePlanner`] owns a
+//! [`VersionGraph`], its current [`StoragePlan`], and the incremental
+//! machinery from `heuristics` (the [`IncrementalPlanView`] and the lazy
+//! candidate heap), and keeps the plan greedily settled across three
+//! mutations:
+//!
+//! * [`OnlinePlanner::add_version`] — the new version enters materialized;
+//!   O(1) state growth, then the greedy loop runs on whatever candidates
+//!   the mutation dirtied (none yet — a bare version has no deltas).
+//! * [`OnlinePlanner::add_edge`] — exactly one new candidate (the new
+//!   delta) is scored and pushed; if adopting it (or anything it unlocks)
+//!   improves the objective, the standard dirty-region loop cascades from
+//!   there.
+//! * [`OnlinePlanner::retire_version`] — the retired version's stored
+//!   subtree children are detached (materialized), the version itself is
+//!   tombstoned ([`VersionGraph::retire_version`] zeroes its storage and
+//!   prices incident deltas at `INF`), and the freed budget revives parked
+//!   candidates.
+//!
+//! After every mutation the greedy loop re-runs **locally**: only dirtied
+//! candidates are re-scored, and the loop stops when no improving move
+//! remains — the same fixed point the from-scratch loop reaches, entered
+//! from a different start state.
+//!
+//! # Budget repair
+//!
+//! The LMG-All move set never grows retrieval, so it also can never
+//! deltify a freshly materialized version — feasibility is *inherited*
+//! from the start state, and a mutation can break it (a new version
+//! enters materialized; a retirement force-materializes the retiree's
+//! stored children). When an absorb leaves storage above the budget the
+//! planner runs the inverse greedy: among all deltifications of currently
+//! materialized versions, repeatedly apply the one costing the least
+//! retrieval growth per byte of storage saved, until the plan fits again.
+//! The regular greedy loop then re-settles (it can only spend budget that
+//! exists, so feasibility is preserved from there on).
+//!
+//! # Regret gate
+//!
+//! Online greedy is path-dependent: its plan can differ from what LMG-All
+//! would build from scratch on the mutated graph. The contract is bounded
+//! regret — after any mutation sequence,
+//! `online total_retrieval ≤ ONLINE_REGRET_BOUND × scratch total_retrieval`
+//! (checked by `tests/online.rs` and in-run by the `online` benchmark).
+//! Two mechanisms keep it: locally, every absorb re-settles to the greedy
+//! fixed point; globally, the planner counts *drift* — mutations since the
+//! last from-scratch solve — and refreshes with a full re-solve once drift
+//! reaches `max(8, n/8)`. Amortized, that is at most one solve per
+//! eighth-of-the-graph churn: vanishing for a large graph absorbing single
+//! commits, and exactly where the regret of pure path-dependence would
+//! otherwise accumulate. Setting `DSV_ONLINE_MODE=scratch` (read once per
+//! process, the same pattern as `DSV_LMG_MODE`) collapses every absorb
+//! into a from-scratch LMG-All re-solve, making the online plan
+//! **byte-identical** to the oracle — the escape hatch differential tests
+//! pin against.
+
+use crate::baselines::min_storage_plan;
+use crate::heuristics::lmg_all::{lmg_all_with_stats, score, Move};
+use crate::heuristics::{IncrementalPlanView, LazyCandidateHeap};
+use crate::plan::{Parent, StoragePlan};
+use dsv_vgraph::{Cost, EdgeId, NodeId, VersionGraph, INF};
+
+/// Declared regret bound of online absorption: after any mutation
+/// sequence, the online plan's total retrieval is at most this factor
+/// times the from-scratch LMG-All objective on the same graph and budget.
+/// Enforced by the differential suite and asserted in-run by the `online`
+/// benchmark.
+pub const ONLINE_REGRET_BOUND: f64 = 1.25;
+
+/// Whether `DSV_ONLINE_MODE=scratch` forces every absorb to re-solve from
+/// scratch (the byte-identical differential oracle). Read once per process.
+pub(crate) fn online_scratch_mode() -> bool {
+    static MODE: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *MODE.get_or_init(|| {
+        std::env::var("DSV_ONLINE_MODE").is_ok_and(|v| v.eq_ignore_ascii_case("scratch"))
+    })
+}
+
+/// Cumulative diagnostics of an [`OnlinePlanner`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct OnlineStats {
+    /// Mutations absorbed (versions + edges + retirements).
+    pub absorbed: usize,
+    /// Greedy moves applied across all absorbs.
+    pub moves: usize,
+    /// Candidate (re-)scores pushed across all absorbs — the dirty-region
+    /// work metric (a from-scratch solve would pay ≥ n + m per commit).
+    pub rescored: usize,
+    /// Budget-repair moves (deltifications forced by a mutation pushing
+    /// storage past the budget) — a subset of `moves`.
+    pub repairs: usize,
+    /// From-scratch re-solves: drift refreshes (once per `max(8, n/8)`
+    /// absorbed mutations) plus every absorb under the
+    /// `DSV_ONLINE_MODE=scratch` escape hatch.
+    pub scratch_solves: usize,
+}
+
+/// A live LMG-All plan that absorbs graph mutations incrementally.
+///
+/// Owns the graph: all mutation goes through the planner so the plan, the
+/// incremental view, and the candidate heap stay consistent. Read access
+/// via [`OnlinePlanner::graph`] / [`OnlinePlanner::plan`].
+pub struct OnlinePlanner {
+    g: VersionGraph,
+    plan: StoragePlan,
+    view: IncrementalPlanView,
+    heap: LazyCandidateHeap<Move>,
+    budget: Cost,
+    stats: OnlineStats,
+    /// Mutations absorbed since the last from-scratch solve; bounds the
+    /// regret of path-dependence (see the module docs).
+    drift: usize,
+}
+
+impl OnlinePlanner {
+    /// Solve `g` from scratch (LMG-All at `budget`) and wrap the result
+    /// for online absorption. Returns `None` when even the minimum-storage
+    /// plan exceeds the budget.
+    pub fn new(g: VersionGraph, budget: Cost) -> Option<Self> {
+        let (plan, _) = lmg_all_with_stats(&g, budget)?;
+        Some(Self::adopt(g, plan, budget))
+    }
+
+    /// Wrap an existing `(graph, plan)` pair — e.g. a plan the engine or
+    /// service already committed — without re-solving. The plan must be
+    /// valid for `g` (debug-asserted).
+    pub fn adopt(g: VersionGraph, plan: StoragePlan, budget: Cost) -> Self {
+        debug_assert!(plan.validate(&g).is_ok(), "adopted plan must validate");
+        let view = IncrementalPlanView::new(&g, &plan);
+        let heap = LazyCandidateHeap::with_capacity(64);
+        let mut planner = OnlinePlanner {
+            g,
+            plan,
+            view,
+            heap,
+            budget,
+            stats: OnlineStats::default(),
+            drift: 0,
+        };
+        // Seed every candidate once so the adopted plan settles to the
+        // greedy fixed point under this budget (a no-op when the plan is
+        // already settled, e.g. fresh LMG-All output at the same budget).
+        planner.seed_all();
+        planner.settle();
+        planner
+    }
+
+    /// The graph as mutated so far.
+    pub fn graph(&self) -> &VersionGraph {
+        &self.g
+    }
+
+    /// The current plan (always valid for [`OnlinePlanner::graph`] and
+    /// covering every node).
+    pub fn plan(&self) -> &StoragePlan {
+        &self.plan
+    }
+
+    /// The storage budget the plan is settled under.
+    pub fn budget(&self) -> Cost {
+        self.budget
+    }
+
+    /// Current total retrieval (the MSR objective), tracked by the view.
+    pub fn total_retrieval(&self) -> Cost {
+        self.view.total_retrieval()
+    }
+
+    /// Current total storage, tracked by the view.
+    pub fn storage(&self) -> Cost {
+        self.view.storage()
+    }
+
+    /// Whether the current plan fits the budget. Absorbing a new version
+    /// can push storage past the budget (the version enters materialized);
+    /// callers gate on this and fall back (re-solve, or reject the commit).
+    pub fn within_budget(&self) -> bool {
+        self.storage() <= self.budget
+    }
+
+    /// Cumulative absorb diagnostics.
+    pub fn stats(&self) -> OnlineStats {
+        self.stats
+    }
+
+    /// Absorb a new version with materialization cost `storage`. The
+    /// version enters the plan materialized; deltas attached later (via
+    /// [`OnlinePlanner::add_edge`]) let the greedy loop deltify it.
+    pub fn add_version(&mut self, storage: Cost) -> NodeId {
+        let v = self.g.add_version(storage);
+        self.plan.parent.push(Parent::Materialized);
+        self.view.push_node(storage);
+        self.stats.absorbed += 1;
+        if online_scratch_mode() {
+            self.scratch_resolve();
+        } else {
+            // A bare version creates no candidates (its materialization is
+            // already the plan), and if its storage broke the budget there
+            // is nothing useful to repair yet either: the version itself
+            // cannot be deltified until its deltas arrive, so repairing now
+            // would shuffle unrelated versions only for the commit's
+            // `add_edge`s to undo it. Leave the plan over budget; the next
+            // absorb repairs, and callers gate on `within_budget` after the
+            // full commit batch.
+            self.settle();
+            self.bump_drift();
+        }
+        v
+    }
+
+    /// Absorb a new delta edge. Exactly one candidate (the edge itself) is
+    /// scored; the greedy loop cascades from whatever it dirties.
+    pub fn add_edge(&mut self, src: NodeId, dst: NodeId, storage: Cost, retrieval: Cost) -> EdgeId {
+        let e = self.g.add_edge(src, dst, storage, retrieval);
+        self.stats.absorbed += 1;
+        if online_scratch_mode() {
+            self.scratch_resolve();
+        } else {
+            self.push_candidate(Move::Reparent { edge: e.0 });
+            self.settle_and_repair();
+        }
+        e
+    }
+
+    /// Absorb a retirement: detach the version's stored children
+    /// (materialize them — the greedy loop immediately re-deltifies
+    /// whatever pays off), materialize the version itself if it was stored
+    /// as a delta, tombstone it in the graph (zero storage, `INF` incident
+    /// deltas), and let the freed budget revive parked candidates.
+    pub fn retire_version(&mut self, v: NodeId) {
+        if self.g.is_retired(v) {
+            return;
+        }
+        self.stats.absorbed += 1;
+        if online_scratch_mode() {
+            self.g.retire_version(v);
+            self.scratch_resolve();
+            return;
+        }
+        let vi = v.index();
+        let mut dirty: Vec<u32> = Vec::new();
+        // Detach stored children first so no stored edge is incident to
+        // `v` when its edge costs move to INF (keeps the view's `r` exact).
+        for c in self.view.children_of(vi) {
+            let effect = self
+                .view
+                .apply(&self.g, &mut self.plan, c as usize, Parent::Materialized);
+            dirty.extend_from_slice(&effect.subtree);
+            dirty.extend_from_slice(&effect.path);
+        }
+        if !matches!(self.plan.parent[vi], Parent::Materialized) {
+            let effect = self
+                .view
+                .apply(&self.g, &mut self.plan, vi, Parent::Materialized);
+            dirty.extend_from_slice(&effect.subtree);
+            dirty.extend_from_slice(&effect.path);
+        }
+        self.g.retire_version(v);
+        // The tombstone zeroed the node's materialization cost; re-read
+        // the paid storage of the (now materialized, free) version.
+        self.view.refresh_paid(&self.g, &self.plan, vi);
+        dirty.push(v.0);
+        for x in dirty {
+            self.rescore_around(x);
+        }
+        self.settle_and_repair();
+    }
+
+    /// Throw the incremental state away and re-solve the current graph
+    /// from scratch (LMG-All at the planner's budget) — the degradation
+    /// fallback when a caller's gate (feasibility, regret) trips. Returns
+    /// whether the re-solved plan fits the budget; when it does not (the
+    /// mutated graph is infeasible), the plan degrades to minimum storage
+    /// and [`OnlinePlanner::within_budget`] stays `false`.
+    pub fn resolve_scratch(&mut self) -> bool {
+        self.scratch_resolve();
+        self.within_budget()
+    }
+
+    /// Push one freshly-scored candidate.
+    fn push_candidate(&mut self, mv: Move) {
+        let sc = score(&self.g, &self.plan, &mut self.view, self.budget, mv);
+        self.stats.rescored += 1;
+        self.heap.push_scored(sc, mv);
+    }
+
+    /// Seed the full candidate set (adopt-time only).
+    fn seed_all(&mut self) {
+        for edge in 0..self.g.m() as u32 {
+            self.push_candidate(Move::Reparent { edge });
+        }
+        for node in 0..self.g.n() as u32 {
+            self.push_candidate(Move::Materialize { node });
+        }
+    }
+
+    /// Re-score the candidates whose evaluation inputs depend on node `x`:
+    /// its materialization and every incident delta (the superset of the
+    /// subtree/path split in `run_incremental`; duplicates are harmless
+    /// with a lazy heap).
+    fn rescore_around(&mut self, x: u32) {
+        self.push_candidate(Move::Materialize { node: x });
+        let xv = NodeId(x);
+        for i in 0..self.g.in_edges(xv).len() {
+            let e = self.g.in_edges(xv)[i];
+            self.push_candidate(Move::Reparent { edge: e.0 });
+        }
+        for i in 0..self.g.out_edges(xv).len() {
+            let e = self.g.out_edges(xv)[i];
+            self.push_candidate(Move::Reparent { edge: e.0 });
+        }
+    }
+
+    /// Run the greedy loop to its fixed point: revive parked candidates at
+    /// the current storage, select the best accurate candidate, apply it,
+    /// re-score its dirty region; stop when no improving move remains.
+    /// Identical structure to `run_incremental` in `heuristics::lmg_all`.
+    fn settle(&mut self) {
+        loop {
+            let chosen = {
+                let storage_now = self.view.storage();
+                let g = &self.g;
+                let plan = &self.plan;
+                let view = &mut self.view;
+                let budget = self.budget;
+                let rescored = &mut self.stats.rescored;
+                let mut rescore = |mv: Move| {
+                    *rescored += 1;
+                    score(g, plan, view, budget, mv)
+                };
+                self.heap.revive(storage_now, &mut rescore);
+                self.heap.select(&mut rescore)
+            };
+            let Some(mv) = chosen else { return };
+            let (v, new_parent) = match mv {
+                Move::Materialize { node } => (node as usize, Parent::Materialized),
+                Move::Reparent { edge } => (
+                    self.g.edge(EdgeId(edge)).dst.index(),
+                    Parent::Delta(EdgeId(edge)),
+                ),
+            };
+            self.stats.moves += 1;
+            let effect = self.view.apply(&self.g, &mut self.plan, v, new_parent);
+            for i in 0..effect.subtree.len() {
+                self.rescore_around(effect.subtree[i]);
+            }
+            for i in 0..effect.path.len() {
+                let x = effect.path[i];
+                self.push_candidate(Move::Materialize { node: x });
+                for j in 0..self.g.in_edges(NodeId(x)).len() {
+                    let e = self.g.in_edges(NodeId(x))[j];
+                    self.push_candidate(Move::Reparent { edge: e.0 });
+                }
+            }
+        }
+    }
+
+    /// Settle, then — if the absorbed mutation left storage above the
+    /// budget — run budget repair and settle again (the repair's
+    /// retrieval-growing deltifications both free budget *and* unlock
+    /// parked candidates). A second repair is never needed: the settled
+    /// loop only applies budget-checked moves, so feasibility is
+    /// preserved once restored. Finally the drift counter is bumped, and
+    /// once an eighth of the graph has churned since the last full solve
+    /// the planner refreshes from scratch — the amortized cost that keeps
+    /// the regret bound honest (see the module docs).
+    fn settle_and_repair(&mut self) {
+        self.settle();
+        if self.view.storage() > self.budget {
+            self.repair_budget();
+            self.settle();
+        }
+        self.bump_drift();
+    }
+
+    /// Count one absorbed mutation toward drift; refresh from scratch once
+    /// an eighth of the graph has churned since the last full solve.
+    fn bump_drift(&mut self) {
+        self.drift += 1;
+        if self.drift >= (self.g.n() / 8).max(8) {
+            self.scratch_resolve();
+        }
+    }
+
+    /// The inverse greedy: while the plan is over budget, move the
+    /// version whose cheapest usable in-delta costs the least retrieval
+    /// growth per byte of storage saved — deltifying materialized
+    /// versions *and* swapping stored deltas for cheaper ones. This can
+    /// always walk the plan down to (cycle-constrained) minimum storage,
+    /// so it succeeds whenever the mutated graph is feasible at all.
+    /// Stops early when no move saves storage —
+    /// [`OnlinePlanner::within_budget`] stays `false` and the caller
+    /// decides (full re-solve, or reject the commit).
+    fn repair_budget(&mut self) {
+        while self.view.storage() > self.budget {
+            // (retrieval growth, storage saved, edge): minimize the ratio
+            // growth/saved; ties prefer the bigger saving, then the lower
+            // edge id (deterministic).
+            let mut best: Option<(u128, u128, u32)> = None;
+            for v in 0..self.g.n() {
+                let paid = self.view.paid[v];
+                let old_r = self.view.r[v];
+                let size_v = self.view.size[v];
+                for i in 0..self.g.in_edges(NodeId(v as u32)).len() {
+                    let e = self.g.in_edges(NodeId(v as u32))[i];
+                    if self.plan.parent[v] == Parent::Delta(e) {
+                        continue; // already stored
+                    }
+                    let ed = self.g.edge(e);
+                    if ed.storage >= paid {
+                        continue; // no saving (also skips INF tombstones)
+                    }
+                    let u = ed.src.index();
+                    if self.view.is_ancestor(v, u) {
+                        continue; // cycle guard
+                    }
+                    let Some(new_r) = self.view.r[u].checked_add(ed.retrieval) else {
+                        continue;
+                    };
+                    if new_r >= INF {
+                        continue;
+                    }
+                    // Retrieval growth over all of v's dependants. A
+                    // retrieval-reducing saving would be an Infinite-ratio
+                    // settle move; post-settle it can only be blocked
+                    // moves surfacing mid-repair — cost it zero and take
+                    // it.
+                    let grow = new_r.saturating_sub(old_r) as u128 * size_v as u128;
+                    let save = (paid - ed.storage) as u128;
+                    let better = match best {
+                        None => true,
+                        Some((bg, bs, be)) => {
+                            let (l, r) = (grow * bs, bg * save);
+                            l < r
+                                || (l == r
+                                    && (save, std::cmp::Reverse(e.0)) > (bs, std::cmp::Reverse(be)))
+                        }
+                    };
+                    if better {
+                        best = Some((grow, save, e.0));
+                    }
+                }
+            }
+            let Some((_, _, edge)) = best else { return };
+            let e = EdgeId(edge);
+            let v = self.g.edge(e).dst.index();
+            self.stats.moves += 1;
+            self.stats.repairs += 1;
+            let effect = self
+                .view
+                .apply(&self.g, &mut self.plan, v, Parent::Delta(e));
+            for i in 0..effect.subtree.len() {
+                self.rescore_around(effect.subtree[i]);
+            }
+            for i in 0..effect.path.len() {
+                let x = effect.path[i];
+                self.push_candidate(Move::Materialize { node: x });
+                for j in 0..self.g.in_edges(NodeId(x)).len() {
+                    let ie = self.g.in_edges(NodeId(x))[j];
+                    self.push_candidate(Move::Reparent { edge: ie.0 });
+                }
+            }
+        }
+    }
+
+    /// Throw the incremental state away and re-solve from scratch — the
+    /// drift refresh, the caller-facing degradation fallback, and every
+    /// absorb under `DSV_ONLINE_MODE=scratch` (where it makes the plan
+    /// byte-identical to the oracle). Falls back to the minimum-storage
+    /// plan when the mutated graph is infeasible at the budget (callers
+    /// observe it via [`OnlinePlanner::within_budget`]).
+    fn scratch_resolve(&mut self) {
+        self.stats.scratch_solves += 1;
+        self.drift = 0;
+        if let Some((plan, _)) = lmg_all_with_stats(&self.g, self.budget) {
+            self.plan = plan;
+        } else {
+            // Infeasible: keep per-node validity (everything the old plan
+            // had, new nodes materialized) so the caller can still diff,
+            // migrate, or reject.
+            self.plan = min_storage_plan(&self.g);
+        }
+        self.view = IncrementalPlanView::new(&self.g, &self.plan);
+        self.heap = LazyCandidateHeap::with_capacity(64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baselines::min_storage_value;
+    use dsv_vgraph::generators::{erdos_renyi_bidirectional, CostModel};
+
+    fn settled_invariants(p: &OnlinePlanner) {
+        p.plan().validate(p.graph()).expect("plan validates");
+        assert!(p.within_budget(), "plan fits the budget");
+        let costs = p.plan().costs(p.graph());
+        assert_eq!(costs.total_retrieval, p.total_retrieval());
+        assert_eq!(costs.storage, p.storage());
+    }
+
+    #[test]
+    fn absorbs_a_small_commit_stream() {
+        let model = CostModel::default();
+        let g = erdos_renyi_bidirectional(24, 0.2, &model, 11);
+        let budget = min_storage_value(&g) * 4;
+        let mut p = OnlinePlanner::new(g, budget).expect("feasible");
+        settled_invariants(&p);
+        let mut prev = NodeId(0);
+        for i in 0..16u64 {
+            let v = p.add_version(8_000 + i);
+            p.add_edge(prev, v, 100 + i, 120 + i);
+            p.add_edge(v, prev, 110 + i, 130 + i);
+            settled_invariants(&p);
+            prev = v;
+        }
+        assert!(p.stats().absorbed == 48);
+        // The dirty-region loop did far less scoring work than 48
+        // from-scratch solves (each ≥ n + m ≈ 200 scores) would have.
+        assert!(p.stats().rescored < 48 * (p.graph().n() + p.graph().m()));
+    }
+
+    #[test]
+    fn adopting_a_fresh_solution_is_already_settled() {
+        let g = erdos_renyi_bidirectional(20, 0.3, &CostModel::default(), 5);
+        let budget = min_storage_value(&g) * 2;
+        let (plan, _) = lmg_all_with_stats(&g, budget).expect("feasible");
+        let p = OnlinePlanner::adopt(g, plan.clone(), budget);
+        // Settling a fresh LMG-All plan at the same budget changes nothing.
+        assert_eq!(p.plan(), &plan);
+        assert_eq!(p.stats().moves, 0);
+    }
+
+    #[test]
+    fn retire_detaches_dependants_and_frees_budget() {
+        let model = CostModel::default();
+        let g = erdos_renyi_bidirectional(30, 0.25, &model, 7);
+        let budget = min_storage_value(&g) * 2;
+        let mut p = OnlinePlanner::new(g, budget).expect("feasible");
+        // Retire a handful of versions; every intermediate plan stays
+        // valid, in budget, and never stores a tombstoned delta.
+        for v in [3u32, 11, 19] {
+            p.retire_version(NodeId(v));
+            settled_invariants(&p);
+            assert!(matches!(p.plan().parent[v as usize], Parent::Materialized));
+            for (i, pe) in p.plan().parent.iter().enumerate() {
+                if let Parent::Delta(e) = pe {
+                    let ed = p.graph().edge(*e);
+                    assert!(
+                        !p.graph().is_retired(ed.src) && !p.graph().is_retired(ed.dst),
+                        "node {i} routed through a retired version"
+                    );
+                }
+            }
+        }
+        assert_eq!(p.graph().retired_count(), 3);
+        // Retiring again is a no-op.
+        let stats = p.stats();
+        p.retire_version(NodeId(3));
+        assert_eq!(p.stats(), stats);
+    }
+
+    #[test]
+    fn online_objective_within_regret_of_scratch() {
+        let model = CostModel::default();
+        for seed in 0..4u64 {
+            let g = erdos_renyi_bidirectional(26, 0.2, &model, seed);
+            let budget = min_storage_value(&g) * 3;
+            let Some(mut p) = OnlinePlanner::new(g, budget) else {
+                continue;
+            };
+            let mut prev = NodeId(2);
+            for i in 0..12u64 {
+                let v = p.add_version(6_000 + 100 * i);
+                p.add_edge(prev, v, 200, 150);
+                p.add_edge(v, prev, 210, 160);
+                if i % 5 == 4 {
+                    p.retire_version(NodeId((seed as u32 * 3 + i as u32) % 20));
+                }
+                prev = v;
+            }
+            let online = p.total_retrieval();
+            let (_, scratch) = lmg_all_with_stats(p.graph(), budget).expect("scratch feasible");
+            assert!(
+                online as f64 <= ONLINE_REGRET_BOUND * scratch.total_retrieval as f64,
+                "regret violated (seed {seed}): online {online} vs scratch {}",
+                scratch.total_retrieval
+            );
+        }
+    }
+}

@@ -51,13 +51,14 @@ use crate::cancel::CancelToken;
 use crate::checkout::Checkout;
 use crate::engine::shared::{self, SharedWork};
 use crate::engine::{Engine, Solution, SolveError, SolveOptions, SolverMeta};
-use crate::executor::{ExecError, PlanExecutor, StoredPlan};
+use crate::executor::{ExecError, MigrationStats, PlanExecutor, StoredPlan};
+use crate::online::OnlinePlanner;
 use crate::plan::StoragePlan;
 use crate::problem::ProblemKind;
 use crate::retry::RetryPolicy;
 use dsv_delta::store::codec::Payload;
 use dsv_delta::store::{Store, VersionSource};
-use dsv_vgraph::VersionGraph;
+use dsv_vgraph::{Cost, NodeId, VersionGraph};
 use std::collections::{HashMap, VecDeque};
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -73,6 +74,33 @@ impl fmt::Display for PlanId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "plan#{}", self.0)
     }
+}
+
+/// One version-graph mutation for [`Request::Absorb`].
+#[derive(Clone, Copy, Debug)]
+pub enum Mutation {
+    /// Append a new version.
+    AddVersion {
+        /// Materialization (full-storage) cost of the new version.
+        storage: Cost,
+    },
+    /// Append a delta edge between two existing versions.
+    AddEdge {
+        /// Source version id.
+        src: u32,
+        /// Destination version id.
+        dst: u32,
+        /// Delta storage cost.
+        storage: Cost,
+        /// Delta retrieval cost.
+        retrieval: Cost,
+    },
+    /// Retire a version (tombstone — zero storage, `INF` incident
+    /// deltas; see `VersionGraph::retire_version`).
+    Retire {
+        /// The version to retire.
+        version: u32,
+    },
 }
 
 /// A client request.
@@ -100,6 +128,25 @@ pub enum Request {
         /// The storage plan to materialize.
         plan: StoragePlan,
         /// Ground-truth content provider (kept for self-healing reads).
+        source: Arc<dyn VersionSource + Send + Sync>,
+    },
+    /// Absorb graph mutations into a live committed plan **online**:
+    /// mutate → incremental re-plan ([`OnlinePlanner`]) → migrate only
+    /// the changed objects ([`PlanExecutor::migrate`]) — instead of a
+    /// from-scratch solve plus full re-ingest per commit. Falls back to
+    /// a full re-solve when the feasibility gate trips; if even that is
+    /// infeasible the request fails and the previous plan stays live.
+    Absorb {
+        /// A plan previously returned by [`Reply::Committed`].
+        plan: PlanId,
+        /// The mutations of this commit, applied in order.
+        mutations: Vec<Mutation>,
+        /// Storage budget the online plan is settled under (used when
+        /// this plan's online state is first created; later absorbs
+        /// keep the original budget).
+        budget: Cost,
+        /// Ground-truth content for the *mutated* graph (must cover
+        /// every version, old and new).
         source: Arc<dyn VersionSource + Send + Sync>,
     },
 }
@@ -154,6 +201,19 @@ pub enum Reply {
         plan: PlanId,
         /// Number of versions the plan covers.
         versions: usize,
+    },
+    /// The mutations were absorbed and the stored plan migrated in
+    /// place; the same [`PlanId`] now serves the mutated graph.
+    Absorbed {
+        /// The (unchanged) plan handle.
+        plan: PlanId,
+        /// Versions the migrated plan covers.
+        versions: usize,
+        /// What the migration actually moved.
+        migration: MigrationStats,
+        /// Whether the degradation fallback (full from-scratch re-solve)
+        /// ran instead of pure incremental absorption.
+        resolved_from_scratch: bool,
     },
 }
 
@@ -282,6 +342,10 @@ pub struct ServiceStats {
     pub faults_detected: u64,
     /// Store repairs written back after self-healing reads.
     pub repairs_applied: u64,
+    /// Commits absorbed online ([`Request::Absorb`] replies).
+    pub absorbed: u64,
+    /// Of which, absorbs that fell back to a full from-scratch re-solve.
+    pub absorb_resolves: u64,
     /// Current queue depth.
     pub queue_depth: usize,
     /// Maximum queue depth ever observed (bounded by capacity).
@@ -339,10 +403,15 @@ impl Ticket {
 }
 
 /// A committed plan and everything needed to serve (and heal) it.
+///
+/// `online` is the plan's live [`OnlinePlanner`] (created on first
+/// absorb); the mutex serializes absorbs on the same plan while
+/// checkouts keep reading the published `graph`/`stored` snapshots.
 struct CommittedPlan {
     graph: Arc<VersionGraph>,
     stored: Arc<StoredPlan>,
     source: Arc<dyn VersionSource + Send + Sync>,
+    online: Arc<Mutex<Option<OnlinePlanner>>>,
 }
 
 impl Clone for CommittedPlan {
@@ -351,6 +420,7 @@ impl Clone for CommittedPlan {
             graph: self.graph.clone(),
             stored: self.stored.clone(),
             source: self.source.clone(),
+            online: self.online.clone(),
         }
     }
 }
@@ -404,6 +474,8 @@ struct Counters {
     tier_cached: AtomicU64,
     faults_detected: AtomicU64,
     repairs_applied: AtomicU64,
+    absorbed: AtomicU64,
+    absorb_resolves: AtomicU64,
     queue_high_water: AtomicU64,
     /// EWMA of per-job service time in nanoseconds (0 = no sample yet);
     /// feeds the `retry_after_hint` on shed.
@@ -424,6 +496,8 @@ impl Counters {
             tier_cached: AtomicU64::new(0),
             faults_detected: AtomicU64::new(0),
             repairs_applied: AtomicU64::new(0),
+            absorbed: AtomicU64::new(0),
+            absorb_resolves: AtomicU64::new(0),
             queue_high_water: AtomicU64::new(0),
             ewma_service_nanos: AtomicU64::new(0),
         }
@@ -596,6 +670,8 @@ impl<S: Store + Send + Sync + 'static> VersioningService<S> {
             tier_cached: c.tier_cached.load(Ordering::Relaxed),
             faults_detected: c.faults_detected.load(Ordering::Relaxed),
             repairs_applied: c.repairs_applied.load(Ordering::Relaxed),
+            absorbed: c.absorbed.load(Ordering::Relaxed),
+            absorb_resolves: c.absorb_resolves.load(Ordering::Relaxed),
             queue_depth: depth,
             queue_high_water: c.queue_high_water.load(Ordering::Relaxed),
             workers: self.shared.workers,
@@ -703,6 +779,12 @@ fn process<S: Store + Send + Sync + 'static>(shared: &Shared<S>, job: Job) {
             plan,
             source,
         } => handle_commit(shared, graph, &plan, source, &token),
+        Request::Absorb {
+            plan,
+            mutations,
+            budget,
+            source,
+        } => handle_absorb(shared, plan, &mutations, budget, source, &token),
     };
     c.observe_service_time(started.elapsed());
     // The never-late guarantee: a reply computed past its deadline is
@@ -896,11 +978,134 @@ fn handle_commit<S: Store + Send + Sync + 'static>(
             graph,
             stored: Arc::new(stored),
             source,
+            online: Arc::new(Mutex::new(None)),
         },
     );
     Ok(Reply::Committed {
         plan: PlanId(id),
         versions,
+    })
+}
+
+fn handle_absorb<S: Store + Send + Sync + 'static>(
+    shared: &Shared<S>,
+    plan_id: PlanId,
+    mutations: &[Mutation],
+    budget: Cost,
+    source: Arc<dyn VersionSource + Send + Sync>,
+    token: &CancelToken,
+) -> Result<Reply, ServiceError> {
+    if token.is_cancelled() {
+        return Err(ServiceError::Cancelled { stage: "absorb" });
+    }
+    // The per-plan online state; its mutex serializes absorbs on the
+    // same plan (checkouts are unaffected — they read the published
+    // snapshots).
+    let online = shared
+        .plans
+        .read()
+        .expect("service plans")
+        .get(&plan_id.0)
+        .ok_or(ServiceError::UnknownPlan(plan_id))?
+        .online
+        .clone();
+    let mut slot = online.lock().expect("online planner");
+    // Re-fetch the live entry *inside* the lock: an earlier absorb may
+    // have published a newer stored plan, and `migrate` must diff
+    // against the one actually in the store.
+    let committed = shared
+        .plans
+        .read()
+        .expect("service plans")
+        .get(&plan_id.0)
+        .cloned()
+        .ok_or(ServiceError::UnknownPlan(plan_id))?;
+    let planner = slot.get_or_insert_with(|| {
+        OnlinePlanner::adopt(
+            (*committed.graph).clone(),
+            committed.stored.plan.clone(),
+            budget,
+        )
+    });
+    for m in mutations {
+        match *m {
+            Mutation::AddVersion { storage } => {
+                planner.add_version(storage);
+            }
+            Mutation::AddEdge {
+                src,
+                dst,
+                storage,
+                retrieval,
+            } => {
+                planner.add_edge(NodeId(src), NodeId(dst), storage, retrieval);
+            }
+            Mutation::Retire { version } => planner.retire_version(NodeId(version)),
+        }
+    }
+    // Degradation gate: when incremental absorption cannot fit the
+    // budget, fall back to a full from-scratch re-solve; if even that is
+    // infeasible the request fails and the previous plan stays live (the
+    // planner keeps the mutated graph, so a later absorb that frees
+    // budget — e.g. a retirement — can recover).
+    let mut resolved = false;
+    if !planner.within_budget() {
+        resolved = true;
+        if !planner.resolve_scratch() {
+            return Err(ServiceError::Solve(SolveError::Infeasible {
+                solver: "online-absorb",
+                detail: "mutated graph does not fit the storage budget".into(),
+            }));
+        }
+    }
+    if token.is_cancelled() {
+        return Err(ServiceError::Cancelled { stage: "absorb" });
+    }
+    // Migrate under the store write lock: in-flight checkouts serialize
+    // around it, and `migrate` retains every replacement object before
+    // releasing the superseded ones, so no live version is ever
+    // unreadable. (The lock is dropped before republishing — the plans
+    // lock is always taken without the store lock held, matching
+    // `retire_plan`'s plans → store order.)
+    let (new_stored, migration) = {
+        let mut store = shared.store.write().expect("service store");
+        PlanExecutor::new(&mut *store)
+            .migrate(planner.graph(), &committed.stored, planner.plan(), &*source)
+            .map_err(ServiceError::Exec)?
+    };
+    let versions = planner.graph().n();
+    let graph = Arc::new(planner.graph().clone());
+    {
+        let mut plans = shared.plans.write().expect("service plans");
+        match plans.get_mut(&plan_id.0) {
+            Some(entry) => {
+                *entry = CommittedPlan {
+                    graph,
+                    stored: Arc::new(new_stored),
+                    source,
+                    online: online.clone(),
+                };
+            }
+            None => {
+                // Retired while absorbing: do not resurrect the entry;
+                // drop the migrated plan's references instead.
+                drop(plans);
+                let mut store = shared.store.write().expect("service store");
+                let _ = PlanExecutor::new(&mut *store).release(&new_stored);
+                return Err(ServiceError::UnknownPlan(plan_id));
+            }
+        }
+    }
+    let c = &shared.counters;
+    c.absorbed.fetch_add(1, Ordering::Relaxed);
+    if resolved {
+        c.absorb_resolves.fetch_add(1, Ordering::Relaxed);
+    }
+    Ok(Reply::Absorbed {
+        plan: plan_id,
+        versions,
+        migration,
+        resolved_from_scratch: resolved,
     })
 }
 
@@ -1099,6 +1304,135 @@ mod tests {
         assert_eq!(solution.plan, heuristic_plan, "memo returns the same plan");
         let stats = svc.stats();
         assert_eq!((stats.tier_heuristic, stats.tier_cached), (1, 1));
+    }
+
+    /// A generic sketch source over explicit per-version manifests —
+    /// extensible with new versions, unlike the frozen evolve fixture.
+    struct ManifestSource {
+        manifests: Vec<Vec<(u64, u32)>>,
+    }
+
+    impl VersionSource for ManifestSource {
+        fn version_count(&self) -> usize {
+            self.manifests.len()
+        }
+        fn payload(&self, v: u32) -> Payload {
+            Payload::Sketch(self.manifests[v as usize].clone())
+        }
+        fn delta(&self, src: u32, dst: u32) -> Vec<u8> {
+            use dsv_delta::store::codec::encode_sketch_delta;
+            let (a, b) = (&self.manifests[src as usize], &self.manifests[dst as usize]);
+            let removed: Vec<u64> = a
+                .iter()
+                .filter(|(id, _)| !b.iter().any(|(bid, _)| bid == id))
+                .map(|&(id, _)| id)
+                .collect();
+            let added: Vec<(u64, u32)> = b
+                .iter()
+                .filter(|(id, _)| !a.iter().any(|(aid, _)| aid == id))
+                .copied()
+                .collect();
+            encode_sketch_delta(&removed, &added)
+        }
+    }
+
+    fn chain_manifest(v: u64) -> Vec<(u64, u32)> {
+        (0..=v).map(|i| (i + 1, 100 + 10 * i as u32)).collect()
+    }
+
+    #[test]
+    fn absorb_migrates_the_live_plan_online() {
+        // A 4-version chain with manifests each version extends.
+        let mut g = VersionGraph::new();
+        for v in 0..4u64 {
+            g.add_version(5_000 + 100 * v);
+        }
+        for v in 0..3u32 {
+            g.add_edge(dsv_vgraph::NodeId(v), dsv_vgraph::NodeId(v + 1), 150, 120);
+        }
+        let budget = crate::baselines::min_storage_value(&g) * 3;
+        let plan = crate::heuristics::lmg_all::lmg_all(&g, budget).expect("feasible");
+        let initial = Arc::new(ManifestSource {
+            manifests: (0..4).map(chain_manifest).collect(),
+        });
+        let svc = VersioningService::new(MemStore::new());
+        let Reply::Committed { plan: id, .. } = svc
+            .submit_with_deadline(
+                Request::Commit {
+                    graph: Arc::new(g),
+                    plan,
+                    source: initial,
+                },
+                Duration::from_secs(60),
+            )
+            .expect("admitted")
+            .wait()
+            .expect("committed")
+        else {
+            panic!("expected Committed");
+        };
+
+        // Absorb one commit: version 4 extends version 3.
+        let extended = Arc::new(ManifestSource {
+            manifests: (0..5).map(chain_manifest).collect(),
+        });
+        let Reply::Absorbed {
+            versions,
+            migration,
+            ..
+        } = svc
+            .submit_with_deadline(
+                Request::Absorb {
+                    plan: id,
+                    mutations: vec![
+                        Mutation::AddVersion { storage: 5_400 },
+                        Mutation::AddEdge {
+                            src: 3,
+                            dst: 4,
+                            storage: 160,
+                            retrieval: 130,
+                        },
+                    ],
+                    budget,
+                    source: extended.clone(),
+                },
+                Duration::from_secs(60),
+            )
+            .expect("admitted")
+            .wait()
+            .expect("absorbed")
+        else {
+            panic!("expected Absorbed");
+        };
+        assert_eq!(versions, 5);
+        assert_eq!(migration.added, 1);
+        assert!(
+            migration.reused >= 3,
+            "unchanged objects must be inherited, not rewritten: {migration:?}"
+        );
+
+        // The same plan id now serves all five versions, byte-identically.
+        let wanted: Vec<u32> = (0..5).collect();
+        let Reply::CheckedOut { payloads, .. } = svc
+            .submit_with_deadline(
+                Request::Checkout {
+                    plan: id,
+                    versions: wanted.clone(),
+                },
+                Duration::from_secs(60),
+            )
+            .expect("admitted")
+            .wait()
+            .expect("served")
+        else {
+            panic!("expected CheckedOut");
+        };
+        for (v, served) in wanted.iter().zip(&payloads) {
+            let served = served.as_ref().expect("served");
+            assert_eq!(**served, extended.payload(*v), "byte-identical payloads");
+        }
+        let stats = svc.stats();
+        assert_eq!(stats.absorbed, 1);
     }
 
     #[test]

@@ -15,11 +15,66 @@
 //! The JSON wire format still carries explicit `out_adj`/`in_adj` lists for
 //! compatibility; they are validated on input (exactly-once, endpoint
 //! agreement) and re-derived canonically, not stored.
+//!
+//! **Online mutation support.** Two pieces of derived state are maintained
+//! incrementally so a commit burst does not pay O(n + m) per mutation:
+//!
+//! * the CSR index accepts *appends* in place — per-node slices carry slack
+//!   capacity, a new edge (which always has the largest id) lands at the end
+//!   of both endpoint slices, and only a slice overflow triggers a rebuild
+//!   (with fresh slack, so a stream of appends settles into amortized O(1));
+//! * a **rolling fingerprint** ([`VersionGraph::fingerprint`]) is kept as a
+//!   commutative sum of per-node / per-edge contributions, updated in O(1)
+//!   by `add_node`/`add_edge` and in O(degree) by [`VersionGraph::retire_version`],
+//!   so memoization keys over mutating graphs never recompute O(n + m).
 
 use crate::ids::{EdgeId, NodeId};
-use crate::Cost;
+use crate::{Cost, INF};
 use serde::{object, Deserialize, Error, Serialize, Value};
 use std::sync::OnceLock;
+
+/// splitmix64 finalizer: the per-item mixer behind the rolling fingerprint.
+#[inline]
+fn mix64(mut x: u64) -> u64 {
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+const NODE_SALT: u64 = 0x9e37_79b9_7f4a_7c15;
+const EDGE_SALT: u64 = 0xc2b2_ae3d_27d4_eb4f;
+
+/// Fingerprint contribution of one node. Contributions are combined with
+/// wrapping addition (commutative), so single-item changes can be rolled by
+/// subtracting the old contribution and adding the new one.
+#[inline]
+fn node_contrib(v: usize, storage: Cost, retired: bool) -> u64 {
+    let mut h = mix64(v as u64 ^ NODE_SALT);
+    h = mix64(h ^ storage);
+    mix64(h ^ retired as u64)
+}
+
+/// Fingerprint contribution of one edge.
+#[inline]
+fn edge_contrib(e: usize, data: &EdgeData) -> u64 {
+    let mut h = mix64(e as u64 ^ EDGE_SALT);
+    h = mix64(h ^ data.src.0 as u64);
+    h = mix64(h ^ data.dst.0 as u64);
+    h = mix64(h ^ data.storage);
+    mix64(h ^ data.retrieval)
+}
+
+/// An item handed out by value-returning `&mut` accessors whose fingerprint
+/// contribution has been subtracted but not yet re-added (the caller may
+/// still be writing through the reference). Settled by the next mutation or
+/// folded in on the fly by reads.
+#[derive(Clone, Copy, Debug)]
+enum Unsettled {
+    Node(NodeId),
+    Edge(EdgeId),
+}
 
 /// Payload of a directed delta edge `src → dst`.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -58,58 +113,130 @@ impl Deserialize for EdgeData {
     }
 }
 
-/// Compressed-sparse-row adjacency index over the edge arena: for each
-/// direction, `offsets` has `n + 1` entries and `list[offsets[v]..offsets[v+1]]`
-/// are the edge ids incident to `v`, in edge-id order (counting sort by
-/// endpoint is stable).
+/// One direction of the CSR adjacency index. `offsets` has `n + 1` entries
+/// marking per-node *capacity* boundaries; `list[offsets[v]..offsets[v] + lens[v]]`
+/// are the live edge ids incident to `v`, in edge-id order (counting sort by
+/// endpoint is stable, and appended edges always carry the largest id so an
+/// in-place append at the slice end preserves the order). The gap between
+/// `offsets[v] + lens[v]` and `offsets[v + 1]` is slack reserved for future
+/// appends; a tight build has no slack.
 #[derive(Clone, Debug, Default)]
-struct AdjCsr {
-    out_offsets: Vec<u32>,
-    out_list: Vec<EdgeId>,
-    in_offsets: Vec<u32>,
-    in_list: Vec<EdgeId>,
+struct AdjDir {
+    offsets: Vec<u32>,
+    lens: Vec<u32>,
+    list: Vec<EdgeId>,
 }
 
 /// Largest number of edges the CSR index can address: offsets and cursors
 /// are `u32`, so the edge arena must stay strictly below `u32::MAX`.
 pub const MAX_EDGES: usize = u32::MAX as usize;
 
+/// Slack reserved for a node appended to an already-built index, so the
+/// typical "new version plus a handful of deltas" commit appends in place.
+const NODE_RESERVE: u32 = 4;
+
+impl AdjDir {
+    /// Counting-sort build over one endpoint selector. `slack` adds
+    /// per-node growth room (used after an append overflow so a mutation
+    /// burst settles into amortized O(1) appends).
+    fn build(
+        n: usize,
+        edges: &[EdgeData],
+        endpoint: impl Fn(&EdgeData) -> usize,
+        slack: bool,
+    ) -> AdjDir {
+        let mut lens = vec![0u32; n];
+        for e in edges {
+            lens[endpoint(e)] += 1;
+        }
+        let cap = |len: u32| {
+            if slack {
+                len + (len >> 1) + NODE_RESERVE
+            } else {
+                len
+            }
+        };
+        let mut offsets = vec![0u32; n + 1];
+        for v in 0..n {
+            offsets[v + 1] = offsets[v] + cap(lens[v]);
+        }
+        let mut list = vec![EdgeId(u32::MAX); offsets[n] as usize];
+        let mut cursor: Vec<u32> = offsets[..n].to_vec();
+        for (i, e) in edges.iter().enumerate() {
+            let o = &mut cursor[endpoint(e)];
+            list[*o as usize] = EdgeId::new(i);
+            *o += 1;
+        }
+        AdjDir {
+            offsets,
+            lens,
+            list,
+        }
+    }
+
+    #[inline]
+    fn slice(&self, v: usize) -> &[EdgeId] {
+        let o = self.offsets[v] as usize;
+        &self.list[o..o + self.lens[v] as usize]
+    }
+
+    /// Extend with one fresh node carrying `NODE_RESERVE` slack.
+    fn push_node(&mut self) {
+        let end = *self.offsets.last().unwrap();
+        self.list
+            .resize(end as usize + NODE_RESERVE as usize, EdgeId(u32::MAX));
+        self.offsets.push(end + NODE_RESERVE);
+        self.lens.push(0);
+    }
+
+    #[inline]
+    fn has_room(&self, v: usize) -> bool {
+        self.lens[v] < self.offsets[v + 1] - self.offsets[v]
+    }
+
+    #[inline]
+    fn append(&mut self, v: usize, id: EdgeId) {
+        let slot = self.offsets[v] + self.lens[v];
+        self.list[slot as usize] = id;
+        self.lens[v] += 1;
+    }
+}
+
+/// Both directions of the CSR index.
+#[derive(Clone, Debug, Default)]
+struct AdjCsr {
+    out: AdjDir,
+    inn: AdjDir,
+}
+
 impl AdjCsr {
-    fn build(n: usize, edges: &[EdgeData]) -> AdjCsr {
+    fn build(n: usize, edges: &[EdgeData], slack: bool) -> AdjCsr {
         assert!(
             edges.len() < MAX_EDGES,
             "edge count {} exceeds the u32 CSR offset range ({MAX_EDGES} max)",
             edges.len()
         );
-        let mut out_offsets = vec![0u32; n + 1];
-        let mut in_offsets = vec![0u32; n + 1];
-        for e in edges {
-            out_offsets[e.src.index() + 1] += 1;
-            in_offsets[e.dst.index() + 1] += 1;
-        }
-        for i in 1..=n {
-            out_offsets[i] += out_offsets[i - 1];
-            in_offsets[i] += in_offsets[i - 1];
-        }
-        let mut out_list = vec![EdgeId(0); edges.len()];
-        let mut in_list = vec![EdgeId(0); edges.len()];
-        let mut out_cursor = out_offsets.clone();
-        let mut in_cursor = in_offsets.clone();
-        for (i, e) in edges.iter().enumerate() {
-            let id = EdgeId::new(i);
-            let o = &mut out_cursor[e.src.index()];
-            out_list[*o as usize] = id;
-            *o += 1;
-            let c = &mut in_cursor[e.dst.index()];
-            in_list[*c as usize] = id;
-            *c += 1;
-        }
         AdjCsr {
-            out_offsets,
-            out_list,
-            in_offsets,
-            in_list,
+            out: AdjDir::build(n, edges, |e| e.src.index(), slack),
+            inn: AdjDir::build(n, edges, |e| e.dst.index(), slack),
         }
+    }
+
+    /// In-place append of a freshly-pushed edge (must carry the largest
+    /// id). Returns `false` without modifying anything when either endpoint
+    /// slice is out of slack — the caller rebuilds with slack instead.
+    fn push_edge(&mut self, id: EdgeId, src: NodeId, dst: NodeId) -> bool {
+        if !self.out.has_room(src.index()) || !self.inn.has_room(dst.index()) {
+            return false;
+        }
+        self.out.append(src.index(), id);
+        self.inn.append(dst.index(), id);
+        true
+    }
+
+    fn push_node(&mut self) {
+        self.out.push_node();
+        self.inn.push_node();
     }
 }
 
@@ -118,31 +245,36 @@ impl AdjCsr {
 pub struct VersionGraph {
     node_storage: Vec<Cost>,
     edges: Vec<EdgeData>,
-    /// Lazily-built CSR adjacency; reset by any structural mutation.
+    /// Lazily-built CSR adjacency; maintained in place by appends, reset
+    /// only by mutations that can rewrite arbitrary edges (`edge_mut`).
     adj: OnceLock<AdjCsr>,
     /// Optional human-readable node labels (commit ids in the corpora).
     labels: Vec<String>,
+    /// Tombstones for retired versions (indices stay stable).
+    retired: Vec<bool>,
+    /// Rolling fingerprint accumulator: wrapping sum of per-node and
+    /// per-edge contributions, updated by every mutation.
+    fp_acc: u64,
+    /// Item whose contribution was subtracted pending a write through a
+    /// live `&mut` handed out by `edge_mut` / `node_storage_mut`.
+    fp_unsettled: Option<Unsettled>,
 }
 
 impl Serialize for VersionGraph {
     fn to_value(&self) -> Value {
         // The wire format keeps explicit adjacency lists (stable across the
         // internal move to CSR); they are derived from the CSR slices.
-        let nested = |offsets: &[u32], list: &[EdgeId]| -> Vec<Vec<EdgeId>> {
-            (0..self.n())
-                .map(|v| list[offsets[v] as usize..offsets[v + 1] as usize].to_vec())
-                .collect()
+        let nested = |dir: &AdjDir| -> Vec<Vec<EdgeId>> {
+            (0..self.n()).map(|v| dir.slice(v).to_vec()).collect()
         };
         let adj = self.adj();
         object([
             ("node_storage", self.node_storage.to_value()),
             ("edges", self.edges.to_value()),
-            (
-                "out_adj",
-                nested(&adj.out_offsets, &adj.out_list).to_value(),
-            ),
-            ("in_adj", nested(&adj.in_offsets, &adj.in_list).to_value()),
+            ("out_adj", nested(&adj.out).to_value()),
+            ("in_adj", nested(&adj.inn).to_value()),
             ("labels", self.labels.to_value()),
+            ("retired", self.retired.to_value()),
         ])
     }
 }
@@ -207,12 +339,26 @@ impl Deserialize for VersionGraph {
         }
         check_adj_lists(&edges, &out_adj, true).map_err(Error::new)?;
         check_adj_lists(&edges, &in_adj, false).map_err(Error::new)?;
-        Ok(VersionGraph {
+        // `retired` is optional on the wire for compatibility with dumps
+        // written before online mutation existed.
+        let retired: Vec<bool> = match v.field("retired") {
+            Ok(f) => Vec::from_value(f)?,
+            Err(_) => vec![false; n],
+        };
+        if retired.len() != n {
+            return Err(Error::new("retired flags do not match node count"));
+        }
+        let mut g = VersionGraph {
             node_storage,
             edges,
             adj: OnceLock::new(),
             labels,
-        })
+            retired,
+            fp_acc: 0,
+            fp_unsettled: None,
+        };
+        g.fp_acc = g.fp_scratch_acc();
+        Ok(g)
     }
 }
 
@@ -224,25 +370,100 @@ impl VersionGraph {
 
     /// Create a graph with `n` nodes, all with materialization cost 0.
     pub fn with_nodes(n: usize) -> Self {
-        VersionGraph {
+        let mut g = VersionGraph {
             node_storage: vec![0; n],
             edges: Vec::new(),
             adj: OnceLock::new(),
             labels: Vec::new(),
-        }
+            retired: vec![false; n],
+            fp_acc: 0,
+            fp_unsettled: None,
+        };
+        g.fp_acc = g.fp_scratch_acc();
+        g
     }
 
-    /// The CSR adjacency index, built on first use after a mutation.
+    /// The CSR adjacency index, built (tight) on first use.
     #[inline]
     fn adj(&self) -> &AdjCsr {
         self.adj
-            .get_or_init(|| AdjCsr::build(self.n(), &self.edges))
+            .get_or_init(|| AdjCsr::build(self.n(), &self.edges, false))
     }
 
-    /// Drop the cached CSR (called by every structural mutation).
+    /// Drop the cached CSR (only mutations that can rewrite arbitrary edge
+    /// endpoints need this; appends maintain the index in place).
     #[inline]
     fn invalidate_adj(&mut self) {
         self.adj = OnceLock::new();
+    }
+
+    /// Fold the pending contribution of an item handed out via `&mut` back
+    /// into the rolling accumulator. Every mutation entry point calls this
+    /// first, so at most one item is ever unsettled.
+    fn settle_fp(&mut self) {
+        match self.fp_unsettled.take() {
+            None => {}
+            Some(Unsettled::Node(v)) => {
+                self.fp_acc = self.fp_acc.wrapping_add(node_contrib(
+                    v.index(),
+                    self.node_storage[v.index()],
+                    self.retired[v.index()],
+                ));
+            }
+            Some(Unsettled::Edge(e)) => {
+                self.fp_acc = self
+                    .fp_acc
+                    .wrapping_add(edge_contrib(e.index(), &self.edges[e.index()]));
+            }
+        }
+    }
+
+    /// Recompute the fingerprint accumulator from scratch (O(n + m)).
+    fn fp_scratch_acc(&self) -> u64 {
+        let mut acc = 0u64;
+        for (v, (&s, &r)) in self.node_storage.iter().zip(&self.retired).enumerate() {
+            acc = acc.wrapping_add(node_contrib(v, s, r));
+        }
+        for (e, data) in self.edges.iter().enumerate() {
+            acc = acc.wrapping_add(edge_contrib(e, data));
+        }
+        acc
+    }
+
+    #[inline]
+    fn fp_finalize(&self, mut acc: u64) -> u64 {
+        if let Some(u) = self.fp_unsettled {
+            // A read between `edge_mut`/`node_storage_mut` and the next
+            // mutation: fold the item's current contribution in on the fly.
+            acc = acc.wrapping_add(match u {
+                Unsettled::Node(v) => node_contrib(
+                    v.index(),
+                    self.node_storage[v.index()],
+                    self.retired[v.index()],
+                ),
+                Unsettled::Edge(e) => edge_contrib(e.index(), &self.edges[e.index()]),
+            });
+        }
+        mix64(acc ^ mix64(self.n() as u64) ^ mix64((self.m() as u64).wrapping_add(EDGE_SALT)))
+    }
+
+    /// Rolling structural fingerprint of the graph: nodes (storage cost and
+    /// retirement), edges (endpoints and both costs), and the (n, m) shape.
+    /// O(1) to read — mutations keep the accumulator current — and equal to
+    /// [`VersionGraph::fingerprint_recomputed`] at all times, so memo keys
+    /// (`SharedWork`, the service's plan memos) stay valid across online
+    /// mutation without O(n + m) rehashing.
+    #[inline]
+    pub fn fingerprint(&self) -> u64 {
+        self.fp_finalize(self.fp_acc)
+    }
+
+    /// From-scratch O(n + m) recomputation of [`VersionGraph::fingerprint`];
+    /// the differential oracle that pins the rolling value in tests.
+    pub fn fingerprint_recomputed(&self) -> u64 {
+        let mut g = self.clone();
+        g.settle_fp();
+        g.fp_finalize(g.fp_scratch_acc())
     }
 
     /// Number of nodes.
@@ -258,11 +479,28 @@ impl VersionGraph {
     }
 
     /// Add a node with materialization cost `storage`, returning its id.
+    ///
+    /// O(1): the CSR index (if built) is extended in place and the rolling
+    /// fingerprint absorbs the node's contribution.
     pub fn add_node(&mut self, storage: Cost) -> NodeId {
+        self.settle_fp();
         let id = NodeId::new(self.node_storage.len());
+        self.fp_acc = self
+            .fp_acc
+            .wrapping_add(node_contrib(id.index(), storage, false));
         self.node_storage.push(storage);
-        self.invalidate_adj();
+        self.retired.push(false);
+        if let Some(adj) = self.adj.get_mut() {
+            adj.push_node();
+        }
         id
+    }
+
+    /// Online-mutation alias for [`VersionGraph::add_node`]: a new version
+    /// arriving in a commit stream.
+    #[inline]
+    pub fn add_version(&mut self, storage: Cost) -> NodeId {
+        self.add_node(storage)
     }
 
     /// Add a labelled node (labels are only used in reports).
@@ -274,6 +512,10 @@ impl VersionGraph {
     }
 
     /// Add a directed delta edge, returning its id.
+    ///
+    /// Amortized O(1) when the CSR index is built: the new edge carries the
+    /// largest id, so it appends at the end of both endpoint slices; only a
+    /// slack overflow triggers a rebuild (which installs fresh slack).
     pub fn add_edge(&mut self, src: NodeId, dst: NodeId, storage: Cost, retrieval: Cost) -> EdgeId {
         assert!(src.index() < self.n(), "edge source out of bounds");
         assert!(dst.index() < self.n(), "edge target out of bounds");
@@ -281,14 +523,29 @@ impl VersionGraph {
             self.edges.len() < MAX_EDGES,
             "edge count would exceed the u32 CSR offset range ({MAX_EDGES} max)"
         );
+        self.settle_fp();
+        // Preserve the retirement invariant: every edge incident to a
+        // retired version carries INF costs, whether it existed at
+        // retirement time or was added afterwards.
+        let (storage, retrieval) = if self.retired[src.index()] || self.retired[dst.index()] {
+            (INF, INF)
+        } else {
+            (storage, retrieval)
+        };
         let id = EdgeId::new(self.edges.len());
-        self.edges.push(EdgeData {
+        let data = EdgeData {
             src,
             dst,
             storage,
             retrieval,
-        });
-        self.invalidate_adj();
+        };
+        self.fp_acc = self.fp_acc.wrapping_add(edge_contrib(id.index(), &data));
+        self.edges.push(data);
+        if let Some(adj) = self.adj.get_mut() {
+            if !adj.push_edge(id, src, dst) {
+                *adj = AdjCsr::build(self.node_storage.len(), &self.edges, true);
+            }
+        }
         id
     }
 
@@ -314,7 +571,56 @@ impl VersionGraph {
 
     /// Mutable access to a node's materialization cost.
     pub fn node_storage_mut(&mut self, v: NodeId) -> &mut Cost {
+        self.settle_fp();
+        self.fp_acc = self.fp_acc.wrapping_sub(node_contrib(
+            v.index(),
+            self.node_storage[v.index()],
+            self.retired[v.index()],
+        ));
+        self.fp_unsettled = Some(Unsettled::Node(v));
         &mut self.node_storage[v.index()]
+    }
+
+    /// True if the version has been retired via
+    /// [`VersionGraph::retire_version`].
+    #[inline]
+    pub fn is_retired(&self, v: NodeId) -> bool {
+        self.retired[v.index()]
+    }
+
+    /// Number of retired versions.
+    pub fn retired_count(&self) -> usize {
+        self.retired.iter().filter(|&&r| r).count()
+    }
+
+    /// Retire a version: its materialization cost drops to zero and every
+    /// incident delta edge gets `INF` costs, so no plan can store the
+    /// version or route another version's reconstruction through it, while
+    /// node and edge ids stay stable (plans remain index-parallel). The
+    /// tombstoned version is kept `Materialized` at zero cost by planners;
+    /// the store layer releases its objects on migration. O(m) arena scan
+    /// (no CSR build needed, and the CSR stays valid — endpoints are
+    /// untouched). Idempotent.
+    pub fn retire_version(&mut self, v: NodeId) {
+        assert!(v.index() < self.n(), "retired version out of bounds");
+        self.settle_fp();
+        if self.retired[v.index()] {
+            return;
+        }
+        self.fp_acc =
+            self.fp_acc
+                .wrapping_sub(node_contrib(v.index(), self.node_storage[v.index()], false));
+        self.node_storage[v.index()] = 0;
+        self.retired[v.index()] = true;
+        self.fp_acc = self.fp_acc.wrapping_add(node_contrib(v.index(), 0, true));
+        for (i, e) in self.edges.iter_mut().enumerate() {
+            if (e.src == v || e.dst == v) && (e.storage != INF || e.retrieval != INF) {
+                self.fp_acc = self.fp_acc.wrapping_sub(edge_contrib(i, e));
+                e.storage = INF;
+                e.retrieval = INF;
+                self.fp_acc = self.fp_acc.wrapping_add(edge_contrib(i, e));
+            }
+        }
     }
 
     /// Label of a node, if one was assigned.
@@ -333,10 +639,17 @@ impl VersionGraph {
 
     /// Mutable edge payload by id (used by the cost transforms). The CSR
     /// index is invalidated because endpoints are reachable through the
-    /// returned reference.
+    /// returned reference; the edge's fingerprint contribution is rolled
+    /// out now and back in (with whatever the caller wrote) on the next
+    /// mutation or fingerprint read.
     #[inline]
     pub fn edge_mut(&mut self, e: EdgeId) -> &mut EdgeData {
         self.invalidate_adj();
+        self.settle_fp();
+        self.fp_acc = self
+            .fp_acc
+            .wrapping_sub(edge_contrib(e.index(), &self.edges[e.index()]));
+        self.fp_unsettled = Some(Unsettled::Edge(e));
         &mut self.edges[e.index()]
     }
 
@@ -349,15 +662,13 @@ impl VersionGraph {
     /// Ids of edges leaving `v` (a contiguous CSR slice, edge-id order).
     #[inline]
     pub fn out_edges(&self, v: NodeId) -> &[EdgeId] {
-        let adj = self.adj();
-        &adj.out_list[adj.out_offsets[v.index()] as usize..adj.out_offsets[v.index() + 1] as usize]
+        self.adj().out.slice(v.index())
     }
 
     /// Ids of edges entering `v` (a contiguous CSR slice, edge-id order).
     #[inline]
     pub fn in_edges(&self, v: NodeId) -> &[EdgeId] {
-        let adj = self.adj();
-        &adj.in_list[adj.in_offsets[v.index()] as usize..adj.in_offsets[v.index() + 1] as usize]
+        self.adj().inn.slice(v.index())
     }
 
     /// Iterator over all node ids.
@@ -560,7 +871,7 @@ mod tests {
     }
 
     #[test]
-    fn csr_adjacency_is_invalidated_by_mutation() {
+    fn csr_adjacency_tracks_mutation() {
         let mut g = diamond();
         // Force the CSR build, then mutate and re-query.
         assert_eq!(g.out_edges(NodeId(0)), &[EdgeId(0), EdgeId(1)]);
@@ -574,6 +885,116 @@ mod tests {
             assert!(g.out_edges(v).windows(2).all(|w| w[0] < w[1]));
             assert!(g.in_edges(v).windows(2).all(|w| w[0] < w[1]));
         }
+    }
+
+    /// The incrementally-maintained CSR must hand out exactly the slices a
+    /// from-scratch rebuild would, after any interleaving of builds,
+    /// appends, and overflow-triggered slack rebuilds.
+    #[test]
+    fn csr_appends_match_fresh_build() {
+        let mut g = diamond();
+        let _ = g.out_edges(NodeId(0)); // force a tight build
+        let mut nodes: Vec<NodeId> = g.node_ids().collect();
+        for round in 0..40u64 {
+            let v = g.add_node(10 + round);
+            // Fan in/out to older nodes, repeatedly overflowing slack.
+            for k in 0..(1 + (round as usize % 4)) {
+                let u = nodes[(round as usize * 7 + k * 3) % nodes.len()];
+                g.add_edge(u, v, 1, 1);
+                g.add_edge(v, u, 2, 2);
+            }
+            nodes.push(v);
+            // Interleave queries so the maintained index is exercised.
+            let fresh: VersionGraph = {
+                let mut f = VersionGraph::with_nodes(g.n());
+                for (i, &s) in g.node_storage.iter().enumerate() {
+                    *f.node_storage_mut(NodeId::new(i)) = s;
+                }
+                for e in g.edges() {
+                    f.add_edge(e.src, e.dst, e.storage, e.retrieval);
+                }
+                f
+            };
+            for w in g.node_ids() {
+                assert_eq!(g.out_edges(w), fresh.out_edges(w), "out slices diverged");
+                assert_eq!(g.in_edges(w), fresh.in_edges(w), "in slices diverged");
+            }
+        }
+    }
+
+    #[test]
+    fn rolling_fingerprint_matches_recomputation() {
+        let mut g = diamond();
+        assert_eq!(g.fingerprint(), g.fingerprint_recomputed());
+        let v4 = g.add_version(77);
+        assert_eq!(g.fingerprint(), g.fingerprint_recomputed());
+        let e = g.add_edge(NodeId(1), v4, 3, 4);
+        assert_eq!(g.fingerprint(), g.fingerprint_recomputed());
+        // Reads interleaved with a live `&mut` from edge_mut.
+        g.edge_mut(e).retrieval = 9;
+        assert_eq!(g.fingerprint(), g.fingerprint_recomputed());
+        *g.node_storage_mut(NodeId(2)) = 500;
+        assert_eq!(g.fingerprint(), g.fingerprint_recomputed());
+        g.retire_version(NodeId(3));
+        assert_eq!(g.fingerprint(), g.fingerprint_recomputed());
+        // Every mutation changed the fingerprint (no trivial collisions on
+        // this stream), and a structurally identical rebuild agrees.
+        let mut h = VersionGraph::new();
+        for v in g.node_ids() {
+            h.add_node(g.node_storage(v));
+        }
+        for ed in g.edges() {
+            h.add_edge(ed.src, ed.dst, ed.storage, ed.retrieval);
+        }
+        for v in g.node_ids() {
+            if g.is_retired(v) {
+                // Rebuild the retired state directly so costs already match.
+                h.retired[v.index()] = true;
+                h.fp_acc = h
+                    .fp_acc
+                    .wrapping_sub(node_contrib(v.index(), 0, false))
+                    .wrapping_add(node_contrib(v.index(), 0, true));
+            }
+        }
+        assert_eq!(g.fingerprint(), h.fingerprint());
+        assert_eq!(h.fingerprint(), h.fingerprint_recomputed());
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_shape_and_costs() {
+        let a = diamond();
+        let mut b = diamond();
+        *b.node_storage_mut(NodeId(0)) = 101;
+        assert_ne!(a.fingerprint(), b.fingerprint());
+        let mut c = diamond();
+        c.add_version(1);
+        assert_ne!(a.fingerprint(), c.fingerprint());
+        let mut d = diamond();
+        d.retire_version(NodeId(3));
+        assert_ne!(a.fingerprint(), d.fingerprint());
+    }
+
+    #[test]
+    fn retire_version_tombstones_node_and_edges() {
+        let mut g = diamond();
+        let _ = g.out_edges(NodeId(0)); // CSR stays valid across retire
+        g.retire_version(NodeId(1));
+        assert!(g.is_retired(NodeId(1)));
+        assert_eq!(g.retired_count(), 1);
+        assert_eq!(g.node_storage(NodeId(1)), 0);
+        // Incident edges (both directions) are priced out; others intact.
+        assert_eq!(g.edge(EdgeId(0)).storage, INF); // v0 -> v1
+        assert_eq!(g.edge(EdgeId(0)).retrieval, INF);
+        assert_eq!(g.edge(EdgeId(2)).storage, INF); // v1 -> v3
+        assert_eq!(g.edge(EdgeId(1)).storage, 20); // v0 -> v2 untouched
+                                                   // Ids and adjacency are stable.
+        assert_eq!(g.n(), 4);
+        assert_eq!(g.m(), 4);
+        assert_eq!(g.out_edges(NodeId(0)), &[EdgeId(0), EdgeId(1)]);
+        // Idempotent, and the fingerprint stays pinned.
+        g.retire_version(NodeId(1));
+        assert_eq!(g.retired_count(), 1);
+        assert_eq!(g.fingerprint(), g.fingerprint_recomputed());
     }
 
     #[test]

@@ -74,6 +74,22 @@
 //! heal instead of failing requests. Gated in CI by `repro --experiment
 //! service --assert-throughput`.
 //!
+//! ## Online planning & live migration
+//!
+//! A commit stream does not re-solve: the
+//! [`OnlinePlanner`](core::online::OnlinePlanner) absorbs graph mutations
+//! (`add_version` / `add_edge` / `retire_version`) into a live LMG-All
+//! plan by re-scoring only the dirtied candidates through the incremental
+//! greedy machinery, with a declared regret bound
+//! ([`ONLINE_REGRET_BOUND`](core::online::ONLINE_REGRET_BOUND)) against
+//! the from-scratch solve (`DSV_ONLINE_MODE=scratch` is the
+//! byte-identical oracle). The matching store-side primitive is
+//! [`PlanExecutor::migrate`](core::executor::PlanExecutor::migrate):
+//! diff two plans, write only the changed objects, retain-before-release
+//! so no live version is ever unreadable. The service's
+//! `Absorb` request chains both — mutate → absorb → migrate — per
+//! commit, gated in CI by `repro --experiment online --assert-speedup`.
+//!
 //! ## Scale: sharded hierarchical solving
 //!
 //! Past a few tens of thousands of versions, one monolithic solve stops
@@ -162,15 +178,18 @@ pub mod prelude {
         SolveOptions, Solver, SolverMeta, SHARD_REGRET_BOUND,
     };
     pub use dsv_core::exact::{brute_force, msr_opt};
-    pub use dsv_core::executor::{ExecError, ExecutionReport, PlanExecutor, StoredPlan};
+    pub use dsv_core::executor::{
+        ExecError, ExecutionReport, MigrationStats, PlanExecutor, StoredPlan,
+    };
     pub use dsv_core::heuristics::{lmg, lmg_all, modified_prims};
+    pub use dsv_core::online::{OnlinePlanner, OnlineStats, ONLINE_REGRET_BOUND};
     pub use dsv_core::plan::{Parent, PlanCosts, StoragePlan};
     pub use dsv_core::problem::{Objective, ProblemKind};
     pub use dsv_core::reductions::{bsr_via_msr, mmr_on_graph};
     pub use dsv_core::retry::RetryPolicy;
     pub use dsv_core::service::{
-        PlanId, Reply, Request, ServeTier, ServiceConfig, ServiceError, ServiceStats, Ticket,
-        VersioningService,
+        Mutation, PlanId, Reply, Request, ServeTier, ServiceConfig, ServiceError, ServiceStats,
+        Ticket, VersioningService,
     };
     pub use dsv_core::tree::{
         dp_bmr_on_graph, dp_msr_on_graph, dp_msr_sweep, extract_tree, DpMsrConfig,
